@@ -1,0 +1,161 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (§4): Table 1, Table 2, Figure 5a/5b, Figure 6, Figure 7, Figure 8,
+   Table 3, Figure 9, plus the ablation study. The instruction budget per
+   simulation comes from BENCH_BUDGET (default 100000); raise it for
+   tighter numbers (the paper used 50M+ per run).
+
+   Part 2 runs Bechamel micro/meso benchmarks: one Test.make per paper
+   table/figure (measuring the wall-clock cost of regenerating it at a
+   small budget) plus component microbenchmarks of the simulator itself. *)
+
+let budget =
+  match Sys.getenv_opt "BENCH_BUDGET" with
+  | Some s -> int_of_string s
+  | None -> 100_000
+
+let part1 () =
+  Printf.printf
+    "==============================================================\n\
+     Reproduction of the paper's evaluation (budget %d instructions\n\
+     per run; set BENCH_BUDGET to change)\n\
+     ==============================================================\n\n"
+    budget;
+  print_string (Dts_experiments.Experiments.all ~scale:1 ~budget ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel benchmarks                                          *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let small = 15_000 (* instruction budget inside timed benchmarks *)
+
+(* one Test.make per paper artifact: time-to-regenerate at a small budget *)
+let bench_figure name (f : ?scale:int -> ?budget:int -> unit -> string) =
+  Test.make ~name (Staged.stage (fun () -> ignore (f ~scale:1 ~budget:small ())))
+
+let figure_tests =
+  [
+    bench_figure "table3/feasible-machine" Dts_experiments.Experiments.table3;
+    bench_figure "fig9/dtsvliw-vs-dif" Dts_experiments.Experiments.fig9;
+  ]
+
+(* component microbenchmarks *)
+
+let compress_program =
+  lazy
+    (Dts_workloads.Workloads.program ~scale:1
+       (Dts_workloads.Workloads.find "compress"))
+
+let bench_golden =
+  Test.make ~name:"golden/15k-instructions"
+    (Staged.stage (fun () ->
+         let st = Dts_asm.Program.boot (Lazy.force compress_program) in
+         let g = Dts_golden.Golden.of_state st in
+         ignore (Dts_golden.Golden.run ~max_instructions:small g)))
+
+let bench_machine =
+  Test.make ~name:"dtsvliw-machine/15k-instructions"
+    (Staged.stage (fun () ->
+         let m =
+           Dts_core.Machine.create
+             (Dts_core.Config.ideal ())
+             (Lazy.force compress_program)
+         in
+         ignore (Dts_core.Machine.run ~max_instructions:small m)))
+
+let bench_dif =
+  Test.make ~name:"dif-machine/15k-instructions"
+    (Staged.stage (fun () ->
+         let m, _ =
+           Dts_dif.Dif.machine
+             ~machine_cfg:(Dts_dif.Dif.fig9_machine_cfg ())
+             (Lazy.force compress_program)
+         in
+         ignore (Dts_core.Machine.run ~max_instructions:small m)))
+
+let bench_assembler =
+  let src =
+    lazy
+      (Dts_tinyc.Tinyc.compile_to_assembly
+         ((Dts_workloads.Workloads.find "compress").source 1))
+  in
+  Test.make ~name:"assembler/compress"
+    (Staged.stage (fun () ->
+         ignore (Dts_asm.Assembler.assemble (Lazy.force src))))
+
+let bench_tinyc =
+  Test.make ~name:"tinyc-compile/gcc-analogue"
+    (Staged.stage (fun () ->
+         ignore
+           (Dts_tinyc.Tinyc.compile ((Dts_workloads.Workloads.find "gcc").source 1))))
+
+let bench_cache =
+  Test.make ~name:"cache/100k-accesses"
+    (Staged.stage (fun () ->
+         let c =
+           Dts_mem.Cache.create ~size_bytes:(32 * 1024) ~line_bytes:32 ~assoc:4
+             ~miss_penalty:8
+         in
+         let acc = ref 0 in
+         for i = 0 to 99_999 do
+           acc := !acc + Dts_mem.Cache.access c (i * 52 mod 262144)
+         done;
+         ignore !acc))
+
+let bench_encode =
+  Test.make ~name:"encode-decode/10k-roundtrips"
+    (Staged.stage (fun () ->
+         let i =
+           Dts_isa.Instr.Alu { op = Add; cc = true; rs1 = 9; op2 = Reg 10; rd = 11 }
+         in
+         for pc = 0 to 9_999 do
+           ignore (Dts_isa.Encode.decode ~pc:(pc * 4) (Dts_isa.Encode.encode ~pc:(pc * 4) i))
+         done))
+
+let all_tests =
+  Test.make_grouped ~name:"dtsvliw"
+    (figure_tests
+    @ [
+        bench_golden;
+        bench_machine;
+        bench_dif;
+        bench_assembler;
+        bench_tinyc;
+        bench_cache;
+        bench_encode;
+      ])
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.0) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "%-40s  %16s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 60 '-');
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+        let ns = est in
+        let pretty =
+          if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+          else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+          else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+          else Printf.sprintf "%.0f ns" ns
+        in
+        Printf.printf "%-40s  %16s\n" name pretty
+      | _ -> Printf.printf "%-40s  %16s\n" name "n/a")
+    results
+
+let () =
+  part1 ();
+  print_endline "=== Bechamel component benchmarks ===";
+  benchmark ()

@@ -1,0 +1,169 @@
+(* The DTSVLIW simulator CLI.
+
+   Run a built-in workload or a program file (SRISC assembly or tinyc,
+   chosen by extension: .s / .c) on a configurable DTSVLIW machine and
+   print the performance statistics. Every run executes in test mode.
+
+   Examples:
+     dtsvliw_sim --workload compress
+     dtsvliw_sim --workload ijpeg --width 16 --height 16
+     dtsvliw_sim prog.s --feasible
+     dtsvliw_sim prog.c --dif *)
+
+open Cmdliner
+
+let load_program ~workload ~file ~scale =
+  match (workload, file) with
+  | Some name, None ->
+    Dts_workloads.Workloads.program ~scale (Dts_workloads.Workloads.find name)
+  | None, Some path ->
+    let src = In_channel.with_open_text path In_channel.input_all in
+    if Filename.check_suffix path ".c" then Dts_tinyc.Tinyc.compile src
+    else Dts_asm.Assembler.assemble src
+  | _ ->
+    prerr_endline "specify exactly one of --workload NAME or a program file";
+    exit 1
+
+let build_config ~feasible ~width ~height ~vcache_kb ~vcache_assoc ~no_renaming
+    ~store_list ~predict_next ~multicycle =
+  let base =
+    if feasible then Dts_core.Config.feasible ()
+    else Dts_core.Config.ideal ?width ?height ()
+  in
+  let base =
+    match (vcache_kb, vcache_assoc) with
+    | None, None -> base
+    | kb, assoc ->
+      {
+        base with
+        vliw_cache =
+          {
+            kb = Option.value kb ~default:base.vliw_cache.kb;
+            assoc = Option.value assoc ~default:base.vliw_cache.assoc;
+          };
+      }
+  in
+  let base =
+    if no_renaming then { base with sched = { base.sched with renaming = false } }
+    else base
+  in
+  let base =
+    if store_list then
+      { base with store_scheme = Dts_vliw.Engine.Data_store_list }
+    else base
+  in
+  let base = { base with next_li_prediction = predict_next } in
+  if multicycle then
+    {
+      base with
+      sched = { base.sched with latencies = Dts_isa.Instr.multicycle_latencies };
+      primary_timing =
+        {
+          base.primary_timing with
+          latencies = Dts_isa.Instr.multicycle_latencies;
+        };
+    }
+  else base
+
+let print_stats (m : Dts_core.Machine.t) instructions =
+  Printf.printf "instructions (sequential): %d\n" instructions;
+  Printf.printf "cycles:                    %d\n" m.cycles;
+  Printf.printf "IPC:                       %.3f\n"
+    (float_of_int instructions /. float_of_int (max 1 m.cycles));
+  Printf.printf "VLIW execution cycles:     %.1f%%\n"
+    (100. *. Dts_core.Machine.vliw_cycle_fraction m);
+  Printf.printf "slot utilisation:          %.1f%%\n"
+    (100. *. Dts_core.Machine.slot_utilisation m);
+  Printf.printf "blocks built:              %d\n" m.blocks_flushed;
+  Printf.printf "engine switches:           %d\n" m.engine_switches;
+  Printf.printf "renaming registers (max):  %d int, %d fp, %d flag, %d mem\n"
+    m.rr_max.(0) m.rr_max.(1) m.rr_max.(2) m.rr_max.(3);
+  let e = m.engine.stats in
+  Printf.printf "load/store lists (max):    %d / %d\n" e.max_load_list
+    e.max_store_list;
+  Printf.printf "checkpoint recovery (max): %d\n" e.max_recovery_list;
+  Printf.printf "branch mispredictions:     %d\n" e.mispredicts;
+  Printf.printf "aliasing exceptions:       %d\n" e.aliasing_exceptions;
+  Printf.printf "block exceptions:          %d\n" e.block_exceptions;
+  Printf.printf "VLIW cache: %d hits, %d misses, %d insertions, %d evictions\n"
+    (Dts_mem.Blockcache.hits m.vcache)
+    (Dts_mem.Blockcache.misses m.vcache)
+    (Dts_mem.Blockcache.insertions m.vcache)
+    (Dts_mem.Blockcache.evictions m.vcache);
+  if m.cfg.next_li_prediction then
+    Printf.printf "next-li predictor:         %d hits, %d misses\n" m.nlp_hits
+      m.nlp_misses;
+  if m.engine.stats.max_data_store_list > 0 then
+    Printf.printf "data store list (max):     %d\n"
+      m.engine.stats.max_data_store_list
+
+let dump_blocks (m : Dts_core.Machine.t) n =
+  let blocks = ref [] in
+  Dts_mem.Blockcache.iter (fun _ b -> blocks := b :: !blocks) m.vcache;
+  let blocks =
+    List.sort (fun a b -> compare a.Dts_sched.Schedtypes.tag_addr b.tag_addr) !blocks
+  in
+  Printf.printf "\n%d blocks resident in the VLIW Cache (showing up to %d):\n"
+    (List.length blocks) n;
+  List.iteri
+    (fun i b ->
+      if i < n then Format.printf "%a" Dts_sched.Schedtypes.pp_block b)
+    blocks
+
+let run workload file scale budget feasible dif width height vcache_kb
+    vcache_assoc no_renaming store_list predict_next multicycle show_blocks =
+  let program = load_program ~workload ~file ~scale in
+  if dif then begin
+    let machine_cfg = Dts_dif.Dif.fig9_machine_cfg () in
+    let m, d = Dts_dif.Dif.machine ~machine_cfg program in
+    let n = Dts_core.Machine.run ~max_instructions:budget m in
+    print_endline "[DIF machine]";
+    print_stats m n;
+    Printf.printf "DIF exit points:           %d\n" d.total_exits;
+    Printf.printf "DIF cache bytes built:     %d\n" d.cache_bytes;
+    if show_blocks > 0 then dump_blocks m show_blocks
+  end
+  else begin
+    let cfg =
+      build_config ~feasible ~width ~height ~vcache_kb ~vcache_assoc
+        ~no_renaming ~store_list ~predict_next ~multicycle
+    in
+    Printf.printf "[DTSVLIW: %s]\n" (Dts_core.Config.describe cfg);
+    let m = Dts_core.Machine.create cfg program in
+    let n = Dts_core.Machine.run ~max_instructions:budget m in
+    print_stats m n;
+    if show_blocks > 0 then dump_blocks m show_blocks
+  end
+
+let workload_arg =
+  let names = String.concat ", " (List.map (fun (w : Dts_workloads.Workloads.t) -> w.name) Dts_workloads.Workloads.all) in
+  Arg.(value & opt (some string) None
+       & info [ "w"; "workload" ] ~doc:("Built-in workload: " ^ names))
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Program file (.s assembly or .c tinyc)")
+
+let scale_arg = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Workload scale")
+let budget_arg = Arg.(value & opt int 500_000 & info [ "budget" ] ~doc:"Instruction budget")
+let feasible_arg = Arg.(value & flag & info [ "feasible" ] ~doc:"Use the feasible machine of section 4.4")
+let dif_arg = Arg.(value & flag & info [ "dif" ] ~doc:"Simulate the DIF baseline instead")
+let width_arg = Arg.(value & opt (some int) None & info [ "width" ] ~doc:"Instructions per long instruction")
+let height_arg = Arg.(value & opt (some int) None & info [ "height" ] ~doc:"Long instructions per block")
+let vkb_arg = Arg.(value & opt (some int) None & info [ "vcache-kb" ] ~doc:"VLIW cache size in KB")
+let vassoc_arg = Arg.(value & opt (some int) None & info [ "vcache-assoc" ] ~doc:"VLIW cache associativity")
+let noren_arg = Arg.(value & flag & info [ "no-renaming" ] ~doc:"Disable instruction splitting")
+let storelist_arg = Arg.(value & flag & info [ "store-list" ] ~doc:"Use the data-store-list exception scheme (the paper's 3.11 alternative)")
+let predict_arg = Arg.(value & flag & info [ "predict-next" ] ~doc:"Enable next-long-instruction prediction (the paper's section-5 future work)")
+let multicycle_arg = Arg.(value & flag & info [ "multicycle" ] ~doc:"Multicycle functional units: ld 2, mul 3, div 8, fp 3")
+let blocks_arg = Arg.(value & opt int 0 & info [ "dump-blocks" ] ~doc:"Print up to N scheduled blocks from the VLIW cache after the run")
+
+let cmd =
+  let doc = "execution-driven DTSVLIW simulator (always in test mode)" in
+  Cmd.v
+    (Cmd.info "dtsvliw_sim" ~doc)
+    Term.(
+      const run $ workload_arg $ file_arg $ scale_arg $ budget_arg
+      $ feasible_arg $ dif_arg $ width_arg $ height_arg $ vkb_arg $ vassoc_arg
+      $ noren_arg $ storelist_arg $ predict_arg $ multicycle_arg $ blocks_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,46 @@
+(* Regenerate the paper's tables and figures.
+
+   Usage:
+     experiments all --budget 150000 --scale 1
+     experiments fig5
+     experiments table3 fig9 *)
+
+open Cmdliner
+
+let run_experiments names scale budget =
+  let names = if names = [] then [ "all" ] else names in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name Dts_experiments.Experiments.by_name with
+      | Some f ->
+        print_string (f ~scale ~budget ());
+        print_newline ()
+      | None ->
+        Printf.eprintf "unknown experiment %s; available: %s\n" name
+          (String.concat ", "
+             (List.map fst Dts_experiments.Experiments.by_name));
+        exit 1)
+    names
+
+let names_arg =
+  let doc =
+    "Experiments to run: table1, table2, fig5, fig6, fig7, fig8, table3, \
+     fig9, ablation, or all."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let scale_arg =
+  let doc = "Workload scale multiplier (outer iteration counts)." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~doc)
+
+let budget_arg =
+  let doc = "Sequential-instruction budget per run (test-machine count)." in
+  Arg.(value & opt int 150_000 & info [ "budget" ] ~doc)
+
+let cmd =
+  let doc = "regenerate the DTSVLIW paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(const run_experiments $ names_arg $ scale_arg $ budget_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,24 @@
+(* Sweep block geometry on one workload and watch the paper's Figure 5
+   trade-off: block width vs block height at equal block sizes.
+
+   dune exec examples/geometry_sweep.exe -- [workload] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "ijpeg" in
+  let w = Dts_workloads.Workloads.find name in
+  Printf.printf "workload: %s (mirrors %s)\n%s\n\n" w.name w.mirrors w.character;
+  Printf.printf "%8s  %6s  %10s  %8s  %7s\n" "geometry" "IPC" "slots used"
+    "blocks" "VLIW%";
+  List.iter
+    (fun (width, height) ->
+      let program = Dts_workloads.Workloads.program ~scale:1 w in
+      let cfg = Dts_core.Config.ideal ~width ~height () in
+      let m = Dts_core.Machine.create cfg program in
+      let n = Dts_core.Machine.run ~max_instructions:120_000 m in
+      Printf.printf "%8s  %6.2f  %9.1f%%  %8d  %6.1f%%\n"
+        (Printf.sprintf "%dx%d" width height)
+        (float_of_int n /. float_of_int m.cycles)
+        (100. *. Dts_core.Machine.slot_utilisation m)
+        m.blocks_flushed
+        (100. *. Dts_core.Machine.vliw_cycle_fraction m))
+    [ (2, 2); (4, 4); (8, 4); (4, 8); (8, 8); (16, 8); (8, 16); (16, 16) ]

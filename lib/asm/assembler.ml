@@ -1,0 +1,567 @@
+(** Two-pass SRISC assembler.
+
+    Syntax is SPARC-flavoured, line oriented:
+    {v
+            .text
+    start:  set    4096, %o0          ! pseudo: sethi+or as needed
+    loop:   ld     [%o0+4], %o2
+            subcc  %o2, 1, %o2
+            bne    loop
+            st     %o2, [%o0]
+            call   func
+            ret                       ! jmpl [%i7+4], %g0
+            halt
+            .data
+    arr:    .word  1, 2, label
+    buf:    .space 400
+    v}
+
+    Comments start with [!], [;] or [#]. Pseudo-instructions: [set], [mov],
+    [cmp], [clr], [ret], [b<cond>] aliases, [inc], [dec]. The [hi()] / [lo()]
+    operators split a 32-bit constant or label for [sethi]/[or] pairs. *)
+
+exception Error of { line : int; msg : string }
+
+let error line fmt = Printf.ksprintf (fun msg -> raise (Error { line; msg })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Parsed form                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type expr =
+  | Num of int
+  | Sym of string
+  | Hi of expr  (** top 22 bits, for sethi *)
+  | Lo of expr  (** low 10 bits *)
+
+type arg =
+  | A_reg of int
+  | A_freg of int
+  | A_expr of expr
+  | A_mem of int * expr_or_reg  (** [rs1 + off] *)
+
+and expr_or_reg = Eor_reg of int | Eor_expr of expr
+
+type item =
+  | I_instr of string * arg list  (** mnemonic, args *)
+  | I_directive of string * string list
+  | I_label of string
+
+type line = { num : int; items : item list }
+
+(* ------------------------------------------------------------------ *)
+(* Lexing / parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let strip_comment s =
+  let cut = ref (String.length s) in
+  String.iteri
+    (fun i c ->
+      if (c = '!' || c = ';' || c = '#') && i < !cut then cut := i)
+    s;
+  String.sub s 0 !cut
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let trim = String.trim
+
+let reg_of_name ln name =
+  let name = String.lowercase_ascii name in
+  let num_after prefix =
+    let l = String.length prefix in
+    if String.length name > l && String.sub name 0 l = prefix then
+      int_of_string_opt (String.sub name l (String.length name - l))
+    else None
+  in
+  match name with
+  | "sp" -> Some 14
+  | "fp" -> Some 30
+  | _ -> (
+    match num_after "g" with
+    | Some n when n < 8 -> Some n
+    | Some _ -> error ln "bad global register %%%s" name
+    | None -> (
+      match num_after "o" with
+      | Some n when n < 8 -> Some (8 + n)
+      | Some _ -> error ln "bad out register %%%s" name
+      | None -> (
+        match num_after "l" with
+        | Some n when n < 8 -> Some (16 + n)
+        | Some _ -> error ln "bad local register %%%s" name
+        | None -> (
+          match num_after "i" with
+          | Some n when n < 8 -> Some (24 + n)
+          | Some _ -> error ln "bad in register %%%s" name
+          | None -> (
+            match num_after "r" with
+            | Some n when n < 32 -> Some n
+            | Some _ -> error ln "bad register %%%s" name
+            | None -> None)))))
+
+let freg_of_name name =
+  let name = String.lowercase_ascii name in
+  if String.length name > 1 && name.[0] = 'f' then
+    match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+    | Some n when n >= 0 && n < 32 -> Some n
+    | _ -> None
+  else None
+
+let parse_num s = int_of_string_opt s (* handles 0x..., negatives *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let rec parse_expr ln s =
+  let s = trim s in
+  let with_fn fn inner =
+    let e = parse_expr ln inner in
+    match fn with "hi" -> Hi e | "lo" -> Lo e | _ -> error ln "unknown operator %s()" fn
+  in
+  if String.length s > 3 && String.length s > 0 && String.contains s '(' then begin
+    let p = String.index s '(' in
+    let fn = trim (String.sub s 0 p) in
+    if String.length s = 0 || s.[String.length s - 1] <> ')' then
+      error ln "missing ')' in %s" s;
+    with_fn
+      (String.lowercase_ascii fn)
+      (String.sub s (p + 1) (String.length s - p - 2))
+  end
+  else
+    match parse_num s with
+    | Some n -> Num n
+    | None ->
+      if s = "" then error ln "empty expression";
+      String.iter
+        (fun c -> if not (is_ident_char c) then error ln "bad expression %S" s)
+        s;
+      Sym s
+
+let parse_mem ln s =
+  (* s is the inside of [...] : "%reg", "%reg+expr", "%reg-num", "%reg+%reg" *)
+  let s = trim s in
+  if String.length s = 0 || s.[0] <> '%' then
+    error ln "memory operand must start with a register: [%s]" s;
+  (* find + or - after the register name *)
+  let len = String.length s in
+  let rec split i =
+    if i >= len then (s, None)
+    else if s.[i] = '+' then
+      (String.sub s 0 i, Some (trim (String.sub s (i + 1) (len - i - 1))))
+    else if s.[i] = '-' then (String.sub s 0 i, Some (trim (String.sub s i (len - i))))
+    else split (i + 1)
+  in
+  let base, rest = split 1 in
+  let base = trim base in
+  let r =
+    match reg_of_name ln (String.sub base 1 (String.length base - 1)) with
+    | Some r -> r
+    | None -> error ln "bad base register %s" base
+  in
+  match rest with
+  | None -> A_mem (r, Eor_expr (Num 0))
+  | Some rhs ->
+    if String.length rhs > 0 && rhs.[0] = '%' then
+      match reg_of_name ln (String.sub rhs 1 (String.length rhs - 1)) with
+      | Some r2 -> A_mem (r, Eor_reg r2)
+      | None -> error ln "bad index register %s" rhs
+    else A_mem (r, Eor_expr (parse_expr ln rhs))
+
+let parse_arg ln s =
+  let s = trim s in
+  if s = "" then error ln "empty operand";
+  if s.[0] = '[' then begin
+    if s.[String.length s - 1] <> ']' then error ln "missing ']' in %s" s;
+    parse_mem ln (String.sub s 1 (String.length s - 2))
+  end
+  else if s.[0] = '%' then begin
+    let name = String.sub s 1 (String.length s - 1) in
+    match reg_of_name ln name with
+    | Some r -> A_reg r
+    | None -> (
+      match freg_of_name name with
+      | Some f -> A_freg f
+      | None -> error ln "unknown register %s" s)
+  end
+  else A_expr (parse_expr ln s)
+
+(* split on commas at depth 0 of () and [] *)
+let split_args s =
+  let out = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | '[' ->
+        incr depth;
+        Buffer.add_char buf c
+      | ')' | ']' ->
+        decr depth;
+        Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+        out := Buffer.contents buf :: !out;
+        Buffer.clear buf
+      | _ -> Buffer.add_char buf c)
+    s;
+  if trim (Buffer.contents buf) <> "" || !out <> [] then
+    out := Buffer.contents buf :: !out;
+  List.rev_map trim !out
+
+let parse_line num raw =
+  let s = trim (strip_comment raw) in
+  if s = "" then { num; items = [] }
+  else begin
+    let items = ref [] in
+    (* labels: ident: prefix, possibly several *)
+    let rec strip_labels s =
+      match String.index_opt s ':' with
+      | Some p
+        when p > 0
+             && String.for_all is_ident_char (String.sub s 0 p)
+             && not (String.length s > 0 && s.[0] >= '0' && s.[0] <= '9') ->
+        items := I_label (String.sub s 0 p) :: !items;
+        strip_labels (trim (String.sub s (p + 1) (String.length s - p - 1)))
+      | _ -> s
+    in
+    let s = strip_labels s in
+    if s <> "" then begin
+      let p = ref 0 in
+      while !p < String.length s && not (is_space s.[!p]) do
+        incr p
+      done;
+      let head = String.lowercase_ascii (String.sub s 0 !p) in
+      let rest = trim (String.sub s !p (String.length s - !p)) in
+      if String.length head > 0 && head.[0] = '.' then
+        items := I_directive (head, split_args rest) :: !items
+      else
+        items :=
+          I_instr (head, List.map (parse_arg num) (split_args rest)) :: !items
+    end;
+    { num; items = List.rev !items }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type section = Text | Data
+
+(* A pre-instruction: mnemonic applied once operands and layout are known.
+   [width] is its size in instructions (pseudos may expand). *)
+type pending = {
+  ln : int;
+  mnemonic : string;
+  args : arg list;
+  addr : int;
+  width : int;
+}
+
+let branch_conds =
+  [
+    ("ba", Dts_isa.Instr.A);
+    ("be", E);
+    ("bz", E);
+    ("bne", NE);
+    ("bnz", NE);
+    ("bl", L);
+    ("ble", LE);
+    ("bg", G);
+    ("bge", GE);
+    ("blu", LU);
+    ("bcs", LU);
+    ("bleu", LEU);
+    ("bgu", GU);
+    ("bgeu", GEU);
+    ("bcc", GEU);
+    ("bneg", Neg);
+    ("bpos", Pos);
+  ]
+
+let alu_mnemonics =
+  [
+    ("add", Dts_isa.Instr.Add);
+    ("sub", Sub);
+    ("and", And);
+    ("andn", Andn);
+    ("or", Or);
+    ("orn", Orn);
+    ("xor", Xor);
+    ("xnor", Xnor);
+    ("sll", Sll);
+    ("srl", Srl);
+    ("sra", Sra);
+    ("smul", Smul);
+    ("umul", Umul);
+    ("sdiv", Sdiv);
+    ("udiv", Udiv);
+  ]
+
+let fpu_mnemonics =
+  [
+    ("fadd", Dts_isa.Instr.Fadd);
+    ("fsub", Fsub);
+    ("fmul", Fmul);
+    ("fdiv", Fdiv);
+    ("fitos", Fitos);
+    ("fstoi", Fstoi);
+  ]
+
+let lsize_mnemonics =
+  [
+    ("ldsb", Dts_isa.Instr.Lsb);
+    ("ldub", Lub);
+    ("ldsh", Lsh);
+    ("lduh", Luh);
+    ("ld", Lw);
+    ("ldw", Lw);
+  ]
+
+let ssize_mnemonics =
+  [ ("stb", Dts_isa.Instr.Sb); ("sth", Sh); ("st", Sw); ("stw", Sw) ]
+
+let fits_simm12 v = v >= -2048 && v < 2048
+
+(* instruction-count width of a mnemonic before symbol resolution *)
+let width_of ln mnemonic args =
+  match mnemonic with
+  | "set" -> (
+    match args with
+    | [ A_expr (Num n); A_reg _ ] -> if fits_simm12 n then 1 else 2
+    | [ A_expr _; A_reg _ ] -> 2 (* symbols conservatively take sethi+or *)
+    | _ -> error ln "set expects: set value, %%reg")
+  | "nop" | "halt" | "ret" | "retl" -> 1
+  | _ -> 1
+
+let eval_expr ln symbols e =
+  let rec go = function
+    | Num n -> n
+    | Sym s -> (
+      match Hashtbl.find_opt symbols s with
+      | Some v -> v
+      | None -> error ln "undefined symbol %s" s)
+    | Hi e -> (go e lsr 10) land 0x3FFFFF
+    | Lo e -> go e land 0x3FF
+  in
+  go e
+
+let operand_of ln symbols = function
+  | A_reg r -> Dts_isa.Instr.Reg r
+  | A_expr e ->
+    let v = eval_expr ln symbols e in
+    if not (fits_simm12 v) then
+      error ln "immediate %d does not fit in simm12 (use set)" v;
+    Dts_isa.Instr.Imm v
+  | A_freg _ | A_mem _ -> error ln "bad operand (expected register or immediate)"
+
+let mem_operand ln symbols = function
+  | A_mem (r, Eor_reg r2) -> (r, Dts_isa.Instr.Reg r2)
+  | A_mem (r, Eor_expr e) ->
+    let v = eval_expr ln symbols e in
+    if not (fits_simm12 v) then error ln "memory offset %d does not fit" v;
+    (r, Dts_isa.Instr.Imm v)
+  | A_reg _ | A_freg _ | A_expr _ -> error ln "expected memory operand [..]"
+
+(* Emit the instruction(s) for one pending entry. *)
+let emit ln symbols p : Dts_isa.Instr.t list =
+  let open Dts_isa.Instr in
+  let m = p.mnemonic and args = p.args in
+  let strip_cc m =
+    if String.length m > 2 && String.sub m (String.length m - 2) 2 = "cc" then
+      Some (String.sub m 0 (String.length m - 2))
+    else None
+  in
+  let freg = function A_freg f -> f | _ -> error ln "expected %%f register" in
+  let value e = eval_expr ln symbols e in
+  match (m, args) with
+  | "nop", [] -> [ Nop ]
+  | "halt", [] -> [ Halt ]
+  | "trap", [ A_expr e ] -> [ Trap (value e) ]
+  | "ret", [] -> [ Jmpl { rs1 = 31; op2 = Imm 4; rd = 0 } ]
+  | "retl", [] -> [ Jmpl { rs1 = 15; op2 = Imm 4; rd = 0 } ]
+  | "jmpl", [ a; A_reg rd ] ->
+    let rs1, op2 = mem_operand ln symbols a in
+    [ Jmpl { rs1; op2; rd } ]
+  | "call", [ A_expr e ] -> [ Call { target = value e } ]
+  | "sethi", [ A_expr e; A_reg rd ] ->
+    let v = value e in
+    if v < 0 || v > 0x3FFFFF then error ln "sethi immediate out of range";
+    [ Sethi { imm = v; rd } ]
+  | "save", [ A_reg rs1; op2; A_reg rd ] ->
+    [ Save { rs1; op2 = operand_of ln symbols op2; rd } ]
+  | "restore", [] -> [ Restore { rs1 = 0; op2 = Imm 0; rd = 0 } ]
+  | "restore", [ A_reg rs1; op2; A_reg rd ] ->
+    [ Restore { rs1; op2 = operand_of ln symbols op2; rd } ]
+  | "mov", [ src; A_reg rd ] ->
+    [ Alu { op = Or; cc = false; rs1 = 0; op2 = operand_of ln symbols src; rd } ]
+  | "clr", [ A_reg rd ] ->
+    [ Alu { op = Or; cc = false; rs1 = 0; op2 = Imm 0; rd } ]
+  | "cmp", [ A_reg rs1; op2 ] ->
+    [ Alu { op = Sub; cc = true; rs1; op2 = operand_of ln symbols op2; rd = 0 } ]
+  | "tst", [ A_reg rs1 ] ->
+    [ Alu { op = Or; cc = true; rs1; op2 = Imm 0; rd = 0 } ]
+  | "inc", [ A_reg rd ] ->
+    [ Alu { op = Add; cc = false; rs1 = rd; op2 = Imm 1; rd } ]
+  | "dec", [ A_reg rd ] ->
+    [ Alu { op = Sub; cc = false; rs1 = rd; op2 = Imm 1; rd } ]
+  | "set", [ A_expr e; A_reg rd ] ->
+    let v = value e in
+    if p.width = 1 then [ Alu { op = Or; cc = false; rs1 = 0; op2 = Imm v; rd } ]
+    else
+      [
+        Sethi { imm = (v lsr 10) land 0x3FFFFF; rd };
+        Alu { op = Or; cc = false; rs1 = rd; op2 = Imm (v land 0x3FF); rd };
+      ]
+  | "ldf", [ a; A_freg rd ] ->
+    let rs1, op2 = mem_operand ln symbols a in
+    [ Fload { rs1; op2; rd } ]
+  | "stf", [ A_freg rd; a ] ->
+    let rs1, op2 = mem_operand ln symbols a in
+    [ Fstore { rd; rs1; op2 } ]
+  | _, _ -> (
+    match List.assoc_opt m branch_conds with
+    | Some cond -> (
+      match args with
+      | [ A_expr e ] -> [ Branch { cond; target = value e } ]
+      | _ -> error ln "branch expects a label")
+    | None -> (
+      match List.assoc_opt m lsize_mnemonics with
+      | Some size -> (
+        match args with
+        | [ a; A_reg rd ] ->
+          let rs1, op2 = mem_operand ln symbols a in
+          [ Load { size; rs1; op2; rd } ]
+        | _ -> error ln "load expects: %s [mem], %%rd" m)
+      | None -> (
+        match List.assoc_opt m ssize_mnemonics with
+        | Some size -> (
+          match args with
+          | [ A_reg rs; a ] ->
+            let rs1, op2 = mem_operand ln symbols a in
+            [ Store { size; rs; rs1; op2 } ]
+          | _ -> error ln "store expects: %s %%rs, [mem]" m)
+        | None -> (
+          match List.assoc_opt m fpu_mnemonics with
+          | Some op -> (
+            match args with
+            | [ a; b; c ] -> [ Fpop { op; rs1 = freg a; rs2 = freg b; rd = freg c } ]
+            | [ a; c ] -> [ Fpop { op; rs1 = freg a; rs2 = 0; rd = freg c } ]
+            | _ -> error ln "fp op expects 2-3 %%f registers")
+          | None -> (
+            let base, cc =
+              match strip_cc m with Some b -> (b, true) | None -> (m, false)
+            in
+            match List.assoc_opt base alu_mnemonics with
+            | Some op -> (
+              match args with
+              | [ A_reg rs1; op2; A_reg rd ] ->
+                [ Alu { op; cc; rs1; op2 = operand_of ln symbols op2; rd } ]
+              | _ -> error ln "%s expects: %s %%rs1, op2, %%rd" m m)
+            | None -> error ln "unknown mnemonic %s" m)))))
+
+(** Assemble a source string into a {!Program.t}. *)
+let assemble ?(text_base = Dts_isa.Layout.text_base)
+    ?(data_base = Dts_isa.Layout.data_base) ?entry src =
+  let lines =
+    String.split_on_char '\n' src |> List.mapi (fun i l -> parse_line (i + 1) l)
+  in
+  let symbols : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  (* pass 1: layout *)
+  let text_pc = ref text_base and data_pc = ref data_base in
+  let section = ref Text in
+  let pendings = ref [] (* reversed *) in
+  let datas = ref [] (* (addr, bytes-as-(fill|word expr)) reversed *) in
+  let pc () = match !section with Text -> text_pc | Data -> data_pc in
+  List.iter
+    (fun { num = ln; items } ->
+      List.iter
+        (fun item ->
+          match item with
+          | I_label name ->
+            if Hashtbl.mem symbols name then error ln "duplicate label %s" name;
+            Hashtbl.replace symbols name !(pc ())
+          | I_directive (".text", _) -> section := Text
+          | I_directive (".data", _) -> section := Data
+          | I_directive (".org", [ v ]) -> (
+            match parse_num (trim v) with
+            | Some n -> (pc ()) := n
+            | None -> error ln ".org expects a number")
+          | I_directive (".align", [ v ]) -> (
+            match parse_num (trim v) with
+            | Some n ->
+              let p = pc () in
+              p := (!p + n - 1) / n * n
+            | None -> error ln ".align expects a number")
+          | I_directive (".word", vs) ->
+            if !section <> Data then error ln ".word only in .data";
+            datas := (`Words (!data_pc, ln, List.map (parse_expr ln) vs)) :: !datas;
+            data_pc := !data_pc + (4 * List.length vs)
+          | I_directive (".half", vs) ->
+            if !section <> Data then error ln ".half only in .data";
+            datas := (`Halves (!data_pc, ln, List.map (parse_expr ln) vs)) :: !datas;
+            data_pc := !data_pc + (2 * List.length vs)
+          | I_directive (".byte", vs) ->
+            if !section <> Data then error ln ".byte only in .data";
+            datas := (`Bytes (!data_pc, ln, List.map (parse_expr ln) vs)) :: !datas;
+            data_pc := !data_pc + List.length vs
+          | I_directive (".space", [ v ]) -> (
+            match parse_num (trim v) with
+            | Some n -> data_pc := !data_pc + n
+            | None -> error ln ".space expects a number")
+          | I_directive (".global", _) | I_directive (".globl", _) -> ()
+          | I_directive (d, _) -> error ln "unknown directive %s" d
+          | I_instr (mnemonic, args) ->
+            if !section <> Text then error ln "instruction outside .text";
+            let width = width_of ln mnemonic args in
+            pendings :=
+              { ln; mnemonic; args; addr = !text_pc; width } :: !pendings;
+            text_pc := !text_pc + (width * Dts_isa.Instr.bytes))
+        items)
+    lines;
+  (* pass 2: emit *)
+  let text = ref [] in
+  List.iter
+    (fun p ->
+      let instrs = emit p.ln symbols p in
+      if List.length instrs <> p.width then
+        error p.ln "internal: width mismatch for %s" p.mnemonic;
+      List.iteri
+        (fun k i -> text := (p.addr + (k * Dts_isa.Instr.bytes), i) :: !text)
+        instrs)
+    (List.rev !pendings);
+  let buf_of_values ln values ~size =
+    let b = Buffer.create (List.length values * size) in
+    List.iter
+      (fun e ->
+        let v = eval_expr ln symbols e in
+        for k = size - 1 downto 0 do
+          Buffer.add_char b (Char.chr ((v lsr (k * 8)) land 0xFF))
+        done)
+      values;
+    Buffer.contents b
+  in
+  let data =
+    List.rev_map
+      (function
+        | `Words (addr, ln, vs) -> (addr, buf_of_values ln vs ~size:4)
+        | `Halves (addr, ln, vs) -> (addr, buf_of_values ln vs ~size:2)
+        | `Bytes (addr, ln, vs) -> (addr, buf_of_values ln vs ~size:1))
+      !datas
+  in
+  let entry_addr =
+    match entry with
+    | Some name -> (
+      match Hashtbl.find_opt symbols name with
+      | Some a -> a
+      | None -> error 0 "entry symbol %s undefined" name)
+    | None -> (
+      match Hashtbl.find_opt symbols "start" with
+      | Some a -> a
+      | None -> text_base)
+  in
+  {
+    Program.entry = entry_addr;
+    text = Array.of_list (List.rev !text);
+    data;
+    symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) symbols [];
+  }

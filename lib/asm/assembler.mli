@@ -1,0 +1,34 @@
+(** Two-pass SRISC assembler.
+
+    Syntax is SPARC-flavoured and line oriented:
+
+    {v
+            .text
+    start:  set    4096, %o0          ! pseudo: sethi+or as needed
+    loop:   ld     [%o0+4], %o2
+            subcc  %o2, 1, %o2
+            bne    loop
+            st     %o2, [%o0]
+            call   func
+            ret                       ! jmpl [%i7+4], %g0
+            halt
+            .data
+    arr:    .word  1, 2, label
+    buf:    .space 400
+    v}
+
+    Comments start with [!], [;] or [#]. Registers: [%g0-7], [%o0-7],
+    [%l0-7], [%i0-7], [%r0-31], [%sp], [%fp], [%f0-31]. Pseudo-instructions:
+    [set], [mov], [cmp], [tst], [clr], [inc], [dec], [ret], [retl]. The
+    [hi()] / [lo()] operators split a 32-bit constant or label for
+    [sethi]/[or] pairs. Directives: [.text], [.data], [.org], [.align],
+    [.word], [.half], [.byte], [.space]. *)
+
+exception Error of { line : int; msg : string }
+(** Assembly failure with a 1-based source line. *)
+
+val assemble :
+  ?text_base:int -> ?data_base:int -> ?entry:string -> string ->
+  Program.t
+(** Assemble a source string. The entry point is the [entry] symbol, the
+    [start] label, or [text_base]. @raise Error with a diagnostic. *)

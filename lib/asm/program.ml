@@ -1,0 +1,40 @@
+(** Executable images produced by the assembler (and by the tinyc code
+    generator, which emits assembly source). *)
+
+type t = {
+  entry : int;  (** initial PC *)
+  text : (int * Dts_isa.Instr.t) array;  (** address, instruction *)
+  data : (int * string) list;  (** address, raw initialised bytes *)
+  symbols : (string * int) list;  (** label -> address *)
+}
+
+let text_size t = Array.length t.text * Dts_isa.Instr.bytes
+
+(** Encode the text section and copy the data sections into [mem]. *)
+let load t mem =
+  Array.iter
+    (fun (addr, instr) ->
+      Dts_mem.Memory.write_u32 mem addr (Dts_isa.Encode.encode ~pc:addr instr))
+    t.text;
+  List.iter (fun (addr, bytes) -> Dts_mem.Memory.load_bytes mem ~addr bytes) t.data
+
+(** A fresh machine state with the program loaded, the PC at the entry point
+    and the stack pointer initialised. *)
+let boot ?(nwindows = 32) t =
+  let st = Dts_isa.State.create ~nwindows () in
+  load t st.mem;
+  st.pc <- t.entry;
+  (* %sp = visible register 14 *)
+  Dts_isa.State.set_reg st ~cwp:st.cwp 14 Dts_isa.Layout.stack_top;
+  st
+
+let symbol t name =
+  match List.assoc_opt name t.symbols with
+  | Some a -> a
+  | None -> invalid_arg ("Program.symbol: unknown symbol " ^ name)
+
+let pp fmt t =
+  Array.iter
+    (fun (addr, instr) ->
+      Format.fprintf fmt "%#08x  %s@." addr (Dts_isa.Disasm.to_string instr))
+    t.text

@@ -1,0 +1,121 @@
+(** DTSVLIW machine configuration (Table 1 and §4.4). *)
+
+type cache_cfg =
+  | Perfect  (** always hits, no penalty — the idealised setting of §4.1 *)
+  | Sized of { kb : int; line : int; assoc : int; penalty : int }
+
+type vliw_cache_cfg = { kb : int; assoc : int }
+
+type t = {
+  sched : Dts_sched.Sched_unit.config;
+  vliw_cache : vliw_cache_cfg;
+  icache : cache_cfg;
+  dcache : cache_cfg;
+  next_li_penalty : int;
+      (** cycles lost when VLIW fetch crosses into the next block (§4.4) *)
+  next_li_prediction : bool;
+      (** §5 future work: a next-block predictor remembers each block's last
+          exit target; a correct prediction hides the next-long-instruction
+          penalty and the one-cycle redirect bubble *)
+  swap_to_vliw : int;
+      (** pipeline stages discarded/refilled when the VLIW Engine takes
+          over (§3.6) *)
+  swap_to_primary : int;
+  primary_timing : Dts_primary.Primary.timing;
+  store_scheme : Dts_vliw.Engine.store_scheme;
+      (** §3.11: checkpoint recovery (the paper's implemented scheme) or the
+          alternative data-store-list scheme it describes *)
+  memcmp_interval : int;
+      (** full memory comparison against the golden model every N
+          synchronisation points (0 = only at the end of the run) *)
+}
+
+(** The heterogeneous functional-unit mix of the feasible machine (§4.4):
+    4 integer, 2 load/store, 2 floating-point and 2 branch units. *)
+let feasible_slot_classes : Dts_isa.Instr.fu_class option array =
+  [|
+    Some Dts_isa.Instr.Fu_int;
+    Some Fu_int;
+    Some Fu_int;
+    Some Fu_int;
+    Some Fu_mem;
+    Some Fu_mem;
+    Some Fu_fp;
+    Some Fu_fp;
+    Some Fu_br;
+    Some Fu_br;
+  |]
+
+(** Idealised 8x8 machine of §4.1: perfect caches, large VLIW Cache, no
+    next-long-instruction penalty, homogeneous units. *)
+let ideal ?(width = 8) ?(height = 8) () =
+  {
+    sched =
+      {
+        Dts_sched.Sched_unit.default_config with
+        width;
+        height;
+        slot_classes = None;
+      };
+    vliw_cache = { kb = 3072; assoc = 4 };
+    icache = Perfect;
+    dcache = Perfect;
+    next_li_penalty = 0;
+    next_li_prediction = false;
+    swap_to_vliw = 2;
+    swap_to_primary = 3;
+    primary_timing = Dts_primary.Primary.default_timing;
+    store_scheme = Dts_vliw.Engine.Checkpoint_recovery;
+    memcmp_interval = 64;
+  }
+
+(** The feasible machine of §4.4: 32KB 4-way I-cache and 32KB direct-mapped
+    D-cache (1-cycle access, 8-cycle miss), 192KB 4-way VLIW Cache, 1-cycle
+    next-long-instruction miss penalty, ten non-homogeneous functional
+    units. *)
+let feasible () =
+  {
+    sched =
+      {
+        Dts_sched.Sched_unit.default_config with
+        width = 10;
+        height = 8;
+        slot_classes = Some feasible_slot_classes;
+      };
+    vliw_cache = { kb = 192; assoc = 4 };
+    icache = Sized { kb = 32; line = 32; assoc = 4; penalty = 8 };
+    dcache = Sized { kb = 32; line = 32; assoc = 1; penalty = 8 };
+    next_li_penalty = 1;
+    next_li_prediction = false;
+    swap_to_vliw = 2;
+    swap_to_primary = 3;
+    primary_timing = Dts_primary.Primary.default_timing;
+    store_scheme = Dts_vliw.Engine.Checkpoint_recovery;
+    memcmp_interval = 64;
+  }
+
+let make_cache = function
+  | Perfect -> Dts_mem.Cache.perfect ()
+  | Sized { kb; line; assoc; penalty } ->
+    Dts_mem.Cache.create ~size_bytes:(kb * 1024) ~line_bytes:line ~assoc
+      ~miss_penalty:penalty
+
+(** Number of sets for the VLIW Cache given the block geometry: capacity in
+    bytes over (decoded block bytes × associativity), rounded down to a
+    power of two. *)
+let vliw_cache_sets t =
+  let line =
+    Dts_sched.Schedtypes.block_line_bytes ~width:t.sched.width
+      ~height:t.sched.height
+  in
+  let lines = t.vliw_cache.kb * 1024 / line in
+  let sets = max 1 (lines / t.vliw_cache.assoc) in
+  (* round down to a power of two *)
+  let rec pow2 p = if p * 2 <= sets then pow2 (p * 2) else p in
+  pow2 1
+
+let describe t =
+  Printf.sprintf "%dx%d blocks, %dKB/%d-way VLIW$, I$ %s, D$ %s"
+    t.sched.width t.sched.height t.vliw_cache.kb t.vliw_cache.assoc
+    (match t.icache with Perfect -> "perfect" | Sized { kb; _ } -> Printf.sprintf "%dKB" kb)
+    (match t.dcache with Perfect -> "perfect" | Sized { kb; _ } -> Printf.sprintf "%dKB" kb)

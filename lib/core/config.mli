@@ -1,0 +1,56 @@
+(** DTSVLIW machine configurations (Table 1 and §4.4). *)
+
+(** Instruction/data cache setting: the idealised perfect caches of §4.1,
+    or a sized set-associative cache with a miss penalty. *)
+type cache_cfg =
+  | Perfect
+  | Sized of { kb : int; line : int; assoc : int; penalty : int }
+
+type vliw_cache_cfg = { kb : int; assoc : int }
+
+type t = {
+  sched : Dts_sched.Sched_unit.config;  (** geometry, units, scheduler options *)
+  vliw_cache : vliw_cache_cfg;
+  icache : cache_cfg;
+  dcache : cache_cfg;
+  next_li_penalty : int;
+      (** cycles lost when VLIW fetch crosses into the next block (§4.4) *)
+  next_li_prediction : bool;
+      (** §5 future work: a next-block predictor remembers each block's last
+          exit target; a correct prediction hides the next-long-instruction
+          penalty and the one-cycle redirect bubble *)
+  swap_to_vliw : int;
+      (** pipeline stages discarded/refilled when the VLIW Engine takes
+          over (§3.6) *)
+  swap_to_primary : int;
+  primary_timing : Dts_primary.Primary.timing;
+  store_scheme : Dts_vliw.Engine.store_scheme;
+      (** §3.11: checkpoint recovery (the paper's implemented scheme) or the
+          alternative data-store-list scheme it describes *)
+  memcmp_interval : int;
+      (** full memory comparison against the golden model every N
+          synchronisation points (0 = only at the end of the run) *)
+}
+
+val feasible_slot_classes : Dts_isa.Instr.fu_class option array
+(** §4.4's ten non-homogeneous units: 4 integer, 2 load/store, 2
+    floating-point, 2 branch. *)
+
+val ideal : ?width:int -> ?height:int -> unit -> t
+(** The idealised machine of §4.1: perfect caches, 3072KB 4-way VLIW Cache,
+    no next-long-instruction penalty, homogeneous units; default 8x8. *)
+
+val feasible : unit -> t
+(** The feasible machine of §4.4: 32KB caches with 8-cycle misses, 192KB
+    4-way VLIW Cache, 1-cycle next-long-instruction penalty, the
+    heterogeneous unit mix. *)
+
+val make_cache : cache_cfg -> Dts_mem.Cache.t
+
+val vliw_cache_sets : t -> int
+(** Number of sets of the VLIW Cache for this block geometry: capacity over
+    (decoded block bytes × associativity), rounded down to a power of
+    two. *)
+
+val describe : t -> string
+(** One-line human-readable summary. *)

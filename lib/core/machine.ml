@@ -1,0 +1,360 @@
+(** The DTSVLIW machine: Fetch Unit, engine switching, block chaining and
+    test-mode co-simulation (§3.6, §4).
+
+    The machine always runs in the paper's {e test mode}: a golden
+    sequential machine executes the same program and the full architectural
+    state is compared at every engine switch and block completion. Besides
+    validating the simulation, the golden machine provides the precise
+    sequential instruction count used as the numerator of the
+    instructions-per-cycle metric. *)
+
+open Dts_sched.Schedtypes
+
+exception
+  Test_mode_mismatch of { cycle : int; pc : int; detail : string }
+
+type mode = M_primary | M_vliw of { block : block; mutable idx : int }
+
+(** Pluggable trace scheduler: the DTSVLIW Scheduler Unit by default, or the
+    DIF greedy scheduler ({!Dts_dif}) for the Figure 9 baseline. *)
+type scheduler_iface = {
+  s_tick : unit -> unit;  (** one machine cycle of scheduling work *)
+  s_insert : Dts_primary.Primary.retired -> [ `Ok | `Full ];
+  s_finish : nba_addr:int -> block option;
+}
+
+type t = {
+  cfg : Config.t;
+  st : Dts_isa.State.t;
+  golden : Dts_golden.Golden.t;
+  primary : Dts_primary.Primary.t;
+  sched : scheduler_iface;
+  engine : Dts_vliw.Engine.t;
+  vcache : block Dts_mem.Blockcache.t;
+  icache : Dts_mem.Cache.t;
+  dcache : Dts_mem.Cache.t;
+  mutable mode : mode;
+  mutable cycles : int;
+  mutable vliw_cycles : int;
+  mutable exception_mode : bool;
+  mutable pending_blocks : (int * block) list;  (** (ready cycle, block) *)
+  next_li_predictor : (int, int) Hashtbl.t;
+      (** block tag -> last observed exit target (when enabled) *)
+  mutable nlp_hits : int;
+  mutable nlp_misses : int;
+  mutable halted : bool;
+  mutable syncs : int;
+  (* aggregated statistics *)
+  rr_max : int array;  (** max renaming registers per kind over all blocks *)
+  mutable blocks_flushed : int;
+  mutable slots_filled : int;
+  mutable slots_total : int;
+  mutable block_lis : int;
+  mutable engine_switches : int;
+}
+
+let default_scheduler cfg =
+  let u = Dts_sched.Sched_unit.create cfg.Config.sched in
+  {
+    s_tick = (fun () -> ignore (Dts_sched.Sched_unit.tick u));
+    s_insert = (fun r -> Dts_sched.Sched_unit.insert u r);
+    s_finish = (fun ~nba_addr -> Dts_sched.Sched_unit.finish_block u ~nba_addr);
+  }
+
+let create ?scheduler cfg program =
+  let st = Dts_asm.Program.boot ~nwindows:cfg.Config.sched.nwindows program in
+  let golden_st = Dts_isa.State.copy st in
+  let icache = Config.make_cache cfg.icache in
+  let dcache = Config.make_cache cfg.dcache in
+  let sched =
+    match scheduler with Some f -> f () | None -> default_scheduler cfg
+  in
+  {
+    cfg;
+    st;
+    golden = Dts_golden.Golden.of_state golden_st;
+    primary = Dts_primary.Primary.create ~timing:cfg.primary_timing ~icache ~dcache st;
+    sched;
+    engine = Dts_vliw.Engine.create ~scheme:cfg.store_scheme ~dcache st;
+    vcache =
+      Dts_mem.Blockcache.create ~n_sets:(Config.vliw_cache_sets cfg)
+        ~assoc:cfg.vliw_cache.assoc;
+    icache;
+    dcache;
+    mode = M_primary;
+    cycles = 0;
+    vliw_cycles = 0;
+    exception_mode = false;
+    pending_blocks = [];
+    next_li_predictor = Hashtbl.create 256;
+    nlp_hits = 0;
+    nlp_misses = 0;
+    halted = false;
+    syncs = 0;
+    rr_max = Array.make 4 0;
+    blocks_flushed = 0;
+    slots_filled = 0;
+    slots_total = 0;
+    block_lis = 0;
+    engine_switches = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Test-mode synchronisation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mismatch t detail =
+  raise (Test_mode_mismatch { cycle = t.cycles; pc = t.st.pc; detail })
+
+let state_diff a b =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Dts_isa.State.pp_diff fmt (a, b);
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+(** Advance the golden machine to the DTSVLIW PC and compare states. The
+    same PC can recur (loops), so on a register mismatch the golden machine
+    is stepped past the occurrence and the search continues — a false match
+    would require bit-identical states, which is indistinguishable anyway. *)
+let sync t =
+  let target = t.st.pc in
+  let gst = Dts_golden.Golden.state t.golden in
+  let fuel = ref 40_000_000 in
+  let rec attempt () =
+    if gst.pc = target && (gst.halted = t.st.halted) then begin
+      if Dts_isa.State.regs_equal gst t.st then true
+      else if gst.halted then false
+      else step_past ()
+    end
+    else if gst.halted then false
+    else begin
+      (try Dts_golden.Golden.step t.golden with Dts_golden.Golden.Program_halted -> ());
+      decr fuel;
+      if !fuel <= 0 then false else attempt ()
+    end
+  and step_past () =
+    (try Dts_golden.Golden.step t.golden
+     with Dts_golden.Golden.Program_halted -> ());
+    decr fuel;
+    if !fuel <= 0 then false else attempt ()
+  in
+  if not (attempt ()) then
+    mismatch t
+      (Printf.sprintf "golden model diverged at pc=%#x:\n%s" target
+         (state_diff t.st gst));
+  t.syncs <- t.syncs + 1;
+  if
+    t.cfg.memcmp_interval > 0
+    && t.syncs mod t.cfg.memcmp_interval = 0
+    && not (Dts_mem.Memory.equal t.st.mem gst.mem)
+  then
+    mismatch t
+      (Printf.sprintf "memory diverged near %s"
+         (match Dts_mem.Memory.first_difference t.st.mem gst.mem with
+         | Some a -> Printf.sprintf "%#x" a
+         | None -> "?"))
+
+(* ------------------------------------------------------------------ *)
+(* Block bookkeeping                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let install_ready_blocks t =
+  let ready, waiting =
+    List.partition (fun (c, _) -> c <= t.cycles) t.pending_blocks
+  in
+  List.iter
+    (fun (_, b) -> ignore (Dts_mem.Blockcache.insert t.vcache b.tag_addr b))
+    ready;
+  t.pending_blocks <- waiting
+
+let note_block_stats t (b : block) =
+  t.blocks_flushed <- t.blocks_flushed + 1;
+  t.slots_filled <- t.slots_filled + b.n_slots_filled;
+  t.slots_total <- t.slots_total + (Array.length b.lis * t.cfg.sched.width);
+  t.block_lis <- t.block_lis + Array.length b.lis;
+  Array.iteri (fun k v -> t.rr_max.(k) <- max t.rr_max.(k) v) b.rr_counts
+
+(** Freeze the block under construction; it drains to the VLIW Cache at one
+    long instruction per cycle (§3.2) and becomes visible when done. *)
+let flush_current t ~nba_addr =
+  match t.sched.s_finish ~nba_addr with
+  | None -> ()
+  | Some b ->
+    note_block_stats t b;
+    t.pending_blocks <-
+      t.pending_blocks @ [ (t.cycles + Array.length b.lis, b) ]
+
+let probe t addr =
+  install_ready_blocks t;
+  Dts_mem.Blockcache.find t.vcache addr
+
+(* ------------------------------------------------------------------ *)
+(* Engine transitions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let enter_vliw t block =
+  t.engine_switches <- t.engine_switches + 1;
+  Dts_vliw.Engine.enter_block t.engine block;
+  t.mode <- M_vliw { block; idx = 0 }
+
+(* §5 extension: next-long-instruction prediction. A tiny table remembers
+   each block's most recent exit target; when the prediction is right the
+   engine has already fetched across the boundary, hiding [penalty]. *)
+let predicted_transition t ~tag ~actual ~penalty =
+  if not t.cfg.next_li_prediction then penalty
+  else begin
+    let hit = Hashtbl.find_opt t.next_li_predictor tag = Some actual in
+    Hashtbl.replace t.next_li_predictor tag actual;
+    if hit then begin
+      t.nlp_hits <- t.nlp_hits + 1;
+      0
+    end
+    else begin
+      t.nlp_misses <- t.nlp_misses + 1;
+      penalty
+    end
+  end
+
+let to_primary t =
+  t.cycles <- t.cycles + t.cfg.swap_to_primary;
+  Dts_primary.Primary.reset_hazards t.primary;
+  t.mode <- M_primary
+
+(* ------------------------------------------------------------------ *)
+(* One simulation step                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let step_primary t =
+  (* the Fetch Unit probes the VLIW Cache with the address of the
+     instruction about to execute (§3.6) *)
+  match if t.exception_mode then None else probe t t.st.pc with
+  | Some block ->
+    (* flush the block under construction, pointing it at the hit block *)
+    flush_current t ~nba_addr:t.st.pc;
+    t.cycles <- t.cycles + t.cfg.swap_to_vliw;
+    sync t;
+    enter_vliw t block
+  | None -> (
+    match Dts_primary.Primary.step t.primary with
+    | exception Dts_primary.Primary.Halted ->
+      flush_current t ~nba_addr:t.st.pc;
+      t.halted <- true
+    | r ->
+      t.cycles <- t.cycles + r.cycles;
+      if t.exception_mode then begin
+        if r.trapped then t.exception_mode <- false
+      end
+      else if Dts_isa.Instr.is_ignored_by_scheduler r.instr then
+        t.sched.s_tick ()
+      else if Dts_isa.Instr.is_non_schedulable r.instr || r.trapped then
+        flush_current t ~nba_addr:r.addr
+      else begin
+        (* the Scheduler Unit advances every machine cycle *)
+        for _ = 1 to r.cycles do
+          t.sched.s_tick ()
+        done;
+        match t.sched.s_insert r with
+        | `Ok -> ()
+        | `Full -> (
+          (* flush on full, then the instruction starts the next block *)
+          flush_current t ~nba_addr:r.addr;
+          match t.sched.s_insert r with
+          | `Ok -> ()
+          | `Full -> assert false)
+      end)
+
+open Dts_vliw.Engine
+
+let step t =
+  match t.mode with
+  | M_primary -> step_primary t
+  | M_vliw ({ block; _ } as v) -> (
+    let res, penalty = Dts_vliw.Engine.exec_li t.engine block v.idx in
+    let c = 1 + penalty in
+    t.cycles <- t.cycles + c;
+    t.vliw_cycles <- t.vliw_cycles + c;
+    match res with
+    | R_next -> v.idx <- v.idx + 1
+    | R_block_end { next_addr } -> (
+      t.st.pc <- next_addr;
+      let drain = Dts_vliw.Engine.commit_block t.engine in
+      t.cycles <- t.cycles + drain;
+      t.vliw_cycles <- t.vliw_cycles + drain;
+      sync t;
+      let penalty =
+        predicted_transition t ~tag:block.tag_addr ~actual:next_addr
+          ~penalty:t.cfg.next_li_penalty
+      in
+      match probe t next_addr with
+      | Some b2 ->
+        t.cycles <- t.cycles + penalty;
+        t.vliw_cycles <- t.vliw_cycles + penalty;
+        enter_vliw t b2
+      | None -> to_primary t)
+    | R_redirect { target } -> (
+      t.st.pc <- target;
+      let drain = Dts_vliw.Engine.commit_block t.engine in
+      t.cycles <- t.cycles + drain;
+      t.vliw_cycles <- t.vliw_cycles + drain;
+      (* annulled fetch: one-cycle bubble (§3.5), hidden by a correct
+         next-block prediction *)
+      let penalty =
+        predicted_transition t ~tag:block.tag_addr ~actual:target ~penalty:1
+      in
+      t.cycles <- t.cycles + penalty;
+      t.vliw_cycles <- t.vliw_cycles + penalty;
+      sync t;
+      match probe t target with
+      | Some b2 -> enter_vliw t b2
+      | None -> to_primary t)
+    | R_exn kind ->
+      (* rollback already happened; PC is back at the block start and the
+         golden machine is already there, so compare directly *)
+      (if not (Dts_isa.State.regs_equal (Dts_golden.Golden.state t.golden) t.st)
+       then
+         mismatch t
+           (Printf.sprintf "state after rollback differs:\n%s"
+              (state_diff t.st (Dts_golden.Golden.state t.golden))));
+      (match kind with
+      | Dts_vliw.Engine.E_aliasing ->
+        ignore (Dts_mem.Blockcache.invalidate t.vcache block.tag_addr)
+      | E_trap _ -> t.exception_mode <- true);
+      to_primary t)
+
+(** Run until the program halts or the golden machine has retired at least
+    [max_instructions]. Returns the sequential instruction count. *)
+let run ?(max_instructions = max_int) t =
+  while
+    (not t.halted)
+    && (Dts_golden.Golden.state t.golden).instret < max_instructions
+    && t.st.instret < max_instructions
+  do
+    step t
+  done;
+  (* drain: finish with a final golden sync and a full memory comparison *)
+  if t.halted then begin
+    ignore (Dts_golden.Golden.run t.golden);
+    t.st.pc <- (Dts_golden.Golden.state t.golden).pc;
+    if not (Dts_isa.State.regs_equal (Dts_golden.Golden.state t.golden) t.st)
+    then
+      mismatch t
+        (Printf.sprintf "final state differs:\n%s"
+           (state_diff t.st (Dts_golden.Golden.state t.golden)))
+  end
+  else sync t;
+  if not (Dts_mem.Memory.equal t.st.mem (Dts_golden.Golden.state t.golden).mem)
+  then mismatch t "final memory differs";
+  (Dts_golden.Golden.state t.golden).instret
+
+(** Instructions per cycle, measured the paper's way: sequential
+    instructions (golden count) over DTSVLIW cycles. *)
+let ipc t =
+  float_of_int (Dts_golden.Golden.state t.golden).instret
+  /. float_of_int (max 1 t.cycles)
+
+let vliw_cycle_fraction t =
+  float_of_int t.vliw_cycles /. float_of_int (max 1 t.cycles)
+
+let slot_utilisation t =
+  float_of_int t.slots_filled /. float_of_int (max 1 t.slots_total)

@@ -1,0 +1,81 @@
+(** The DTSVLIW machine: Fetch Unit, engine switching, block chaining and
+    test-mode co-simulation (§3.6, §4).
+
+    The machine always runs in the paper's {e test mode}: a golden
+    sequential machine executes the same program and the complete
+    architectural state is compared at every engine switch and block
+    completion, so any reported cycle count doubles as a machine-checked
+    correctness proof. The golden machine also supplies the sequential
+    instruction count that is the numerator of the IPC metric. *)
+
+exception Test_mode_mismatch of { cycle : int; pc : int; detail : string }
+(** The dynamically scheduled execution diverged from the sequential
+    semantics — always a simulator bug, never expected. *)
+
+type mode =
+  | M_primary
+  | M_vliw of { block : Dts_sched.Schedtypes.block; mutable idx : int }
+
+(** Pluggable trace scheduler: the DTSVLIW Scheduler Unit by default, or
+    the DIF greedy scheduler ({!Dts_dif}) for the Figure 9 baseline. *)
+type scheduler_iface = {
+  s_tick : unit -> unit;  (** one machine cycle of scheduling work *)
+  s_insert : Dts_primary.Primary.retired -> [ `Ok | `Full ];
+  s_finish : nba_addr:int -> Dts_sched.Schedtypes.block option;
+}
+
+type t = {
+  cfg : Config.t;
+  st : Dts_isa.State.t;  (** the architectural state (shared by engines) *)
+  golden : Dts_golden.Golden.t;  (** the test-mode reference machine *)
+  primary : Dts_primary.Primary.t;
+  sched : scheduler_iface;
+  engine : Dts_vliw.Engine.t;
+  vcache : Dts_sched.Schedtypes.block Dts_mem.Blockcache.t;  (** VLIW Cache *)
+  icache : Dts_mem.Cache.t;
+  dcache : Dts_mem.Cache.t;
+  mutable mode : mode;
+  mutable cycles : int;  (** total machine cycles *)
+  mutable vliw_cycles : int;  (** cycles spent in the VLIW Engine *)
+  mutable exception_mode : bool;  (** §3.11: scheduling disabled until the
+                                      exception repeats in the Primary *)
+  mutable pending_blocks : (int * Dts_sched.Schedtypes.block) list;
+      (** blocks draining to the VLIW Cache: (ready cycle, block) *)
+  next_li_predictor : (int, int) Hashtbl.t;
+      (** §5 extension: block tag -> last observed exit target *)
+  mutable nlp_hits : int;
+  mutable nlp_misses : int;
+  mutable halted : bool;
+  mutable syncs : int;
+  rr_max : int array;
+      (** max renaming registers used by any block, per {!Dts_sched.Schedtypes.rr_kind} *)
+  mutable blocks_flushed : int;
+  mutable slots_filled : int;
+  mutable slots_total : int;
+  mutable block_lis : int;
+  mutable engine_switches : int;
+}
+
+val create : ?scheduler:(unit -> scheduler_iface) -> Config.t -> Dts_asm.Program.t -> t
+(** Boot [program] into a fresh machine. [scheduler] overrides the default
+    DTSVLIW Scheduler Unit (used by the DIF baseline). *)
+
+val step : t -> unit
+(** One simulation step: one Primary instruction or one long instruction.
+    @raise Test_mode_mismatch on architectural divergence. *)
+
+val run : ?max_instructions:int -> t -> int
+(** Run until the program halts or the golden machine has retired
+    [max_instructions]; returns the sequential instruction count. Performs
+    a final full-state (including memory) comparison. *)
+
+val ipc : t -> float
+(** Sequential instructions / DTSVLIW cycles — the paper's metric. *)
+
+val vliw_cycle_fraction : t -> float
+(** Fraction of cycles spent executing long instructions (Table 3's "VLIW
+    Engine Execution Cycles"). *)
+
+val slot_utilisation : t -> float
+(** Fraction of long-instruction slots filled in flushed blocks (§4.4
+    reports 33% for the paper's machine). *)

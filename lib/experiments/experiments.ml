@@ -1,0 +1,469 @@
+(** The evaluation harness: one entry per table and figure of the paper's
+    §4, plus the ablation studies promised in DESIGN.md.
+
+    Every run executes in test mode (golden co-simulation), so a reported
+    number is also a proof that the simulated machine computed the same
+    architectural states as a sequential SRISC machine. IPC is the paper's
+    metric: sequential instructions (test-machine count) / DTSVLIW cycles. *)
+
+type run = {
+  workload : string;
+  ipc : float;
+  cycles : int;
+  instructions : int;
+  vliw_fraction : float;
+  slot_utilisation : float;
+  rr_max : int array;  (** int, fp, flag, mem *)
+  max_load_list : int;
+  max_store_list : int;
+  max_recovery_list : int;
+  aliasing_exceptions : int;
+  blocks : int;
+}
+
+let budget_default = 150_000
+
+let collect (m : Dts_core.Machine.t) workload instructions =
+  let e = m.engine.stats in
+  {
+    workload;
+    ipc = float_of_int instructions /. float_of_int (max 1 m.cycles);
+    cycles = m.cycles;
+    instructions;
+    vliw_fraction = Dts_core.Machine.vliw_cycle_fraction m;
+    slot_utilisation = Dts_core.Machine.slot_utilisation m;
+    rr_max = Array.copy m.rr_max;
+    max_load_list = e.max_load_list;
+    max_store_list = e.max_store_list;
+    max_recovery_list = e.max_recovery_list;
+    aliasing_exceptions = e.aliasing_exceptions;
+    blocks = m.blocks_flushed;
+  }
+
+(** Run one workload on a DTSVLIW configuration. *)
+let run_dtsvliw ?(scale = 1) ?(budget = budget_default) cfg name =
+  let w = Dts_workloads.Workloads.find name in
+  let program = Dts_workloads.Workloads.program ~scale w in
+  let m = Dts_core.Machine.create cfg program in
+  let n = Dts_core.Machine.run ~max_instructions:budget m in
+  collect m name n
+
+(** Run one workload on the DIF baseline. *)
+let run_dif ?(scale = 1) ?(budget = budget_default) ?dif_cfg machine_cfg name =
+  let w = Dts_workloads.Workloads.find name in
+  let program = Dts_workloads.Workloads.program ~scale w in
+  let m, dif = Dts_dif.Dif.machine ?cfg:dif_cfg ~machine_cfg program in
+  let n = Dts_core.Machine.run ~max_instructions:budget m in
+  (collect m name n, dif)
+
+let workload_names = List.map (fun w -> w.Dts_workloads.Workloads.name) Dts_workloads.Workloads.all
+
+let avg xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 and Table 2: fixed parameters and benchmarks                 *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  Dts_report.Report.table ~title:"Table 1: fixed machine parameters"
+    ~headers:[ "parameter"; "value" ]
+    [
+      [ "Primary Processor"; "4-stage pipeline (fetch, decode, execute, write back)" ];
+      [ "branch prediction"; "none; not-taken branches cost a 3-cycle bubble" ];
+      [ "load-use hazard"; "1-cycle bubble" ];
+      [ "decoded instruction size"; "6 bytes" ];
+      [ "instruction latency"; "1 cycle" ];
+      [ "VLIW Engine lists"; "load/store/checkpoint-recovery: unlimited (high-water tracked)" ];
+      [ "renaming registers"; "integer/fp/flag/memory: unlimited (high-water tracked)" ];
+      [ "Scheduler Unit pipe"; "insert+split / move-up (1 per list element) / save: 1 li per cycle" ];
+      [ "register windows"; "32 (spill/fill trap microroutine)" ];
+    ]
+
+let table2 () =
+  Dts_report.Report.table ~title:"Table 2: benchmark programs (SPECint95 analogues)"
+    ~headers:[ "benchmark"; "mirrors"; "character" ]
+    (List.map
+       (fun (w : Dts_workloads.Workloads.t) -> [ w.name; w.mirrors; w.character ])
+       Dts_workloads.Workloads.all)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: block size and geometry (idealised machine)                *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_geometries =
+  [ (4, 4); (8, 4); (4, 8); (16, 4); (4, 16); (8, 8); (16, 8); (8, 16); (16, 16) ]
+
+(** The first sub-chart of Figure 5 explores extreme geometries: very wide
+    single long instructions (96x1, 384x1) against the same block sizes
+    folded into 2, 4 and 8 long instructions. *)
+let fig5a_geometries =
+  [ (96, 1); (384, 1); (96, 2); (384, 2); (96, 4); (384, 4); (96, 8); (384, 8) ]
+
+let geometry_sweep ~title ~geometries ?scale ?budget () =
+  let lines =
+    List.map
+      (fun (w, h) ->
+        let label = Printf.sprintf "%dx%d" w h in
+        let ipcs =
+          List.map
+            (fun name ->
+              (run_dtsvliw ?scale ?budget (Dts_core.Config.ideal ~width:w ~height:h ()) name).ipc)
+            workload_names
+        in
+        (label, List.map Dts_report.Report.f2 ipcs @ [ Dts_report.Report.f2 (avg ipcs) ]))
+      geometries
+  in
+  Dts_report.Report.series_table ~title ~x_label:"benchmark"
+    ~x_values:(workload_names @ [ "average" ])
+    lines
+
+let fig5a ?scale ?budget () =
+  geometry_sweep
+    ~title:
+      "Figure 5a: IPC for very wide blocks (instructions/li x li/block); \
+       perfect caches, 3072KB VLIW$"
+    ~geometries:fig5a_geometries ?scale ?budget ()
+
+let fig5 ?scale ?budget () =
+  geometry_sweep
+    ~title:
+      "Figure 5b: IPC vs block geometry (instructions/li x li/block); \
+       perfect caches, 3072KB VLIW$, no next-li penalty"
+    ~geometries:fig5_geometries ?scale ?budget ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: VLIW Cache size (8x8 geometry, associativity 4)            *)
+(* ------------------------------------------------------------------ *)
+
+let fig6_sizes_kb = [ 48; 96; 192; 384; 768; 1536; 3072 ]
+
+let fig6 ?scale ?budget () =
+  let lines =
+    List.map
+      (fun kb ->
+        let cfg =
+          { (Dts_core.Config.ideal ()) with vliw_cache = { kb; assoc = 4 } }
+        in
+        let ipcs =
+          List.map (fun name -> (run_dtsvliw ?scale ?budget cfg name).ipc) workload_names
+        in
+        (Printf.sprintf "%dKB" kb,
+         List.map Dts_report.Report.f2 ipcs @ [ Dts_report.Report.f2 (avg ipcs) ]))
+      fig6_sizes_kb
+  in
+  Dts_report.Report.series_table
+    ~title:"Figure 6: IPC vs VLIW Cache size (8x8 blocks, 4-way)"
+    ~x_label:"benchmark"
+    ~x_values:(workload_names @ [ "average" ])
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: VLIW Cache associativity (96KB and 384KB, 8x8)             *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 ?scale ?budget () =
+  let lines =
+    List.concat_map
+      (fun kb ->
+        List.map
+          (fun assoc ->
+            let cfg =
+              { (Dts_core.Config.ideal ()) with vliw_cache = { kb; assoc } }
+            in
+            let ipcs =
+              List.map (fun name -> (run_dtsvliw ?scale ?budget cfg name).ipc) workload_names
+            in
+            (Printf.sprintf "%dKB/%d-way" kb assoc,
+             List.map Dts_report.Report.f2 ipcs
+             @ [ Dts_report.Report.f2 (avg ipcs) ]))
+          [ 1; 2; 4; 8 ])
+      [ 96; 384 ]
+  in
+  Dts_report.Report.series_table
+    ~title:"Figure 7: IPC vs VLIW Cache associativity (8x8 blocks)"
+    ~x_label:"benchmark"
+    ~x_values:(workload_names @ [ "average" ])
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: feasible machine cost breakdown (differential ablation)    *)
+(* ------------------------------------------------------------------ *)
+
+(** The stacked bars of Figure 8 are regenerated by a chain of
+    configurations, each adding one cost source; the difference between
+    consecutive IPCs is that source's cost. *)
+let fig8_chain () =
+  let feasible = Dts_core.Config.feasible () in
+  let ideal_width =
+    (* step A: same issue width, homogeneous units, perfect caches *)
+    {
+      feasible with
+      sched = { feasible.sched with slot_classes = None };
+      icache = Dts_core.Config.Perfect;
+      dcache = Dts_core.Config.Perfect;
+      next_li_penalty = 0;
+      vliw_cache = { kb = 3072; assoc = 4 };
+    }
+  in
+  let with_fu =
+    { ideal_width with sched = feasible.sched; vliw_cache = feasible.vliw_cache }
+  in
+  let with_icache = { with_fu with icache = feasible.icache } in
+  let with_dcache = { with_icache with dcache = feasible.dcache } in
+  [
+    ("ideal", ideal_width);
+    ("+FU mix & 192KB VLIW$", with_fu);
+    ("+I-cache", with_icache);
+    ("+D-cache", with_dcache);
+    ("feasible (+next-li)", feasible);
+  ]
+
+let fig8 ?scale ?budget () =
+  let chain = fig8_chain () in
+  let per_wl =
+    List.map
+      (fun name ->
+        let ipcs =
+          List.map (fun (_, cfg) -> (run_dtsvliw ?scale ?budget cfg name).ipc) chain
+        in
+        (name, ipcs))
+      workload_names
+  in
+  let headers =
+    [ "benchmark"; "ILP"; "NextLI cost"; "D$ cost"; "I$ cost"; "FU cost"; "ideal" ]
+  in
+  let rows =
+    List.map
+      (fun (name, ipcs) ->
+        match ipcs with
+        | [ a; b; c; d; e ] ->
+          [
+            name;
+            Dts_report.Report.f2 e;
+            Dts_report.Report.f2 (d -. e);
+            Dts_report.Report.f2 (c -. d);
+            Dts_report.Report.f2 (b -. c);
+            Dts_report.Report.f2 (a -. b);
+            Dts_report.Report.f2 a;
+          ]
+        | _ -> assert false)
+      per_wl
+  in
+  Dts_report.Report.table
+    ~title:
+      "Figure 8: feasible machine cost breakdown (stacked: ILP + cost \
+       components = ideal IPC)"
+    ~headers rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: performance and resources of the feasible machine           *)
+(* ------------------------------------------------------------------ *)
+
+let table3 ?scale ?budget () =
+  let runs =
+    List.map (fun name -> run_dtsvliw ?scale ?budget (Dts_core.Config.feasible ()) name) workload_names
+  in
+  let headers =
+    [
+      "metric";
+    ]
+    @ workload_names @ [ "average" ]
+  in
+  let metric name get fmt =
+    (name :: List.map (fun r -> fmt (get r)) runs)
+    @ [ fmt (avg (List.map get runs)) ]
+  in
+  let fi v = string_of_int (int_of_float (Float.round v)) in
+  let rows =
+    [
+      metric "Instructions per Cycle" (fun r -> r.ipc) Dts_report.Report.f2;
+      metric "Integer Renaming Registers" (fun r -> float_of_int r.rr_max.(0)) fi;
+      metric "F.P. Renaming Registers" (fun r -> float_of_int r.rr_max.(1)) fi;
+      metric "Flag Renaming Registers" (fun r -> float_of_int r.rr_max.(2)) fi;
+      metric "Memory Renaming Registers" (fun r -> float_of_int r.rr_max.(3)) fi;
+      metric "Load List Size" (fun r -> float_of_int r.max_load_list) fi;
+      metric "Store List Size" (fun r -> float_of_int r.max_store_list) fi;
+      metric "Checkpoint Rec. Store List"
+        (fun r -> float_of_int r.max_recovery_list)
+        fi;
+      metric "Aliasing Exceptions" (fun r -> float_of_int r.aliasing_exceptions) fi;
+      metric "VLIW Engine Execution Cycles" (fun r -> r.vliw_fraction)
+        Dts_report.Report.pct;
+      metric "Slot Utilisation" (fun r -> r.slot_utilisation) Dts_report.Report.pct;
+    ]
+  in
+  Dts_report.Report.table
+    ~title:"Table 3: performance and resource consumption of the feasible machine"
+    ~headers rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: DTSVLIW vs DIF                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** The DTSVLIW side of Figure 9 uses the paper's comparison parameters:
+    6x6 blocks, 4 homogeneous + 2 branch units, 4KB I/D caches with 2-cycle
+    misses, 216KB VLIW Cache (512x2 blocks). *)
+let fig9_dtsvliw_cfg () =
+  let base = Dts_dif.Dif.fig9_machine_cfg () in
+  let classes =
+    [| None; None; None; None; Some Dts_isa.Instr.Fu_br; Some Dts_isa.Instr.Fu_br |]
+  in
+  { base with sched = { base.sched with slot_classes = Some classes } }
+
+let fig9 ?scale ?budget () =
+  let dts =
+    List.map
+      (fun name -> (run_dtsvliw ?scale ?budget (fig9_dtsvliw_cfg ()) name).ipc)
+      workload_names
+  in
+  let dif_runs =
+    List.map
+      (fun name -> run_dif ?scale ?budget (Dts_dif.Dif.fig9_machine_cfg ()) name)
+      workload_names
+  in
+  let dif = List.map (fun (r, _) -> r.ipc) dif_runs in
+  let rows =
+    List.map2
+      (fun name (a, b) ->
+        [ name; Dts_report.Report.f2 a; Dts_report.Report.f2 b ])
+      workload_names
+      (List.combine dts dif)
+    @ [
+        [
+          "average";
+          Dts_report.Report.f2 (avg dts);
+          Dts_report.Report.f2 (avg dif);
+        ];
+      ]
+  in
+  let resources =
+    let dts_rr =
+      List.map
+        (fun name -> (run_dtsvliw ?scale ?budget (fig9_dtsvliw_cfg ()) name).rr_max)
+        [ "compress" ]
+      |> List.hd
+    in
+    Printf.sprintf
+      "Resources: DTSVLIW renaming registers (compress, max/block): %d int, \
+       %d fp | DIF register instances: %d int + %d fp (4 per register)\n"
+      dts_rr.(0) dts_rr.(1) (24 * 4) (24 * 4)
+  in
+  Dts_report.Report.table
+    ~title:"Figure 9: DTSVLIW vs DIF (6x6 blocks, 4KB I/D caches, 512x2-block code cache)"
+    ~headers:[ "benchmark"; "DTSVLIW"; "DIF" ]
+    rows
+  ^ resources
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (beyond the paper; design choices called out in DESIGN.md) *)
+(* ------------------------------------------------------------------ *)
+
+let ablations =
+  [
+    ("baseline", fun (c : Dts_core.Config.t) -> c);
+    ( "no renaming",
+      fun c -> { c with sched = { c.sched with renaming = false } } );
+    ( "no re-split on control",
+      fun c -> { c with sched = { c.sched with resplit_on_control = false } } );
+    ( "no load/store motion",
+      fun c -> { c with sched = { c.sched with mem_motion = false } } );
+    ( "strict control insert",
+      fun c -> { c with sched = { c.sched with strict_control_insert = true } } );
+  ]
+
+let ablation ?scale ?budget () =
+  let base = Dts_core.Config.ideal () in
+  let lines =
+    List.map
+      (fun (label, f) ->
+        let cfg = f base in
+        let ipcs =
+          List.map (fun name -> (run_dtsvliw ?scale ?budget cfg name).ipc) workload_names
+        in
+        (label, List.map Dts_report.Report.f2 ipcs @ [ Dts_report.Report.f2 (avg ipcs) ]))
+      ablations
+  in
+  Dts_report.Report.series_table
+    ~title:"Ablation: scheduler design choices (ideal 8x8 machine)"
+    ~x_label:"benchmark"
+    ~x_values:(workload_names @ [ "average" ])
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Extensions: the paper's §5 future work and §3.11 alternative, measured  *)
+(* ------------------------------------------------------------------ *)
+
+(** Next-long-instruction prediction (§5), the data-store-list exception
+    scheme (§3.11's "has not been used" alternative), and multicycle
+    functional units ([14]) — each against the feasible machine. *)
+let extensions ?scale ?budget () =
+  let feasible = Dts_core.Config.feasible () in
+  let variants =
+    [
+      ("feasible baseline", feasible);
+      ("+ next-li prediction", { feasible with next_li_prediction = true });
+      ( "data-store-list scheme",
+        { feasible with store_scheme = Dts_vliw.Engine.Data_store_list } );
+      ( "multicycle units (ld2/mul3/div8)",
+        {
+          feasible with
+          sched =
+            { feasible.sched with latencies = Dts_isa.Instr.multicycle_latencies };
+          primary_timing =
+            {
+              feasible.primary_timing with
+              latencies = Dts_isa.Instr.multicycle_latencies;
+            };
+        } );
+    ]
+  in
+  let lines =
+    List.map
+      (fun (label, cfg) ->
+        let ipcs =
+          List.map (fun name -> (run_dtsvliw ?scale ?budget cfg name).ipc) workload_names
+        in
+        (label, List.map Dts_report.Report.f2 ipcs @ [ Dts_report.Report.f2 (avg ipcs) ]))
+      variants
+  in
+  Dts_report.Report.series_table
+    ~title:
+      "Extensions (beyond the paper): next-li prediction (sec. 5), data store \
+       list (sec. 3.11), multicycle units ([14])"
+    ~x_label:"benchmark"
+    ~x_values:(workload_names @ [ "average" ])
+    lines
+
+(* ------------------------------------------------------------------ *)
+
+let all ?scale ?budget () =
+  String.concat "\n"
+    [
+      table1 ();
+      table2 ();
+      fig5a ?scale ?budget ();
+      fig5 ?scale ?budget ();
+      fig6 ?scale ?budget ();
+      fig7 ?scale ?budget ();
+      fig8 ?scale ?budget ();
+      table3 ?scale ?budget ();
+      fig9 ?scale ?budget ();
+      ablation ?scale ?budget ();
+      extensions ?scale ?budget ();
+    ]
+
+let by_name =
+  [
+    ("table1", fun ?scale ?budget () -> ignore scale; ignore budget; table1 ());
+    ("table2", fun ?scale ?budget () -> ignore scale; ignore budget; table2 ());
+    ("fig5a", fig5a);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("table3", table3);
+    ("fig9", fig9);
+    ("ablation", ablation);
+    ("extensions", extensions);
+    ("all", all);
+  ]

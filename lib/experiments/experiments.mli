@@ -1,0 +1,54 @@
+(** The evaluation harness: one entry per table and figure of the paper's
+    §4, plus ablations and the measured extensions.
+
+    Every run executes in test mode (golden co-simulation), so a reported
+    number is also a proof that the simulated machine computed the same
+    architectural states as a sequential SRISC machine. IPC is the paper's
+    metric: sequential instructions (test-machine count) over DTSVLIW
+    cycles. All entry points render a ready-to-print text table. *)
+
+(** Everything measured in one simulation run. *)
+type run = {
+  workload : string;
+  ipc : float;
+  cycles : int;
+  instructions : int;
+  vliw_fraction : float;
+  slot_utilisation : float;
+  rr_max : int array;  (** int, fp, flag, mem renaming register high water *)
+  max_load_list : int;
+  max_store_list : int;
+  max_recovery_list : int;
+  aliasing_exceptions : int;
+  blocks : int;
+}
+
+val run_dtsvliw : ?scale:int -> ?budget:int -> Dts_core.Config.t -> string -> run
+(** Run one named workload on a DTSVLIW configuration. *)
+
+val run_dif :
+  ?scale:int -> ?budget:int -> ?dif_cfg:Dts_dif.Dif.config ->
+  Dts_core.Config.t -> string -> run * Dts_dif.Dif.t
+(** Run one named workload on the DIF baseline. *)
+
+val workload_names : string list
+
+val fig9_dtsvliw_cfg : unit -> Dts_core.Config.t
+(** The DTSVLIW side of Figure 9: 6x6 blocks, 4 universal + 2 branch units,
+    4KB caches. *)
+
+val table1 : unit -> string
+val table2 : unit -> string
+val fig5a : ?scale:int -> ?budget:int -> unit -> string
+val fig5 : ?scale:int -> ?budget:int -> unit -> string
+val fig6 : ?scale:int -> ?budget:int -> unit -> string
+val fig7 : ?scale:int -> ?budget:int -> unit -> string
+val fig8 : ?scale:int -> ?budget:int -> unit -> string
+val table3 : ?scale:int -> ?budget:int -> unit -> string
+val fig9 : ?scale:int -> ?budget:int -> unit -> string
+val ablation : ?scale:int -> ?budget:int -> unit -> string
+val extensions : ?scale:int -> ?budget:int -> unit -> string
+val all : ?scale:int -> ?budget:int -> unit -> string
+
+val by_name : (string * (?scale:int -> ?budget:int -> unit -> string)) list
+(** Name → generator registry used by [bin/experiments] and the bench. *)

@@ -1,0 +1,63 @@
+(** The golden reference machine — the paper's "test machine" (§4).
+
+    A purely sequential SRISC interpreter with no timing model. It is used
+    to (a) validate the DTSVLIW and DIF machines instruction-by-instruction
+    in test mode, and (b) count the number of instructions needed for the
+    sequential execution of a program, which is the numerator of the paper's
+    instructions-per-cycle metric (a DTSVLIW alone cannot provide it because
+    of copy instructions and speculation, §4). *)
+
+exception Program_halted
+
+type t = { st : Dts_isa.State.t }
+
+let create ?(nwindows = 32) ?mem () =
+  { st = Dts_isa.State.create ~nwindows ?mem () }
+
+let of_state st = { st }
+let state t = t.st
+
+(** Execute exactly one instruction. Raises {!Program_halted} on [Halt]. *)
+let step t =
+  let st = t.st in
+  if st.halted then raise Program_halted;
+  let pc = st.pc in
+  let instr = Dts_isa.Encode.fetch st.mem ~addr:pc in
+  if instr = Dts_isa.Instr.Halt then begin
+    st.halted <- true;
+    st.instret <- st.instret + 1;
+    raise Program_halted
+  end;
+  let out = Dts_isa.Semantics.exec st ~cwp:st.cwp ~pc instr in
+  let out =
+    match out.trap with
+    | None -> out
+    | Some trap -> Dts_isa.Semantics.service_and_exec st ~cwp:st.cwp ~pc instr trap
+  in
+  Dts_isa.Semantics.apply st out
+
+(** Run until [Halt] or until [max_instructions] more instructions have
+    retired; returns the number retired by this call. *)
+let run ?max_instructions t =
+  let budget = match max_instructions with Some n -> n | None -> max_int in
+  let start = t.st.instret in
+  (try
+     while t.st.instret - start < budget do
+       step t
+     done
+   with Program_halted -> ());
+  t.st.instret - start
+
+(** Step until the golden PC equals [pc] or the budget runs out — the test
+    mode synchronisation primitive ("runs until its PC becomes equal to the
+    DTSVLIW PC"). Returns [false] if the budget was exhausted first. *)
+let run_until_pc ?(fuel = 10_000_000) t ~pc =
+  let rec go fuel =
+    if t.st.pc = pc && not t.st.halted then true
+    else if fuel = 0 then false
+    else begin
+      (try step t with Program_halted -> ());
+      if t.st.halted then t.st.pc = pc else go (fuel - 1)
+    end
+  in
+  go fuel

@@ -1,0 +1,31 @@
+(** The golden reference machine — the paper's "test machine" (§4).
+
+    A purely sequential SRISC interpreter with no timing model, used to
+    validate the DTSVLIW and DIF machines instruction by instruction and to
+    count the sequential instructions that form the numerator of the
+    instructions-per-cycle metric. *)
+
+exception Program_halted
+
+type t
+
+val create : ?nwindows:int -> ?mem:Dts_mem.Memory.t -> unit -> t
+(** A fresh machine; [nwindows] defaults to 32. *)
+
+val of_state : Dts_isa.State.t -> t
+(** Wrap an existing architectural state (used by the co-simulation, which
+    boots two identical states and hands one to the golden machine). *)
+
+val state : t -> Dts_isa.State.t
+
+val step : t -> unit
+(** Execute exactly one instruction, servicing traps in place.
+    @raise Program_halted on [Halt]. *)
+
+val run : ?max_instructions:int -> t -> int
+(** Run until [Halt] or the budget; returns instructions retired by this
+    call. *)
+
+val run_until_pc : ?fuel:int -> t -> pc:int -> bool
+(** Step until the PC equals [pc] ([false] if the fuel ran out first) — the
+    test-mode synchronisation primitive. *)

@@ -1,0 +1,104 @@
+(** SPARC-flavoured disassembly for diagnostics, the assembler's error
+    messages and the scheduling-list pretty printer. *)
+
+let reg_name r =
+  if r = 14 then "%sp"
+  else if r = 30 then "%fp"
+  else
+    let bank, idx =
+      if r < 8 then ("g", r)
+      else if r < 16 then ("o", r - 8)
+      else if r < 24 then ("l", r - 16)
+      else ("i", r - 24)
+    in
+    Printf.sprintf "%%%s%d" bank idx
+
+let operand = function
+  | Instr.Reg r -> reg_name r
+  | Instr.Imm v -> string_of_int v
+
+let alu_name : Instr.alu -> string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | And -> "and"
+  | Andn -> "andn"
+  | Or -> "or"
+  | Orn -> "orn"
+  | Xor -> "xor"
+  | Xnor -> "xnor"
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Smul -> "smul"
+  | Umul -> "umul"
+  | Sdiv -> "sdiv"
+  | Udiv -> "udiv"
+
+let cond_name : Instr.cond -> string = function
+  | A -> "a"
+  | E -> "e"
+  | NE -> "ne"
+  | L -> "l"
+  | LE -> "le"
+  | G -> "g"
+  | GE -> "ge"
+  | LU -> "lu"
+  | LEU -> "leu"
+  | GU -> "gu"
+  | GEU -> "geu"
+  | Neg -> "neg"
+  | Pos -> "pos"
+
+let lsize_name : Instr.lsize -> string = function
+  | Lsb -> "ldsb"
+  | Lub -> "ldub"
+  | Lsh -> "ldsh"
+  | Luh -> "lduh"
+  | Lw -> "ld"
+
+let ssize_name : Instr.ssize -> string = function
+  | Sb -> "stb"
+  | Sh -> "sth"
+  | Sw -> "st"
+
+let fpu_name : Instr.fpu -> string = function
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | Fitos -> "fitos"
+  | Fstoi -> "fstoi"
+
+let to_string (instr : Instr.t) =
+  match instr with
+  | Nop -> "nop"
+  | Halt -> "halt"
+  | Trap n -> Printf.sprintf "trap %d" n
+  | Alu { op; cc; rs1; op2; rd } ->
+    Printf.sprintf "%s%s %s, %s, %s" (alu_name op)
+      (if cc then "cc" else "")
+      (reg_name rs1) (operand op2) (reg_name rd)
+  | Sethi { imm; rd } -> Printf.sprintf "sethi %#x, %s" imm (reg_name rd)
+  | Load { size; rs1; op2; rd } ->
+    Printf.sprintf "%s [%s+%s], %s" (lsize_name size) (reg_name rs1)
+      (operand op2) (reg_name rd)
+  | Store { size; rs; rs1; op2 } ->
+    Printf.sprintf "%s %s, [%s+%s]" (ssize_name size) (reg_name rs)
+      (reg_name rs1) (operand op2)
+  | Branch { cond; target } ->
+    Printf.sprintf "b%s %#x" (cond_name cond) target
+  | Call { target } -> Printf.sprintf "call %#x" target
+  | Jmpl { rs1; op2; rd } ->
+    Printf.sprintf "jmpl [%s+%s], %s" (reg_name rs1) (operand op2)
+      (reg_name rd)
+  | Save { rs1; op2; rd } ->
+    Printf.sprintf "save %s, %s, %s" (reg_name rs1) (operand op2) (reg_name rd)
+  | Restore { rs1; op2; rd } ->
+    Printf.sprintf "restore %s, %s, %s" (reg_name rs1) (operand op2)
+      (reg_name rd)
+  | Fpop { op; rs1; rs2; rd } ->
+    Printf.sprintf "%s %%f%d, %%f%d, %%f%d" (fpu_name op) rs1 rs2 rd
+  | Fload { rs1; op2; rd } ->
+    Printf.sprintf "ldf [%s+%s], %%f%d" (reg_name rs1) (operand op2) rd
+  | Fstore { rd; rs1; op2 } ->
+    Printf.sprintf "stf %%f%d, [%s+%s]" rd (reg_name rs1) (operand op2)

@@ -1,0 +1,270 @@
+(** Binary instruction encoding.
+
+    Instructions are fixed 32-bit words. Branch and call targets are stored
+    as signed word displacements relative to the instruction's own address,
+    so decoding needs the PC. The layout is SRISC's own (it does not mimic
+    SPARC bit-for-bit); what matters to the machine model is that programs
+    exist as binary images in simulated memory, fetched through the
+    instruction cache. *)
+
+exception Decode_error of { pc : int; word : int; reason : string }
+
+let signed v bits =
+  let shift = Sys.int_size - bits in
+  (v lsl shift) asr shift
+
+let field v lo bits = (v lsr lo) land ((1 lsl bits) - 1)
+
+let check name v bits =
+  if v < 0 || v lsr bits <> 0 then
+    invalid_arg (Printf.sprintf "Encode: %s = %d out of %d bits" name v bits)
+
+let check_signed name v bits =
+  let lim = 1 lsl (bits - 1) in
+  if v < -lim || v >= lim then
+    invalid_arg (Printf.sprintf "Encode: %s = %d out of signed %d bits" name v bits)
+
+let alu_code : Instr.alu -> int = function
+  | Add -> 0
+  | Sub -> 1
+  | And -> 2
+  | Andn -> 3
+  | Or -> 4
+  | Orn -> 5
+  | Xor -> 6
+  | Xnor -> 7
+  | Sll -> 8
+  | Srl -> 9
+  | Sra -> 10
+  | Smul -> 11
+  | Umul -> 12
+  | Sdiv -> 13
+  | Udiv -> 14
+
+let alu_of_code = function
+  | 0 -> Instr.Add
+  | 1 -> Sub
+  | 2 -> And
+  | 3 -> Andn
+  | 4 -> Or
+  | 5 -> Orn
+  | 6 -> Xor
+  | 7 -> Xnor
+  | 8 -> Sll
+  | 9 -> Srl
+  | 10 -> Sra
+  | 11 -> Smul
+  | 12 -> Umul
+  | 13 -> Sdiv
+  | 14 -> Udiv
+  | n -> invalid_arg (Printf.sprintf "alu_of_code %d" n)
+
+let cond_code : Instr.cond -> int = function
+  | A -> 0
+  | E -> 1
+  | NE -> 2
+  | L -> 3
+  | LE -> 4
+  | G -> 5
+  | GE -> 6
+  | LU -> 7
+  | LEU -> 8
+  | GU -> 9
+  | GEU -> 10
+  | Neg -> 11
+  | Pos -> 12
+
+let cond_of_code = function
+  | 0 -> Instr.A
+  | 1 -> E
+  | 2 -> NE
+  | 3 -> L
+  | 4 -> LE
+  | 5 -> G
+  | 6 -> GE
+  | 7 -> LU
+  | 8 -> LEU
+  | 9 -> GU
+  | 10 -> GEU
+  | 11 -> Neg
+  | 12 -> Pos
+  | n -> invalid_arg (Printf.sprintf "cond_of_code %d" n)
+
+let lsize_code : Instr.lsize -> int = function
+  | Lsb -> 0
+  | Lub -> 1
+  | Lsh -> 2
+  | Luh -> 3
+  | Lw -> 4
+
+let lsize_of_code = function
+  | 0 -> Instr.Lsb
+  | 1 -> Lub
+  | 2 -> Lsh
+  | 3 -> Luh
+  | 4 -> Lw
+  | n -> invalid_arg (Printf.sprintf "lsize_of_code %d" n)
+
+let ssize_code : Instr.ssize -> int = function Sb -> 0 | Sh -> 1 | Sw -> 2
+
+let ssize_of_code = function
+  | 0 -> Instr.Sb
+  | 1 -> Sh
+  | 2 -> Sw
+  | n -> invalid_arg (Printf.sprintf "ssize_of_code %d" n)
+
+let fpu_code : Instr.fpu -> int = function
+  | Fadd -> 0
+  | Fsub -> 1
+  | Fmul -> 2
+  | Fdiv -> 3
+  | Fitos -> 4
+  | Fstoi -> 5
+
+let fpu_of_code = function
+  | 0 -> Instr.Fadd
+  | 1 -> Fsub
+  | 2 -> Fmul
+  | 3 -> Fdiv
+  | 4 -> Fitos
+  | 5 -> Fstoi
+  | n -> invalid_arg (Printf.sprintf "fpu_of_code %d" n)
+
+let op2_bits (op2 : Instr.operand) =
+  match op2 with
+  | Reg r ->
+    check "op2 reg" r 5;
+    r
+  | Imm v ->
+    check_signed "op2 imm" v 12;
+    (1 lsl 12) lor (v land 0xFFF)
+
+let op2_of_bits ~i ~imm12 =
+  if i = 0 then Instr.Reg (imm12 land 0x1F) else Instr.Imm (signed imm12 12)
+
+let disp ~pc ~target bits =
+  let d = (target - pc) asr 2 in
+  check_signed "displacement" d bits;
+  d land ((1 lsl bits) - 1)
+
+(** [encode ~pc instr] is the 32-bit word for [instr] placed at [pc]. *)
+let encode ~pc (instr : Instr.t) =
+  let rfield name r =
+    check name r 5;
+    r
+  in
+  match instr with
+  | Nop -> 0
+  | Alu { op; cc; rs1; op2; rd } ->
+    (1 lsl 28)
+    lor (alu_code op lsl 24)
+    lor ((if cc then 1 else 0) lsl 23)
+    lor (rfield "rs1" rs1 lsl 18)
+    lor (rfield "rd" rd lsl 13)
+    lor op2_bits op2
+  | Sethi { imm; rd } ->
+    check "imm22" imm 22;
+    (2 lsl 28) lor (rfield "rd" rd lsl 23) lor imm
+  | Load { size; rs1; op2; rd } ->
+    (3 lsl 28)
+    lor (lsize_code size lsl 25)
+    lor (rfield "rs1" rs1 lsl 18)
+    lor (rfield "rd" rd lsl 13)
+    lor op2_bits op2
+  | Store { size; rs; rs1; op2 } ->
+    (4 lsl 28)
+    lor (ssize_code size lsl 25)
+    lor (rfield "rs1" rs1 lsl 18)
+    lor (rfield "rs" rs lsl 13)
+    lor op2_bits op2
+  | Branch { cond; target } ->
+    (5 lsl 28) lor (cond_code cond lsl 24) lor disp ~pc ~target 22
+  | Call { target } -> (6 lsl 28) lor disp ~pc ~target 28
+  | Jmpl { rs1; op2; rd } ->
+    (7 lsl 28)
+    lor (rfield "rs1" rs1 lsl 18)
+    lor (rfield "rd" rd lsl 13)
+    lor op2_bits op2
+  | Save { rs1; op2; rd } ->
+    (8 lsl 28)
+    lor (rfield "rs1" rs1 lsl 18)
+    lor (rfield "rd" rd lsl 13)
+    lor op2_bits op2
+  | Restore { rs1; op2; rd } ->
+    (9 lsl 28)
+    lor (rfield "rs1" rs1 lsl 18)
+    lor (rfield "rd" rd lsl 13)
+    lor op2_bits op2
+  | Fpop { op; rs1; rs2; rd } ->
+    (10 lsl 28)
+    lor (fpu_code op lsl 25)
+    lor (rfield "rs1" rs1 lsl 18)
+    lor (rfield "rd" rd lsl 13)
+    lor (rfield "rs2" rs2 lsl 5)
+  | Fload { rs1; op2; rd } ->
+    (11 lsl 28)
+    lor (rfield "rs1" rs1 lsl 18)
+    lor (rfield "rd" rd lsl 13)
+    lor op2_bits op2
+  | Fstore { rd; rs1; op2 } ->
+    (12 lsl 28)
+    lor (rfield "rs1" rs1 lsl 18)
+    lor (rfield "rd" rd lsl 13)
+    lor op2_bits op2
+  | Trap n ->
+    check "trap" n 8;
+    (13 lsl 28) lor n
+  | Halt -> 14 lsl 28
+
+(** [decode ~pc word] inverts {!encode}. Raises {!Decode_error} on an
+    unassigned opcode or subfield. *)
+let decode ~pc word =
+  let op = field word 28 4 in
+  let rs1 = field word 18 5 in
+  let rd = field word 13 5 in
+  let i = field word 12 1 in
+  let imm12 = field word 0 12 in
+  let op2 () = op2_of_bits ~i ~imm12 in
+  let bad reason = raise (Decode_error { pc; word; reason }) in
+  let sub f n code =
+    try f code with Invalid_argument _ -> bad (n ^ " subfield")
+  in
+  match op with
+  | 0 -> Instr.Nop
+  | 1 ->
+    Alu
+      {
+        op = sub alu_of_code "alu" (field word 24 4);
+        cc = field word 23 1 = 1;
+        rs1;
+        op2 = op2 ();
+        rd;
+      }
+  | 2 -> Sethi { imm = field word 0 22; rd = field word 23 5 }
+  | 3 ->
+    Load
+      { size = sub lsize_of_code "lsize" (field word 25 3); rs1; op2 = op2 (); rd }
+  | 4 ->
+    Store
+      { size = sub ssize_of_code "ssize" (field word 25 3); rs = rd; rs1; op2 = op2 () }
+  | 5 ->
+    Branch
+      {
+        cond = sub cond_of_code "cond" (field word 24 4);
+        target = pc + (signed (field word 0 22) 22 * 4);
+      }
+  | 6 -> Call { target = pc + (signed (field word 0 28) 28 * 4) }
+  | 7 -> Jmpl { rs1; op2 = op2 (); rd }
+  | 8 -> Save { rs1; op2 = op2 (); rd }
+  | 9 -> Restore { rs1; op2 = op2 (); rd }
+  | 10 ->
+    Fpop
+      { op = sub fpu_of_code "fpu" (field word 25 3); rs1; rs2 = field word 5 5; rd }
+  | 11 -> Fload { rs1; op2 = op2 (); rd }
+  | 12 -> Fstore { rd; rs1; op2 = op2 () }
+  | 13 -> Trap (field word 0 8)
+  | 14 -> Halt
+  | _ -> bad "opcode"
+
+(** Fetch and decode the instruction at [addr]. *)
+let fetch mem ~addr = decode ~pc:addr (Dts_mem.Memory.read_u32 mem addr)

@@ -1,0 +1,168 @@
+(** The SRISC instruction set.
+
+    SRISC is the SPARC-V7-like ISA executed by every machine in this
+    repository (golden model, Primary Processor, VLIW Engine, DIF). It keeps
+    the SPARC features the DTSVLIW scheduler cares about — overlapping
+    register windows with [save]/[restore], integer condition codes written
+    by [cc]-setting ALU ops, conditional branches reading the flags, indirect
+    jumps, software traps — and drops architectural delay slots (a fetch
+    artefact orthogonal to trace scheduling; see DESIGN.md §2).
+
+    Integer multiply/divide are included as ordinary ALU operations even
+    though SPARC V7 only has multiply-step; the paper's feasible machine runs
+    every functional unit at 1-cycle latency, which we follow. *)
+
+(** Branch conditions over the integer condition codes (icc). *)
+type cond =
+  | A  (** always (unconditional; ignored by the scheduler) *)
+  | E  (** equal: Z *)
+  | NE  (** not equal: !Z *)
+  | L  (** signed less: N xor V *)
+  | LE  (** signed less-or-equal: Z or (N xor V) *)
+  | G  (** signed greater *)
+  | GE  (** signed greater-or-equal *)
+  | LU  (** unsigned less (carry set) *)
+  | LEU  (** unsigned less-or-equal *)
+  | GU  (** unsigned greater *)
+  | GEU  (** unsigned greater-or-equal (carry clear) *)
+  | Neg  (** negative: N *)
+  | Pos  (** positive: !N *)
+[@@deriving show { with_path = false }, eq]
+
+(** Integer ALU operations. [Sll]/[Srl]/[Sra] use the low 5 bits of the
+    second operand. Division by zero yields 0 deterministically (documented
+    substitution for the V7 trap). *)
+type alu =
+  | Add
+  | Sub
+  | And
+  | Andn
+  | Or
+  | Orn
+  | Xor
+  | Xnor
+  | Sll
+  | Srl
+  | Sra
+  | Smul
+  | Umul
+  | Sdiv
+  | Udiv
+[@@deriving show { with_path = false }, eq]
+
+(** Floating-point operations on single-precision registers. *)
+type fpu = Fadd | Fsub | Fmul | Fdiv | Fitos | Fstoi
+[@@deriving show { with_path = false }, eq]
+
+(** Load widths; [Lsb]/[Lsh] sign-extend, [Lub]/[Luh] zero-extend. *)
+type lsize = Lsb | Lub | Lsh | Luh | Lw
+[@@deriving show { with_path = false }, eq]
+
+(** Store widths. *)
+type ssize = Sb | Sh | Sw [@@deriving show { with_path = false }, eq]
+
+(** Second operand of three-address instructions: a register or a signed
+    12-bit immediate. *)
+type operand = Reg of int | Imm of int
+[@@deriving show { with_path = false }, eq]
+
+type t =
+  | Alu of { op : alu; cc : bool; rs1 : int; op2 : operand; rd : int }
+      (** [rd := rs1 op op2]; writes icc when [cc]. *)
+  | Sethi of { imm : int; rd : int }  (** [rd := imm lsl 10] (imm22). *)
+  | Load of { size : lsize; rs1 : int; op2 : operand; rd : int }
+      (** [rd := mem[rs1 + op2]]. *)
+  | Store of { size : ssize; rs : int; rs1 : int; op2 : operand }
+      (** [mem[rs1 + op2] := rs]. *)
+  | Branch of { cond : cond; target : int }
+      (** PC-absolute conditional branch (targets resolved at assembly). *)
+  | Call of { target : int }  (** [r15 := pc]; jump to [target]. *)
+  | Jmpl of { rs1 : int; op2 : operand; rd : int }
+      (** indirect jump-and-link: [rd := pc; pc := rs1 + op2]. *)
+  | Save of { rs1 : int; op2 : operand; rd : int }
+      (** window push: [rd(new window) := rs1(old) + op2]; cwp decremented. *)
+  | Restore of { rs1 : int; op2 : operand; rd : int }
+      (** window pop: [rd(old window) := rs1(new) + op2]; cwp incremented. *)
+  | Fpop of { op : fpu; rs1 : int; rs2 : int; rd : int }
+  | Fload of { rs1 : int; op2 : operand; rd : int }
+  | Fstore of { rd : int; rs1 : int; op2 : operand }
+  | Trap of int  (** software trap (non-schedulable). *)
+  | Halt  (** stop the simulation (non-schedulable). *)
+  | Nop
+[@@deriving show { with_path = false }, eq]
+
+(** Functional-unit classes of the VLIW Engine (§4.4: 4 integer, 2
+    load/store, 2 floating-point, 2 branch in the feasible machine). *)
+type fu_class = Fu_int | Fu_mem | Fu_fp | Fu_br
+[@@deriving show { with_path = false }, eq]
+
+let fu_class = function
+  | Alu _ | Sethi _ | Save _ | Restore _ | Call _ -> Fu_int
+  | Load _ | Store _ | Fload _ | Fstore _ -> Fu_mem
+  | Fpop _ -> Fu_fp
+  | Branch _ | Jmpl _ -> Fu_br
+  | Trap _ | Halt | Nop -> Fu_int
+
+(** Conditional or indirect control transfer — establishes branch tags and
+    control dependencies (§3.8). [Branch {cond = A}] and [Call] are
+    unconditional and are not control-dependence sources. *)
+let is_conditional_ctrl = function
+  | Branch { cond = A; _ } -> false
+  | Branch _ | Jmpl _ -> true
+  | _ -> false
+
+(** Any instruction that can redirect the PC. *)
+let is_ctrl = function
+  | Branch _ | Call _ | Jmpl _ -> true
+  | _ -> false
+
+(** Instructions the Scheduler Unit never places in the scheduling list
+    (§3.9): nops and unconditional direct branches. *)
+let is_ignored_by_scheduler = function
+  | Nop | Branch { cond = A; _ } -> true
+  | _ -> false
+
+(** Instructions too complex for the VLIW Engine; they flush the scheduling
+    list and execute in the Primary Processor only (§3.9). *)
+let is_non_schedulable = function Trap _ | Halt -> true | _ -> false
+
+let is_load = function Load _ | Fload _ -> true | _ -> false
+let is_store = function Store _ | Fstore _ -> true | _ -> false
+let is_mem i = is_load i || is_store i
+
+let lsize_bytes = function Lsb | Lub -> 1 | Lsh | Luh -> 2 | Lw -> 4
+let ssize_bytes = function Sb -> 1 | Sh -> 2 | Sw -> 4
+
+(** Encoded instruction size in instruction memory. *)
+let bytes = 4
+
+(** Decoded instruction size used for VLIW Cache capacity accounting
+    (Table 1: 6 bytes). *)
+let decoded_bytes = 6
+
+(** Functional-unit latencies in cycles. The paper's experiments use 1 for
+    everything (Table 1, §4.4); the companion study [14] examines multicycle
+    instructions, which these model: a producer with latency L must execute
+    at least L long instructions above any consumer. *)
+type latencies = {
+  l_load : int;
+  l_mul : int;
+  l_div : int;
+  l_fp : int;
+}
+
+let unit_latencies = { l_load = 1; l_mul = 1; l_div = 1; l_fp = 1 }
+
+(** A representative multicycle model for the [14]-style experiments. *)
+let multicycle_latencies = { l_load = 2; l_mul = 3; l_div = 8; l_fp = 3 }
+
+let latency lat = function
+  | Load _ | Fload _ -> lat.l_load
+  | Alu { op = Smul | Umul; _ } -> lat.l_mul
+  | Alu { op = Sdiv | Udiv; _ } -> lat.l_div
+  | Fpop _ -> lat.l_fp
+  | Alu _ | Sethi _ | Store _ | Fstore _ | Branch _ | Call _ | Jmpl _
+  | Save _ | Restore _ | Trap _ | Halt | Nop ->
+    1
+
+let max_latency lat = max (max lat.l_load lat.l_mul) (max lat.l_div lat.l_fp)

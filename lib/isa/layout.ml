@@ -1,0 +1,12 @@
+(** Conventional memory map shared by the loader, the tinyc code generator
+    and the workloads. Nothing in the machine model depends on these values;
+    they just keep the tooling consistent. *)
+
+let text_base = 0x0000_1000
+let data_base = 0x0010_0000
+let heap_base = 0x0040_0000
+let stack_top = 0x0080_0000
+
+(** Register-window spill area used by the overflow/underflow trap
+    microroutine (grows upward, 64 bytes per spilled window). *)
+let wspill_base = 0x00F0_0000

@@ -1,0 +1,64 @@
+(** Observed read/write sets of an executed instruction, in terms of
+    {!Storage.t} positions. The Scheduler Unit computes dependencies on these
+    (§3.2): integer registers are resolved to physical indices with the
+    instruction's observed window pointer, and memory positions use the
+    observed effective address (§3.9). *)
+
+let reg_read ~nwindows ~cwp acc r =
+  if r = 0 then acc else Storage.Int_reg (State.phys ~nwindows ~cwp r) :: acc
+
+let operand_read ~nwindows ~cwp acc (op2 : Instr.operand) =
+  match op2 with Reg r -> reg_read ~nwindows ~cwp acc r | Imm _ -> acc
+
+let reg_write ~nwindows ~cwp acc r =
+  if r = 0 then acc else Storage.Int_reg (State.phys ~nwindows ~cwp r) :: acc
+
+(** [of_instr ~nwindows ~cwp ~mem instr] is [(reads, writes)]. [mem] is the
+    observed (effective address, size) for loads and stores. *)
+let of_instr ~nwindows ~cwp ?mem (instr : Instr.t) :
+    Storage.t list * Storage.t list =
+  let rr = reg_read ~nwindows ~cwp in
+  let rw = reg_write ~nwindows ~cwp in
+  let op_r = operand_read ~nwindows ~cwp in
+  let mem_storage () =
+    match mem with
+    | Some (addr, size) -> Storage.Mem { addr; size }
+    | None -> invalid_arg "Rwsets.of_instr: memory instruction without ~mem"
+  in
+  match instr with
+  | Nop | Halt | Trap _ -> ([], [])
+  | Alu { op = _; cc; rs1; op2; rd } ->
+    let reads = op_r (rr [] rs1) op2 in
+    let writes = rw [] rd in
+    (reads, if cc then Storage.Flags :: writes else writes)
+  | Sethi { rd; _ } -> ([], rw [] rd)
+  | Load { rs1; op2; rd; _ } ->
+    (mem_storage () :: op_r (rr [] rs1) op2, rw [] rd)
+  | Store { rs; rs1; op2; _ } ->
+    (op_r (rr (rr [] rs) rs1) op2, [ mem_storage () ])
+  | Fload { rs1; op2; rd } ->
+    (mem_storage () :: op_r (rr [] rs1) op2, [ Storage.Fp_reg rd ])
+  | Fstore { rd; rs1; op2 } ->
+    (Storage.Fp_reg rd :: op_r (rr [] rs1) op2, [ mem_storage () ])
+  | Fpop { rs1; rs2; rd; _ } ->
+    ([ Storage.Fp_reg rs1; Storage.Fp_reg rs2 ], [ Storage.Fp_reg rd ])
+  | Branch { cond; _ } ->
+    ((if cond = Instr.A then [] else [ Storage.Flags ]), [])
+  | Call _ -> ([], rw [] 15)
+  | Jmpl { rs1; op2; rd } -> (op_r (rr [] rs1) op2, rw [] rd)
+  | Save { rs1; op2; rd } ->
+    let new_cwp = (cwp - 1 + nwindows) mod nwindows in
+    let writes = [ Storage.Win ] in
+    let writes =
+      if rd = 0 then writes
+      else Storage.Int_reg (State.phys ~nwindows ~cwp:new_cwp rd) :: writes
+    in
+    (Storage.Win :: op_r (rr [] rs1) op2, writes)
+  | Restore { rs1; op2; rd } ->
+    let new_cwp = (cwp + 1) mod nwindows in
+    let writes = [ Storage.Win ] in
+    let writes =
+      if rd = 0 then writes
+      else Storage.Int_reg (State.phys ~nwindows ~cwp:new_cwp rd) :: writes
+    in
+    (Storage.Win :: op_r (rr [] rs1) op2, writes)

@@ -1,0 +1,328 @@
+(** One-instruction operational semantics of SRISC.
+
+    Every engine in the repository executes instructions through this module:
+    the golden test machine, the Primary Processor, and the VLIW Engine. The
+    VLIW Engine needs effects {e described} rather than applied (it buffers
+    all writes of a long instruction and redirects renamed destinations), so
+    {!exec} is split from {!apply}.
+
+    [exec] takes the window pointer explicitly: in VLIW mode an instruction
+    executes with the cwp value observed when it was scheduled, which may
+    differ from the architectural cwp at the start of its long instruction
+    (§3.9 — "the value of the cwp register accompanies the instructions"). *)
+
+exception Fatal_fault of string
+(** An unrecoverable program fault (e.g. a misaligned access replayed by the
+    Primary Processor, or window underflow with an empty spill stack). *)
+
+type trap =
+  | Window_overflow
+  | Window_underflow
+  | Misaligned of int
+  | Software of int
+[@@deriving show { with_path = false }, eq]
+
+type write =
+  | W_phys of int * int  (** physical integer register := value *)
+  | W_freg of int * int
+  | W_icc of int
+  | W_win of int * int  (** cwp := v1, window depth := v2 *)
+[@@deriving show { with_path = false }, eq]
+
+type outcome = {
+  writes : write list;
+  store : (int * int * int) option;  (** addr, size, value *)
+  load : (int * int) option;  (** addr, size *)
+  next_pc : int;
+  taken : bool;  (** control transfer took its target *)
+  trap : trap option;
+}
+
+let norm32 v =
+  let shift = Sys.int_size - 32 in
+  (v lsl shift) asr shift
+
+let u32 v = v land 0xFFFFFFFF
+
+let eval_cond icc cond =
+  let n = State.icc_n icc
+  and z = State.icc_z icc
+  and v = State.icc_v icc
+  and c = State.icc_c icc in
+  let ( <> ) = Stdlib.( <> ) in
+  match (cond : Instr.cond) with
+  | A -> true
+  | E -> z
+  | NE -> not z
+  | L -> n <> v
+  | LE -> z || n <> v
+  | G -> not (z || n <> v)
+  | GE -> not (n <> v)
+  | LU -> c
+  | LEU -> c || z
+  | GU -> not (c || z)
+  | GEU -> not c
+  | Neg -> n
+  | Pos -> not n
+
+let alu_result (op : Instr.alu) a b =
+  let sh = b land 31 in
+  match op with
+  | Add -> norm32 (a + b)
+  | Sub -> norm32 (a - b)
+  | And -> a land b
+  | Andn -> a land lnot b
+  | Or -> a lor b
+  | Orn -> norm32 (a lor lnot b)
+  | Xor -> a lxor b
+  | Xnor -> norm32 (lnot (a lxor b))
+  | Sll -> norm32 (a lsl sh)
+  | Srl -> norm32 (u32 a lsr sh)
+  | Sra -> norm32 a asr sh
+  | Smul | Umul -> norm32 (a * b)
+  | Sdiv -> if b = 0 then 0 else norm32 (a / b)
+  | Udiv -> if b = 0 then 0 else norm32 (u32 a / u32 b)
+
+let alu_icc (op : Instr.alu) a b r =
+  let n = r < 0 and z = r = 0 in
+  match op with
+  | Add ->
+    let c = u32 a + u32 b > 0xFFFFFFFF in
+    let v = a >= 0 = (b >= 0) && r >= 0 <> (a >= 0) in
+    State.make_icc ~n ~z ~v ~c
+  | Sub ->
+    let c = u32 a < u32 b in
+    let v = a >= 0 <> (b >= 0) && r >= 0 <> (a >= 0) in
+    State.make_icc ~n ~z ~v ~c
+  | And | Andn | Or | Orn | Xor | Xnor | Sll | Srl | Sra | Smul | Umul | Sdiv
+  | Udiv ->
+    State.make_icc ~n ~z ~v:false ~c:false
+
+(* float register helpers: registers hold raw IEEE-754 single bit patterns *)
+let bits_to_float b = Int32.float_of_bits (Int32.of_int b)
+let float_to_bits f = norm32 (Int32.to_int (Int32.bits_of_float f))
+
+let fpu_result (op : Instr.fpu) a b =
+  match op with
+  | Fadd -> float_to_bits (bits_to_float a +. bits_to_float b)
+  | Fsub -> float_to_bits (bits_to_float a -. bits_to_float b)
+  | Fmul -> float_to_bits (bits_to_float a *. bits_to_float b)
+  | Fdiv -> float_to_bits (bits_to_float a /. bits_to_float b)
+  | Fitos -> float_to_bits (float_of_int a)
+  | Fstoi ->
+    let f = bits_to_float a in
+    if Float.is_nan f then 0 else norm32 (int_of_float f)
+
+(* Window spill/fill microroutine (DESIGN.md §2): a frame's 16-register
+   window region is spilled when a save would clobber live data, and
+   refilled LIFO on the matching underflowing restore. Both the golden
+   machine and the DTSVLIW run exactly this routine, so trap behaviour is
+   observationally identical. *)
+
+let spilled_frames st = (st.State.wspill_sp - Layout.wspill_base) / 64
+let resident_depth st = st.State.wdepth - spilled_frames st
+
+let region_base ~nwindows w = State.n_globals + (w mod nwindows * 16)
+
+let spill_window st w =
+  let base = region_base ~nwindows:st.State.nwindows w in
+  for k = 0 to 15 do
+    Dts_mem.Memory.write st.State.mem
+      ~addr:(st.State.wspill_sp + (k * 4))
+      ~size:4 st.State.iregs.(base + k)
+  done;
+  st.State.wspill_sp <- st.State.wspill_sp + 64
+
+let fill_window st w =
+  if st.State.wspill_sp <= Layout.wspill_base then
+    raise (Fatal_fault "window underflow with empty spill stack");
+  st.State.wspill_sp <- st.State.wspill_sp - 64;
+  let base = region_base ~nwindows:st.State.nwindows w in
+  for k = 0 to 15 do
+    st.State.iregs.(base + k) <-
+      Dts_mem.Memory.read st.State.mem
+        ~addr:(st.State.wspill_sp + (k * 4))
+        ~size:4 ~signed:true
+  done
+
+let no_effect ~pc =
+  {
+    writes = [];
+    store = None;
+    load = None;
+    next_pc = pc + Instr.bytes;
+    taken = false;
+    trap = None;
+  }
+
+let trap_outcome ~pc t = { (no_effect ~pc) with trap = Some t }
+
+(** Describe the effects of executing [instr] at [pc] with window pointer
+    [cwp], reading the current state (including memory for loads) but
+    mutating nothing. A [Some _] trap means the instruction did not execute;
+    {!service_and_exec} runs the microroutine and retries. *)
+let exec ?(read_override = fun (_ : Storage.t) -> (None : int option))
+    ?(mem_read_override = fun ~addr:(_ : int) ~size:(_ : int)
+                               ~signed:(_ : bool) -> (None : int option)) st
+    ~cwp ~pc (instr : Instr.t) =
+  let reg r =
+    if r = 0 then 0
+    else
+      match read_override (Storage.Int_reg (State.phys_of st ~cwp r)) with
+      | Some v -> v
+      | None -> State.get_reg st ~cwp r
+  in
+  let freg f =
+    match read_override (Storage.Fp_reg f) with
+    | Some v -> v
+    | None -> st.State.fregs.(f)
+  in
+  let icc () =
+    match read_override Storage.Flags with
+    | Some v -> v
+    | None -> st.State.icc
+  in
+  let opval (op2 : Instr.operand) =
+    match op2 with Reg r -> reg r | Imm i -> i
+  in
+  let wreg r v = if r = 0 then [] else [ W_phys (State.phys_of st ~cwp r, v) ] in
+  match instr with
+  | Nop -> no_effect ~pc
+  | Halt -> { (no_effect ~pc) with next_pc = pc }
+  | Trap n -> trap_outcome ~pc (Software n)
+  | Alu { op; cc; rs1; op2; rd } ->
+    let a = reg rs1 and b = opval op2 in
+    let r = alu_result op a b in
+    let writes = wreg rd r in
+    let writes = if cc then W_icc (alu_icc op a b r) :: writes else writes in
+    { (no_effect ~pc) with writes }
+  | Sethi { imm; rd } ->
+    { (no_effect ~pc) with writes = wreg rd (norm32 (imm lsl 10)) }
+  | Load { size; rs1; op2; rd } ->
+    let addr = u32 (reg rs1 + opval op2) in
+    let bytes = Instr.lsize_bytes size in
+    if addr land (bytes - 1) <> 0 then trap_outcome ~pc (Misaligned addr)
+    else
+      let signed = match size with Lsb | Lsh | Lw -> true | Lub | Luh -> false in
+      let v =
+        match mem_read_override ~addr ~size:bytes ~signed with
+        | Some v -> v
+        | None -> Dts_mem.Memory.read st.State.mem ~addr ~size:bytes ~signed
+      in
+      { (no_effect ~pc) with writes = wreg rd v; load = Some (addr, bytes) }
+  | Store { size; rs; rs1; op2 } ->
+    let addr = u32 (reg rs1 + opval op2) in
+    let bytes = Instr.ssize_bytes size in
+    if addr land (bytes - 1) <> 0 then trap_outcome ~pc (Misaligned addr)
+    else { (no_effect ~pc) with store = Some (addr, bytes, reg rs) }
+  | Fload { rs1; op2; rd } ->
+    let addr = u32 (reg rs1 + opval op2) in
+    if addr land 3 <> 0 then trap_outcome ~pc (Misaligned addr)
+    else
+      let v =
+        match mem_read_override ~addr ~size:4 ~signed:true with
+        | Some v -> v
+        | None -> Dts_mem.Memory.read st.State.mem ~addr ~size:4 ~signed:true
+      in
+      { (no_effect ~pc) with writes = [ W_freg (rd, v) ]; load = Some (addr, 4) }
+  | Fstore { rd; rs1; op2 } ->
+    let addr = u32 (reg rs1 + opval op2) in
+    if addr land 3 <> 0 then trap_outcome ~pc (Misaligned addr)
+    else { (no_effect ~pc) with store = Some (addr, 4, freg rd) }
+  | Fpop { op; rs1; rs2; rd } ->
+    let r = fpu_result op (freg rs1) (freg rs2) in
+    { (no_effect ~pc) with writes = [ W_freg (rd, r) ] }
+  | Branch { cond; target } ->
+    let taken = eval_cond (icc ()) cond in
+    {
+      (no_effect ~pc) with
+      next_pc = (if taken then target else pc + Instr.bytes);
+      taken;
+    }
+  | Call { target } ->
+    {
+      (no_effect ~pc) with
+      writes = wreg 15 pc;
+      next_pc = target;
+      taken = true;
+    }
+  | Jmpl { rs1; op2; rd } ->
+    let target = u32 (reg rs1 + opval op2) in
+    if target land 3 <> 0 then trap_outcome ~pc (Misaligned target)
+    else { (no_effect ~pc) with writes = wreg rd pc; next_pc = target; taken = true }
+  | Save { rs1; op2; rd } ->
+    if resident_depth st >= st.State.nwindows - 2 then
+      trap_outcome ~pc Window_overflow
+    else
+      let v = norm32 (reg rs1 + opval op2) in
+      let new_cwp = (cwp - 1 + st.State.nwindows) mod st.State.nwindows in
+      let writes = [ W_win (new_cwp, st.State.wdepth + 1) ] in
+      let writes =
+        if rd = 0 then writes
+        else W_phys (State.phys ~nwindows:st.State.nwindows ~cwp:new_cwp rd, v) :: writes
+      in
+      { (no_effect ~pc) with writes }
+  | Restore { rs1; op2; rd } ->
+    if resident_depth st = 0 then trap_outcome ~pc Window_underflow
+    else
+      let v = norm32 (reg rs1 + opval op2) in
+      let new_cwp = (cwp + 1) mod st.State.nwindows in
+      let writes = [ W_win (new_cwp, st.State.wdepth - 1) ] in
+      let writes =
+        if rd = 0 then writes
+        else W_phys (State.phys ~nwindows:st.State.nwindows ~cwp:new_cwp rd, v) :: writes
+      in
+      { (no_effect ~pc) with writes }
+
+(** Apply the register/flag/window writes of an outcome. *)
+let apply_writes st writes =
+  List.iter
+    (fun w ->
+      match w with
+      | W_phys (p, v) -> State.set_phys st p v
+      | W_freg (f, v) -> st.State.fregs.(f) <- v
+      | W_icc v -> st.State.icc <- v
+      | W_win (cwp, depth) ->
+        st.State.cwp <- cwp;
+        st.State.wdepth <- depth)
+    writes
+
+(** Apply a full outcome: writes, the memory store, and the PC. *)
+let apply st out =
+  apply_writes st out.writes;
+  (match out.store with
+  | Some (addr, size, v) -> Dts_mem.Memory.write st.State.mem ~addr ~size v
+  | None -> ());
+  st.State.pc <- out.next_pc;
+  st.State.instret <- st.State.instret + 1
+
+(** Service the trap of a previously returned outcome, then re-execute.
+    Used by the sequential engines; the VLIW Engine instead turns traps into
+    block exceptions (§3.11). Raises {!Fatal_fault} for faults that have no
+    microroutine. *)
+let service_and_exec st ~cwp ~pc instr trap =
+  (match trap with
+  | Window_overflow ->
+    let new_cwp = (cwp - 1 + st.State.nwindows) mod st.State.nwindows in
+    spill_window st new_cwp;
+    st.State.traps <- st.State.traps + 1
+  | Window_underflow ->
+    (* refill the ins-provider region of the frame being returned to:
+       the restore enters window cwp+1, whose ins live in region cwp+2 *)
+    fill_window st ((cwp + 2) mod st.State.nwindows);
+    st.State.traps <- st.State.traps + 1
+  | Software _ -> st.State.traps <- st.State.traps + 1
+  | Misaligned a ->
+    raise (Fatal_fault (Printf.sprintf "misaligned access at %#x (pc=%#x)" a pc)));
+  match trap with
+  | Software _ -> no_effect ~pc (* software traps are accounted no-ops *)
+  | Window_overflow | Window_underflow -> (
+    let out = exec st ~cwp ~pc instr in
+    match out.trap with
+    | None -> out
+    | Some t ->
+      raise
+        (Fatal_fault
+           (Printf.sprintf "trap %s persists after service at pc=%#x"
+              (show_trap t) pc)))
+  | Misaligned _ -> assert false

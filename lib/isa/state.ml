@@ -1,0 +1,118 @@
+(** SRISC architectural state.
+
+    The integer register file is the physical SPARC-style windowed file:
+    8 globals followed by [nwindows] overlapping windows of 16 registers
+    (8 locals + 8 outs each; a window's ins are the next window's outs).
+    [save] decrements the current window pointer (cwp). *)
+
+type icc = int
+(** Condition codes packed as a 4-bit integer: bit 3 = N, 2 = Z, 1 = V,
+    0 = C. *)
+
+type t = {
+  mutable pc : int;
+  iregs : int array;  (** physical integer registers: [8 + nwindows*16] *)
+  fregs : int array;  (** 32 single-precision registers as raw bit patterns *)
+  mutable icc : icc;
+  mutable cwp : int;
+  mutable wdepth : int;  (** windows currently in use (0 after reset) *)
+  mutable wspill_sp : int;  (** top of the window spill stack *)
+  mem : Dts_mem.Memory.t;
+  nwindows : int;
+  mutable instret : int;  (** retired instruction count *)
+  mutable halted : bool;
+  mutable traps : int;  (** serviced trap count *)
+}
+
+let n_visible = 32
+let n_globals = 8
+
+let create ?(nwindows = 32) ?mem () =
+  let mem = match mem with Some m -> m | None -> Dts_mem.Memory.create () in
+  {
+    pc = Layout.text_base;
+    iregs = Array.make (n_globals + (nwindows * 16)) 0;
+    fregs = Array.make 32 0;
+    icc = 0;
+    cwp = 0;
+    wdepth = 0;
+    wspill_sp = Layout.wspill_base;
+    mem;
+    nwindows;
+    instret = 0;
+    halted = false;
+    traps = 0;
+  }
+
+let n_phys_iregs st = Array.length st.iregs
+
+(** Physical index of visible register [r] (0..31) under window [cwp]. *)
+let phys ~nwindows ~cwp r =
+  if r < 0 || r >= n_visible then invalid_arg "State.phys";
+  if r < n_globals then r
+  else
+    let base =
+      if r < 16 then (cwp * 16) + (r - 8) (* outs *)
+      else if r < 24 then (cwp * 16) + 8 + (r - 16) (* locals *)
+      else ((cwp + 1) mod nwindows * 16) + (r - 24) (* ins *)
+    in
+    n_globals + (base mod (nwindows * 16))
+
+let phys_of st ~cwp r = phys ~nwindows:st.nwindows ~cwp r
+
+let get_reg st ~cwp r =
+  if r = 0 then 0 else st.iregs.(phys_of st ~cwp r)
+
+let set_reg st ~cwp r v =
+  if r <> 0 then st.iregs.(phys_of st ~cwp r) <- v
+
+let get_phys st p = if p = 0 then 0 else st.iregs.(p)
+let set_phys st p v = if p <> 0 then st.iregs.(p) <- v
+
+(* icc accessors *)
+let icc_n icc = icc land 8 <> 0
+let icc_z icc = icc land 4 <> 0
+let icc_v icc = icc land 2 <> 0
+let icc_c icc = icc land 1 <> 0
+
+let make_icc ~n ~z ~v ~c =
+  (if n then 8 else 0)
+  lor (if z then 4 else 0)
+  lor (if v then 2 else 0)
+  lor if c then 1 else 0
+
+let copy st =
+  {
+    st with
+    iregs = Array.copy st.iregs;
+    fregs = Array.copy st.fregs;
+    mem = Dts_mem.Memory.copy st.mem;
+  }
+
+(** Register-and-flags equality (the cheap per-block test-mode check). *)
+let regs_equal a b =
+  a.pc = b.pc && a.icc = b.icc && a.cwp = b.cwp && a.wdepth = b.wdepth
+  && a.wspill_sp = b.wspill_sp
+  && a.iregs = b.iregs && a.fregs = b.fregs
+
+(** Full state equality including memory (the expensive periodic check). *)
+let equal a b = regs_equal a b && Dts_mem.Memory.equal a.mem b.mem
+
+let pp_diff fmt (a, b) =
+  let open Format in
+  if a.pc <> b.pc then fprintf fmt "pc: %#x vs %#x@ " a.pc b.pc;
+  if a.icc <> b.icc then fprintf fmt "icc: %d vs %d@ " a.icc b.icc;
+  if a.cwp <> b.cwp then fprintf fmt "cwp: %d vs %d@ " a.cwp b.cwp;
+  if a.wdepth <> b.wdepth then
+    fprintf fmt "wdepth: %d vs %d@ " a.wdepth b.wdepth;
+  Array.iteri
+    (fun i v ->
+      if v <> b.iregs.(i) then fprintf fmt "ireg[%d]: %d vs %d@ " i v b.iregs.(i))
+    a.iregs;
+  Array.iteri
+    (fun i v ->
+      if v <> b.fregs.(i) then fprintf fmt "freg[%d]: %#x vs %#x@ " i v b.fregs.(i))
+    a.fregs;
+  match Dts_mem.Memory.first_difference a.mem b.mem with
+  | Some addr -> fprintf fmt "mem[%#x] differs@ " addr
+  | None -> ()

@@ -1,0 +1,41 @@
+(** Architectural storage positions, the units of dependency testing in the
+    Scheduler Unit (§3.2 of the paper).
+
+    Dependencies are computed on {e physical} positions observed during
+    execution: integer registers are physical indices (the window pointer
+    value accompanies each instruction, §3.9), memory positions are the
+    observed effective address and width (§3.9–3.10), and the condition-code
+    register and window pointer are single renameable special positions
+    (§3.8). *)
+
+type t =
+  | Int_reg of int  (** physical integer register index (never 0 = %g0) *)
+  | Fp_reg of int
+  | Flags  (** the integer condition codes *)
+  | Win  (** cwp + window depth, written by save/restore *)
+  | Mem of { addr : int; size : int }
+  | Ren of { rk : int; rix : int }
+      (** a renaming register (kind index, register index) — present so the
+          Scheduler Unit can track dependencies through forwarded renamed
+          sources (§3.2's running example rewrites [subcc r10,…] to
+          [subcc r32,…]) *)
+[@@deriving show { with_path = false }, eq]
+
+(** Do two positions name overlapping state? Memory positions overlap when
+    their byte ranges intersect; everything else is exact equality. *)
+let overlaps a b =
+  match (a, b) with
+  | Int_reg x, Int_reg y -> x = y
+  | Fp_reg x, Fp_reg y -> x = y
+  | Flags, Flags | Win, Win -> true
+  | Mem m1, Mem m2 ->
+    m1.addr < m2.addr + m2.size && m2.addr < m1.addr + m1.size
+  | Ren r1, Ren r2 -> r1.rk = r2.rk && r1.rix = r2.rix
+  | ( (Int_reg _ | Fp_reg _ | Flags | Win | Mem _ | Ren _),
+      (Int_reg _ | Fp_reg _ | Flags | Win | Mem _ | Ren _) ) ->
+    false
+
+let any_overlap xs ys =
+  List.exists (fun x -> List.exists (overlaps x) ys) xs
+
+let is_mem = function Mem _ -> true | _ -> false

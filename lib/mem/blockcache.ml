@@ -1,0 +1,126 @@
+type 'a entry = {
+  mutable key : int;
+  mutable payload : 'a option;
+  mutable stamp : int;
+}
+
+type 'a t = {
+  sets : 'a entry array array;
+  n_sets : int;
+  assoc : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+let create ~n_sets ~assoc =
+  if n_sets <= 0 || n_sets land (n_sets - 1) <> 0 then
+    invalid_arg "Blockcache.create: n_sets must be a power of two";
+  let sets =
+    Array.init n_sets (fun _ ->
+        Array.init assoc (fun _ -> { key = 0; payload = None; stamp = 0 }))
+  in
+  {
+    sets;
+    n_sets;
+    assoc;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+  }
+
+(* Blocks are tagged with the word-aligned SPARC-style address of their
+   first instruction, so index on addr/4. *)
+let set_of t addr = t.sets.((addr lsr 2) land (t.n_sets - 1))
+
+let find t addr =
+  t.clock <- t.clock + 1;
+  let ways = set_of t addr in
+  let found = ref None in
+  Array.iter
+    (fun e ->
+      if e.payload <> None && e.key = addr then begin
+        e.stamp <- t.clock;
+        found := e.payload
+      end)
+    ways;
+  (match !found with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  !found
+
+let probe t addr =
+  let ways = set_of t addr in
+  Array.exists (fun e -> e.payload <> None && e.key = addr) ways
+
+let insert t addr block =
+  t.clock <- t.clock + 1;
+  t.insertions <- t.insertions + 1;
+  let ways = set_of t addr in
+  let slot = ref None in
+  (* reuse an entry with the same key, else an empty way, else LRU victim *)
+  Array.iter
+    (fun e -> if e.payload <> None && e.key = addr then slot := Some e)
+    ways;
+  if !slot = None then
+    Array.iter (fun e -> if e.payload = None && !slot = None then slot := Some e) ways;
+  let victim_payload = ref None in
+  let e =
+    match !slot with
+    | Some e -> e
+    | None ->
+      let victim = ref ways.(0) in
+      Array.iter (fun e -> if e.stamp < !victim.stamp then victim := e) ways;
+      t.evictions <- t.evictions + 1;
+      victim_payload := !victim.payload;
+      !victim
+  in
+  e.key <- addr;
+  e.payload <- Some block;
+  e.stamp <- t.clock;
+  !victim_payload
+
+let invalidate t addr =
+  let ways = set_of t addr in
+  let removed = ref false in
+  Array.iter
+    (fun e ->
+      if e.payload <> None && e.key = addr then begin
+        e.payload <- None;
+        removed := true
+      end)
+    ways;
+  !removed
+
+let invalidate_all t =
+  Array.iter (fun ways -> Array.iter (fun e -> e.payload <- None) ways) t.sets
+
+let hits t = t.hits
+let misses t = t.misses
+let insertions t = t.insertions
+let evictions t = t.evictions
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.insertions <- 0;
+  t.evictions <- 0
+
+let iter f t =
+  Array.iter
+    (fun ways ->
+      Array.iter
+        (fun e -> match e.payload with Some p -> f e.key p | None -> ())
+        ways)
+    t.sets
+
+let entry_count t =
+  let n = ref 0 in
+  iter (fun _ _ -> incr n) t;
+  !n
+
+let capacity t = t.n_sets * t.assoc

@@ -1,0 +1,126 @@
+(* Sparse paged memory. 4 KiB pages allocated on first touch; big-endian. *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+let addr_mask = 0xFFFFFFFF
+
+type t = { pages : (int, Bytes.t) Hashtbl.t }
+
+exception Misaligned of int
+
+let create () = { pages = Hashtbl.create 64 }
+
+let copy m =
+  let pages = Hashtbl.create (Hashtbl.length m.pages) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace pages k (Bytes.copy v)) m.pages;
+  { pages }
+
+let zero_page = Bytes.make page_size '\000'
+
+let page_ro m idx =
+  match Hashtbl.find_opt m.pages idx with
+  | Some p -> p
+  | None -> zero_page
+
+let page_rw m idx =
+  match Hashtbl.find_opt m.pages idx with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make page_size '\000' in
+    Hashtbl.replace m.pages idx p;
+    p
+
+let get_u8 m addr =
+  let addr = addr land addr_mask in
+  Char.code (Bytes.get (page_ro m (addr lsr page_bits)) (addr land page_mask))
+
+let set_u8 m addr v =
+  let addr = addr land addr_mask in
+  Bytes.set
+    (page_rw m (addr lsr page_bits))
+    (addr land page_mask)
+    (Char.chr (v land 0xFF))
+
+let check_aligned addr size =
+  if addr land (size - 1) <> 0 then raise (Misaligned addr)
+
+let sext v bits =
+  let shift = Sys.int_size - bits in
+  (v lsl shift) asr shift
+
+let read m ~addr ~size ~signed =
+  check_aligned addr size;
+  let raw =
+    match size with
+    | 1 -> get_u8 m addr
+    | 2 -> (get_u8 m addr lsl 8) lor get_u8 m (addr + 1)
+    | 4 ->
+      (get_u8 m addr lsl 24)
+      lor (get_u8 m (addr + 1) lsl 16)
+      lor (get_u8 m (addr + 2) lsl 8)
+      lor get_u8 m (addr + 3)
+    | _ -> invalid_arg "Memory.read: size"
+  in
+  if signed then sext raw (size * 8)
+  else if size = 4 then sext raw 32 (* 32-bit values are kept sign-extended *)
+  else raw
+
+let write m ~addr ~size v =
+  check_aligned addr size;
+  match size with
+  | 1 -> set_u8 m addr v
+  | 2 ->
+    set_u8 m addr (v lsr 8);
+    set_u8 m (addr + 1) v
+  | 4 ->
+    set_u8 m addr (v lsr 24);
+    set_u8 m (addr + 1) (v lsr 16);
+    set_u8 m (addr + 2) (v lsr 8);
+    set_u8 m (addr + 3) v
+  | _ -> invalid_arg "Memory.write: size"
+
+let read_u32 m addr =
+  check_aligned addr 4;
+  (get_u8 m addr lsl 24)
+  lor (get_u8 m (addr + 1) lsl 16)
+  lor (get_u8 m (addr + 2) lsl 8)
+  lor get_u8 m (addr + 3)
+
+let write_u32 m addr v = write m ~addr ~size:4 v
+
+let load_bytes m ~addr s =
+  String.iteri (fun i c -> set_u8 m (addr + i) (Char.code c)) s
+
+let page_indices m =
+  Hashtbl.fold (fun k _ acc -> k :: acc) m.pages [] |> List.sort compare
+
+let pages_equal a b = Bytes.equal a b
+
+let equal m1 m2 =
+  let idxs =
+    List.sort_uniq compare (page_indices m1 @ page_indices m2)
+  in
+  List.for_all
+    (fun i -> pages_equal (page_ro m1 i) (page_ro m2 i))
+    idxs
+
+let first_difference m1 m2 =
+  let idxs =
+    List.sort_uniq compare (page_indices m1 @ page_indices m2)
+  in
+  let diff_in i =
+    let p1 = page_ro m1 i and p2 = page_ro m2 i in
+    let rec scan off =
+      if off >= page_size then None
+      else if Bytes.get p1 off <> Bytes.get p2 off then
+        Some ((i lsl page_bits) lor off)
+      else scan (off + 1)
+    in
+    scan 0
+  in
+  List.fold_left
+    (fun acc i -> match acc with Some _ -> acc | None -> diff_in i)
+    None idxs
+
+let touched_bytes m = Hashtbl.length m.pages * page_size

@@ -1,0 +1,47 @@
+(** Sparse, paged, byte-addressable main memory.
+
+    Addresses are 32-bit (stored in native [int]); contents are big-endian,
+    matching the SPARC heritage of the SRISC ISA. Accesses must be naturally
+    aligned — misaligned accesses raise {!Misaligned}, which the machine
+    layers turn into the [Mem_address_not_aligned] trap. *)
+
+type t
+
+exception Misaligned of int
+(** Raised with the offending address on a misaligned access. *)
+
+val create : unit -> t
+(** A fresh, all-zero memory. Pages are allocated on first touch. *)
+
+val copy : t -> t
+(** Deep copy (used by the golden-model co-simulation). *)
+
+val read : t -> addr:int -> size:int -> signed:bool -> int
+(** [read m ~addr ~size ~signed] reads [size] bytes (1, 2 or 4) at [addr].
+    The result is sign- or zero-extended to a signed 32-bit value stored in
+    a native [int]. Raises {!Misaligned} if [addr] is not a multiple of
+    [size]. *)
+
+val write : t -> addr:int -> size:int -> int -> unit
+(** [write m ~addr ~size v] stores the low [size] bytes of [v] at [addr].
+    Raises {!Misaligned} if [addr] is not a multiple of [size]. *)
+
+val read_u32 : t -> int -> int
+(** Unsigned 32-bit read of an aligned word (instruction fetch). *)
+
+val write_u32 : t -> int -> int -> unit
+(** 32-bit write of an aligned word. *)
+
+val load_bytes : t -> addr:int -> string -> unit
+(** Bulk-copy a string image into memory starting at [addr]. *)
+
+val equal : t -> t -> bool
+(** Content equality over all touched pages (zero pages are equal to
+    untouched ones). *)
+
+val first_difference : t -> t -> int option
+(** Address of the first differing byte, if any — for test-mode
+    diagnostics. *)
+
+val touched_bytes : t -> int
+(** Number of bytes in allocated pages (memory-footprint statistic). *)

@@ -1,0 +1,144 @@
+(** The Primary Processor (§3.1).
+
+    A simple four-stage (fetch, decode, execute, write-back) pipelined SRISC
+    processor. It executes instructions sequentially — it is the engine that
+    runs code the first time it is seen — and hands each completed
+    instruction, together with what was observed while executing it, to the
+    Scheduler Unit.
+
+    Timing follows Table 1 of the paper:
+    - one instruction completes per cycle in the absence of hazards;
+    - there is no branch prediction hardware; {e not-taken} branches cause a
+      3-cycle bubble;
+    - an instruction that uses the result of the immediately preceding load
+      causes a 1-cycle bubble;
+    - instruction and data cache misses stall for their miss penalties. *)
+
+type timing = {
+  not_taken_branch_bubble : int;  (** Table 1: 3 *)
+  load_use_bubble : int;  (** Table 1: 1 *)
+  trap_service_cycles : int;  (** window spill/fill microroutine cost *)
+  latencies : Dts_isa.Instr.latencies;
+      (** execute-stage latencies; multicycle instructions occupy the
+          execute stage for extra cycles *)
+}
+
+let default_timing =
+  {
+    not_taken_branch_bubble = 3;
+    load_use_bubble = 1;
+    trap_service_cycles = 20;
+    latencies = Dts_isa.Instr.unit_latencies;
+  }
+
+(** One completed (retired) instruction with everything the Scheduler Unit
+    needs to know about its execution. *)
+type retired = {
+  instr : Dts_isa.Instr.t;
+  addr : int;  (** the instruction's PC *)
+  cwp : int;  (** window pointer observed at execution (§3.9) *)
+  next_pc : int;
+  taken : bool;  (** direction of a control transfer (§3.5, §3.8) *)
+  mem : (int * int) option;  (** observed effective address and size *)
+  trapped : bool;  (** needed trap service — a non-schedulable occurrence *)
+  cycles : int;  (** cycles this instruction consumed in the pipeline *)
+}
+
+type t = {
+  st : Dts_isa.State.t;
+  icache : Dts_mem.Cache.t;
+  dcache : Dts_mem.Cache.t;
+  timing : timing;
+  mutable last_load_writes : Dts_isa.Storage.t list;
+      (** destinations of the previous instruction if it was a load *)
+  mutable retired_count : int;
+}
+
+let create ?(timing = default_timing) ~icache ~dcache st =
+  { st; icache; dcache; timing; last_load_writes = []; retired_count = 0 }
+
+exception Halted
+
+(** Execute one instruction at the current PC and return its retirement
+    record. Traps are serviced in place (and flagged). Raises {!Halted} when
+    the program stops. *)
+let step t : retired =
+  let st = t.st in
+  if st.halted then raise Halted;
+  let pc = st.pc in
+  let cwp = st.cwp in
+  let cycles = ref 1 in
+  cycles := !cycles + Dts_mem.Cache.access t.icache pc;
+  let instr = Dts_isa.Encode.fetch st.mem ~addr:pc in
+  cycles := !cycles + Dts_isa.Instr.latency t.timing.latencies instr - 1;
+  if instr = Dts_isa.Instr.Halt then begin
+    st.halted <- true;
+    st.instret <- st.instret + 1;
+    t.retired_count <- t.retired_count + 1;
+    raise Halted
+  end;
+  let out = Dts_isa.Semantics.exec st ~cwp ~pc instr in
+  let trapped = out.trap <> None in
+  let out =
+    match out.trap with
+    | None -> out
+    | Some trap ->
+      cycles := !cycles + t.timing.trap_service_cycles;
+      Dts_isa.Semantics.service_and_exec st ~cwp ~pc instr trap
+  in
+  (* load-use bubble: this instruction reads the previous load's result *)
+  let observed_mem =
+    match (out.load, out.store) with
+    | Some (a, s), _ -> Some (a, s)
+    | None, Some (a, s, _) -> Some (a, s)
+    | None, None -> None
+  in
+  (if
+     t.last_load_writes <> []
+     && (observed_mem <> None || not (Dts_isa.Instr.is_mem instr))
+   then
+     let reads, _ =
+       Dts_isa.Rwsets.of_instr ~nwindows:st.nwindows ~cwp ?mem:observed_mem
+         instr
+     in
+     if Dts_isa.Storage.any_overlap reads t.last_load_writes then
+       cycles := !cycles + t.timing.load_use_bubble);
+  (* data cache access *)
+  (match out.load with
+  | Some (a, _) -> cycles := !cycles + Dts_mem.Cache.access t.dcache a
+  | None -> ());
+  (match out.store with
+  | Some (a, _, _) -> cycles := !cycles + Dts_mem.Cache.access t.dcache a
+  | None -> ());
+  (* not-taken branch bubble (Table 1) *)
+  (match instr with
+  | Dts_isa.Instr.Branch { cond; _ }
+    when cond <> Dts_isa.Instr.A && not out.taken ->
+    cycles := !cycles + t.timing.not_taken_branch_bubble
+  | _ -> ());
+  Dts_isa.Semantics.apply st out;
+  t.last_load_writes <-
+    (if Dts_isa.Instr.is_load instr && not trapped then
+       List.filter_map
+         (fun w ->
+           match w with
+           | Dts_isa.Semantics.W_phys (p, _) -> Some (Dts_isa.Storage.Int_reg p)
+           | W_freg (f, _) -> Some (Dts_isa.Storage.Fp_reg f)
+           | W_icc _ | W_win _ -> None)
+         out.writes
+     else []);
+  t.retired_count <- t.retired_count + 1;
+  {
+    instr;
+    addr = pc;
+    cwp;
+    next_pc = out.next_pc;
+    taken = out.taken;
+    mem = observed_mem;
+    trapped;
+    cycles = !cycles;
+  }
+
+(** Invalidate pipeline-local hazard tracking (used when the machine swaps
+    engines — the pipeline is refilled, so stale hazards must not apply). *)
+let reset_hazards t = t.last_load_writes <- []

@@ -1,0 +1,53 @@
+(** The Primary Processor (§3.1): the simple four-stage pipelined SRISC
+    processor that executes code the first time it is seen and feeds the
+    completed-instruction trace to the Scheduler Unit.
+
+    Timing follows Table 1: one instruction per cycle plus a 3-cycle bubble
+    for not-taken branches (no prediction hardware), a 1-cycle load-use
+    bubble, cache miss penalties, multicycle execute latencies and trap
+    service time. *)
+
+type timing = {
+  not_taken_branch_bubble : int;  (** Table 1: 3 *)
+  load_use_bubble : int;  (** Table 1: 1 *)
+  trap_service_cycles : int;  (** window spill/fill microroutine cost *)
+  latencies : Dts_isa.Instr.latencies;
+      (** execute-stage latencies of multicycle instructions *)
+}
+
+val default_timing : timing
+
+(** One completed (retired) instruction together with everything the
+    Scheduler Unit needs to know about its execution (§3.2, §3.9): the
+    observed window pointer, control direction and effective address. *)
+type retired = {
+  instr : Dts_isa.Instr.t;
+  addr : int;  (** the instruction's PC *)
+  cwp : int;  (** window pointer observed at execution *)
+  next_pc : int;
+  taken : bool;  (** recorded direction of a control transfer *)
+  mem : (int * int) option;  (** observed effective address and size *)
+  trapped : bool;  (** needed trap service — a non-schedulable occurrence *)
+  cycles : int;  (** cycles this instruction consumed in the pipeline *)
+}
+
+type t
+
+val create :
+  ?timing:timing ->
+  icache:Dts_mem.Cache.t ->
+  dcache:Dts_mem.Cache.t ->
+  Dts_isa.State.t ->
+  t
+(** A Primary Processor over a shared architectural state — the DTSVLIW's
+    engines share the register file and data cache ports (§3.6). *)
+
+exception Halted
+
+val step : t -> retired
+(** Execute one instruction at the current PC. Traps are serviced in place
+    and flagged in the result. @raise Halted when the program stops. *)
+
+val reset_hazards : t -> unit
+(** Forget pipeline-local hazard state; called when the machine swaps
+    engines and the pipeline refills. *)

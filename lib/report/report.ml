@@ -1,0 +1,55 @@
+(** Plain-text table and CSV rendering for the experiment harness. *)
+
+let f2 v = Printf.sprintf "%.2f" v
+let f1 v = Printf.sprintf "%.1f" v
+let pct v = Printf.sprintf "%.1f%%" (100. *. v)
+
+(** Render an aligned table. The first column is left-aligned, the rest
+    right-aligned, matching how the paper's tables read. *)
+let table ?title ~headers rows =
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure headers;
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+    Buffer.add_string buf t;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+        if i = 0 then Buffer.add_string buf (Printf.sprintf "%-*s" widths.(i) cell)
+        else Buffer.add_string buf (Printf.sprintf "  %*s" widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row headers;
+  let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let csv ~headers rows =
+  let buf = Buffer.create 1024 in
+  let line cells = Buffer.add_string buf (String.concat "," cells ^ "\n") in
+  line headers;
+  List.iter line rows;
+  Buffer.contents buf
+
+(** A labelled series (one line of a figure), rendered as rows of
+    [x, y] pairs with a shared x axis. *)
+let series_table ?title ~x_label ~x_values lines =
+  let headers = x_label :: List.map fst lines in
+  let rows =
+    List.mapi
+      (fun i x ->
+        x :: List.map (fun (_, ys) -> List.nth ys i) lines)
+      x_values
+  in
+  table ?title ~headers rows

@@ -1,0 +1,22 @@
+(** Plain-text table and CSV rendering for the experiment harness. *)
+
+val f2 : float -> string
+(** Two decimal places (the paper's IPC precision). *)
+
+val f1 : float -> string
+val pct : float -> string
+(** Render a fraction as a percentage with one decimal. *)
+
+val table : ?title:string -> headers:string list -> string list list -> string
+(** An aligned table: first column left-aligned, the rest right-aligned. *)
+
+val csv : headers:string list -> string list list -> string
+
+val series_table :
+  ?title:string ->
+  x_label:string ->
+  x_values:string list ->
+  (string * string list) list ->
+  string
+(** Render labelled series (the lines of a figure) as a table with a shared
+    x axis: [series_table ~x_label ~x_values [(label, ys); ...]]. *)

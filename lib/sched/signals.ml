@@ -1,0 +1,166 @@
+(** The §3.7 install/split signal equations, implemented independently of
+    the behavioural scheduler for cross-validation.
+
+    The paper computes, for every candidate instruction [i], boolean
+    dependency signals against the {e installed} instructions of the
+    adjacent long instructions (Td, Rd, Od, Ad, Cd) and against the
+    {e candidate} of element [i-1] alone (CTd, CRd, COd), then combines them
+    with a carry-lookahead-style chain:
+
+    {v
+    install(i) = (i = 0)
+               | Td(i) | Rd(i)
+               | (CTd(i) | CRd(i)) & stay(i-1)
+    split(i)   = (i >= 1) & ~install(i)
+               & ( Od(i) | Ad(i) | Cd(i) | COd(i) & stay(i-1) )
+    stay(i)    = install(i) | split(i)        with stay(0) = true
+    v}
+
+    Erratum note: the paper chains through
+    [Td(i-1)+Rd(i-1)+CTd(i-1)+CRd(i-1)] — i.e. through install(i-1) only. A
+    candidate that {e splits} also leaves its (transformed) companion in
+    place, so the conflict with element [i-1]'s candidate persists exactly
+    when that candidate installs {e or} splits; we therefore chain through
+    [stay(i-1)]. Property tests check this formulation against the
+    behavioural scheduler. *)
+
+open Schedtypes
+
+type signals = {
+  td : bool;  (** true dependency on installed ops in li i-1 *)
+  rd : bool;  (** resource dependency ignoring the i-1 candidate's slot *)
+  od : bool;  (** output dependency on installed ops in li i-1 *)
+  ad : bool;  (** anti dependency on ops in li i *)
+  cd : bool;  (** control dependency: a branch precedes the candidate in li i *)
+  ctd : bool;  (** true dependency caused only by the candidate in i-1 *)
+  crd : bool;  (** resource conflict only with the candidate in i-1 *)
+  cod : bool;  (** output dependency caused only by the candidate in i-1 *)
+}
+
+type verdict = V_install | V_split | V_move
+
+(** Raw dependency signals for the candidate at element [i], from the state
+    at the start of the cycle. [None] when the element has no candidate or
+    is the list head (whose candidate installs unconditionally). *)
+let compute (t : Sched_unit.t) i :
+    (signals * cand * Dts_isa.Storage.t list * Dts_isa.Storage.t list
+    * Dts_isa.Storage.t list)
+    option =
+  let cur = Sched_unit.element t i in
+  match cur.e_cand with
+  | None -> None
+  | Some _ when i = 0 -> None
+  | Some c ->
+    let prev = Sched_unit.element t (i - 1) in
+    let prev_cand_slot =
+      match prev.e_cand with Some pc -> Some pc.c_slot | None -> None
+    in
+    let width = Array.length prev.e_li.slots in
+    let writes_at li k =
+      match li.slots.(k) with Some (op, _) -> slot_arch_writes op | None -> []
+    in
+    let reads_at li k =
+      match li.slots.(k) with Some (op, _) -> slot_arch_reads op | None -> []
+    in
+    let installed_writes = ref [] and cand_writes = ref [] in
+    for k = 0 to width - 1 do
+      let ws = writes_at prev.e_li k in
+      if Some k = prev_cand_slot then cand_writes := ws @ !cand_writes
+      else installed_writes := ws @ !installed_writes
+    done;
+    let reads = c.c_op.reads in
+    let eff_writes = slot_arch_writes (Op c.c_op) in
+    let cur_reads = ref [] in
+    Array.iteri
+      (fun k _ ->
+        if k <> c.c_slot then cur_reads := reads_at cur.e_li k @ !cur_reads)
+      cur.e_li.slots;
+    let suitable k =
+      match (Sched_unit.cfg t).slot_classes with
+      | None -> true
+      | Some classes -> (
+        match classes.(k) with None -> true | Some cls -> cls = c.c_op.fu)
+    in
+    let free = ref 0 and cand_slot_suitable = ref false in
+    for k = 0 to width - 1 do
+      if suitable k then
+        if prev.e_li.slots.(k) = None then incr free
+        else if Some k = prev_cand_slot then cand_slot_suitable := true
+    done;
+    let s =
+      {
+        td = Dts_isa.Storage.any_overlap reads !installed_writes;
+        ctd = Dts_isa.Storage.any_overlap reads !cand_writes;
+        od = Dts_isa.Storage.any_overlap eff_writes !installed_writes;
+        cod = Dts_isa.Storage.any_overlap eff_writes !cand_writes;
+        ad = Dts_isa.Storage.any_overlap eff_writes !cur_reads;
+        cd = c.c_tag >= 1;
+        rd = !free = 0 && not !cand_slot_suitable;
+        crd = !free = 0 && !cand_slot_suitable;
+      }
+    in
+    Some (s, c, !installed_writes, !cand_writes, !cur_reads)
+
+(** Evaluate the full lookahead chain for all candidates of [t] at the
+    start of a cycle. Returns [(element index, verdict)] for each element
+    holding a candidate, mirroring what {!Sched_unit.tick} will decide. *)
+let verdicts (t : Sched_unit.t) : (int * verdict) list =
+  let n = Sched_unit.length t in
+  let stay = Array.make (max n 1) true in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    let el = Sched_unit.element t i in
+    match el.e_cand with
+    | None -> stay.(i) <- true
+    | Some _ ->
+      if i = 0 then begin
+        stay.(i) <- true;
+        out := (i, V_install) :: !out
+      end
+      else begin
+        match compute t i with
+        | None -> ()
+        | Some (s, c, installed_writes, cand_writes, cur_reads) ->
+          let chain = stay.(i - 1) in
+          let install_sig = s.td || s.rd || ((s.ctd || s.crd) && chain) in
+          let split_cause = s.od || s.ad || s.cd || (s.cod && chain) in
+          let verdict =
+            if install_sig then V_install
+            else if not split_cause then V_move
+            else begin
+              (* which positions a split would have to rename, mirroring the
+                 behavioural scheduler's rename set *)
+              let eff_writes = slot_arch_writes (Op c.c_op) in
+              let overlap_any p l =
+                List.exists (Dts_isa.Storage.overlaps p) l
+              in
+              let rename_arch =
+                List.filter
+                  (fun p ->
+                    match p with
+                    | Dts_isa.Storage.Ren _ -> false
+                    | _ ->
+                      s.cd || overlap_any p cur_reads
+                      || overlap_any p installed_writes
+                      || (chain && overlap_any p cand_writes))
+                  eff_writes
+              in
+              let rechain_needed =
+                s.cd && (Sched_unit.cfg t).resplit_on_control
+                && List.exists
+                     (fun (p, _) -> not (List.mem p rename_arch))
+                     c.c_op.redirect
+              in
+              if
+                (not (Sched_unit.cfg t).renaming)
+                || List.mem Dts_isa.Storage.Win rename_arch
+              then V_install
+              else if rename_arch = [] && not rechain_needed then V_move
+              else V_split
+            end
+          in
+          stay.(i) <- verdict <> V_move;
+          out := (i, verdict) :: !out
+      end
+  done;
+  List.rev !out

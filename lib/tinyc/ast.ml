@@ -1,0 +1,63 @@
+(** Abstract syntax of tinyc, the small C-like language used to author the
+    SPECint95-analogue workloads (DESIGN.md §5). Only [int] and
+    one-dimensional [int] arrays exist; control flow is if/while/for with
+    break/continue; functions use the SPARC register-window calling
+    convention when compiled. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | BAnd
+  | BOr
+  | BXor
+  | Shl
+  | Shr  (** arithmetic shift right *)
+  | Lshr  (** logical shift right *)
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Ult  (** unsigned comparisons, for hash/bit workloads *)
+  | Uge
+  | LAnd  (** short-circuit *)
+  | LOr
+
+type unop = Neg | Not | BNot
+
+type expr =
+  | Num of int
+  | Var of string
+  | Index of string * expr  (** a[e] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+
+type stmt =
+  | Expr of expr
+  | Assign of string * expr
+  | Store of string * expr * expr  (** a[e1] = e2 *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt * expr * stmt * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Decl of string * expr option  (** local scalar with optional init *)
+  | DeclArr of string * int  (** local array of fixed size *)
+
+type func = {
+  name : string;
+  params : string list;
+  body : stmt list;
+}
+
+type global =
+  | Gvar of string * int  (** name, initial value *)
+  | Garr of string * int * int list  (** name, size, initial prefix *)
+
+type program = { globals : global list; funcs : func list }

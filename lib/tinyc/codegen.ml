@@ -1,0 +1,612 @@
+(** SRISC code generation for tinyc.
+
+    Calling convention (SPARC register windows, no delay slots):
+    - arguments in %o0..%o5 at the call site, visible as %i0..%i5 after the
+      callee's [save];
+    - return value written to the callee's %i0 (= the caller's %o0);
+    - epilogue is [restore] then [retl];
+    - %l0..%l7 hold the first eight local scalars (window-private, safe
+      across calls); further scalars and all local arrays live in the stack
+      frame;
+    - %g1..%g4 and %o0..%o5 form the expression scratch pool and are
+      caller-saved (spilled to frame temporaries around calls). *)
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type loc = Lreg of int | Lstack of int  (** byte offset from %sp *)
+
+type env = {
+  body : Buffer.t;
+  mutable labels : int;
+  vars : (string, loc) Hashtbl.t;
+  globals : (string, [ `Scalar | `Array ]) Hashtbl.t;
+  func_names : (string, int) Hashtbl.t;  (** name -> arity *)
+  mutable free : int list;  (** free scratch registers *)
+  mutable live : int list;  (** allocated scratch registers *)
+  mutable n_temps : int;  (** high-water mark of frame temp slots *)
+  mutable temp_sp : int;  (** temp-slot stack pointer (nested calls) *)
+  locals_bytes : int;  (** stack bytes for locals/arrays, before temps *)
+  mutable loop_labels : (string * string) list;  (** (break, continue) *)
+  epilogue : string;
+  fname : string;
+}
+
+let scratch_pool = [ 1; 2; 3; 4; 8; 9; 10; 11; 12; 13 ] (* %g1-4, %o0-5 *)
+
+let reg_name r = Dts_isa.Disasm.reg_name r
+
+let emit env fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string env.body "        ";
+      Buffer.add_string env.body s;
+      Buffer.add_char env.body '\n')
+    fmt
+
+let emit_label env l = Buffer.add_string env.body (l ^ ":\n")
+
+let fresh_label env prefix =
+  env.labels <- env.labels + 1;
+  Printf.sprintf ".L%s_%s%d" env.fname prefix env.labels
+
+let alloc env =
+  match env.free with
+  | r :: rest ->
+    env.free <- rest;
+    env.live <- r :: env.live;
+    r
+  | [] ->
+    error "function %s: expression too deep for the scratch pool" env.fname
+
+let free env r =
+  if not (List.mem r env.live) then error "internal: freeing dead register";
+  env.live <- List.filter (fun x -> x <> r) env.live;
+  env.free <- r :: env.free
+
+(* frame temporaries are allocated stack-wise so that calls nested inside
+   another call's argument list use fresh slots *)
+let push_temp env =
+  let k = env.temp_sp in
+  env.temp_sp <- k + 1;
+  if env.temp_sp > env.n_temps then env.n_temps <- env.temp_sp;
+  env.locals_bytes + (k * 4)
+
+let fits_simm12 v = v >= -2048 && v < 2048
+
+(** An expression result: either a scratch register we own (and must free)
+    or a borrowed register — a local or parameter that lives in a
+    window-private register and may be read directly as an operand. This is
+    what keeps generated code free of -O0-style mov chains: [i = i + 1]
+    compiles to a single [add %l0, 1, %l0]. *)
+type value = Owned of int | Borrowed of int
+
+let vreg = function Owned r -> r | Borrowed r -> r
+
+let release env = function Owned r -> free env r | Borrowed _ -> ()
+
+(* a register that may legally receive a result: reuse an owned operand,
+   else allocate *)
+let writable env = function Owned r -> r | Borrowed _ -> alloc env
+
+(* load an immediate into a register *)
+let emit_imm env v r =
+  if fits_simm12 v then emit env "mov %d, %s" v (reg_name r)
+  else emit env "set %d, %s" v (reg_name r)
+
+(* address a stack slot, handling large offsets via a scratch register *)
+let emit_slot_ld env off r =
+  if fits_simm12 off then emit env "ld [%%sp+%d], %s" off (reg_name r)
+  else begin
+    emit env "set %d, %s" off (reg_name r);
+    emit env "ld [%%sp+%s], %s" (reg_name r) (reg_name r)
+  end
+
+let emit_slot_st env r off =
+  if fits_simm12 off then emit env "st %s, [%%sp+%d]" (reg_name r) off
+  else begin
+    let t = alloc env in
+    emit env "set %d, %s" off (reg_name t);
+    emit env "add %%sp, %s, %s" (reg_name t) (reg_name t);
+    emit env "st %s, [%s]" (reg_name r) (reg_name t);
+    free env t
+  end
+
+let binop_mnemonic : Ast.binop -> string option = function
+  | Add -> Some "add"
+  | Sub -> Some "sub"
+  | Mul -> Some "smul"
+  | Div -> Some "sdiv"
+  | BAnd -> Some "and"
+  | BOr -> Some "or"
+  | BXor -> Some "xor"
+  | Shl -> Some "sll"
+  | Shr -> Some "sra"
+  | Lshr -> Some "srl"
+  | Mod | Eq | Neq | Lt | Le | Gt | Ge | Ult | Uge | LAnd | LOr -> None
+
+let cmp_branch ~negate : Ast.binop -> string = function
+  | Eq -> if negate then "bne" else "be"
+  | Neq -> if negate then "be" else "bne"
+  | Lt -> if negate then "bge" else "bl"
+  | Le -> if negate then "bg" else "ble"
+  | Gt -> if negate then "ble" else "bg"
+  | Ge -> if negate then "bl" else "bge"
+  | Ult -> if negate then "bgeu" else "blu"
+  | Uge -> if negate then "blu" else "bgeu"
+  | _ -> assert false
+
+let is_cmp : Ast.binop -> bool = function
+  | Eq | Neq | Lt | Le | Gt | Ge | Ult | Uge -> true
+  | _ -> false
+
+let rec gen_expr env (e : Ast.expr) : value =
+  match e with
+  | Num n ->
+    let r = alloc env in
+    emit_imm env n r;
+    Owned r
+  | Var name -> (
+    match Hashtbl.find_opt env.vars name with
+    | Some (Lreg l) -> Borrowed l
+    | Some (Lstack off) ->
+      let r = alloc env in
+      emit_slot_ld env off r;
+      Owned r
+    | None ->
+      if not (Hashtbl.mem env.globals name) then
+        error "%s: unknown variable %s" env.fname name;
+      let r = alloc env in
+      emit env "set g_%s, %s" name (reg_name r);
+      emit env "ld [%s], %s" (reg_name r) (reg_name r);
+      Owned r)
+  | Index (name, idx) ->
+    let vi = gen_expr env idx in
+    let r = writable env vi in
+    emit env "sll %s, 2, %s" (reg_name (vreg vi)) (reg_name r);
+    let vb = gen_base_addr env name in
+    emit env "ld [%s+%s], %s" (reg_name (vreg vb)) (reg_name r) (reg_name r);
+    release env vb;
+    Owned r
+  | Unop (Neg, e) ->
+    let v = gen_expr env e in
+    let r = writable env v in
+    emit env "sub %%g0, %s, %s" (reg_name (vreg v)) (reg_name r);
+    Owned r
+  | Unop (BNot, e) ->
+    let v = gen_expr env e in
+    let r = writable env v in
+    emit env "xnor %%g0, %s, %s" (reg_name (vreg v)) (reg_name r);
+    Owned r
+  | Unop (Not, _) | Binop ((LAnd | LOr), _, _) -> Owned (gen_bool_value env e)
+  | Binop (op, _, _) when is_cmp op -> Owned (gen_bool_value env e)
+  | Binop (Mod, a, Num n) when fits_simm12 n && n <> 0 ->
+    let va = gen_expr env a in
+    let rq = alloc env in
+    emit env "sdiv %s, %d, %s" (reg_name (vreg va)) n (reg_name rq);
+    emit env "smul %s, %d, %s" (reg_name rq) n (reg_name rq);
+    let r = writable env va in
+    emit env "sub %s, %s, %s" (reg_name (vreg va)) (reg_name rq) (reg_name r);
+    free env rq;
+    Owned r
+  | Binop (Mod, a, b) ->
+    let va = gen_expr env a in
+    let vb = gen_expr env b in
+    let rq = alloc env in
+    emit env "sdiv %s, %s, %s" (reg_name (vreg va)) (reg_name (vreg vb))
+      (reg_name rq);
+    emit env "smul %s, %s, %s" (reg_name rq) (reg_name (vreg vb)) (reg_name rq);
+    let r = writable env va in
+    emit env "sub %s, %s, %s" (reg_name (vreg va)) (reg_name rq) (reg_name r);
+    free env rq;
+    release env vb;
+    Owned r
+  | Binop (op, a, Num n) when binop_mnemonic op <> None && fits_simm12 n ->
+    let va = gen_expr env a in
+    let r = writable env va in
+    emit env "%s %s, %d, %s"
+      (Option.get (binop_mnemonic op))
+      (reg_name (vreg va))
+      n (reg_name r);
+    Owned r
+  | Binop (op, a, b) -> (
+    match binop_mnemonic op with
+    | Some m ->
+      let va = gen_expr env a in
+      let vb = gen_expr env b in
+      let r = writable env va in
+      emit env "%s %s, %s, %s" m
+        (reg_name (vreg va))
+        (reg_name (vreg vb))
+        (reg_name r);
+      release env vb;
+      (match va with
+      | Borrowed _ -> ()
+      | Owned ra -> if ra <> r then free env ra);
+      Owned r
+    | None -> assert false)
+  | Call (fname, args) -> Owned (gen_call env fname args)
+
+(* base address of an array (local or global) *)
+and gen_base_addr env name : value =
+  match Hashtbl.find_opt env.vars name with
+  | Some (Lstack off) ->
+    let r = alloc env in
+    if fits_simm12 off then emit env "add %%sp, %d, %s" off (reg_name r)
+    else begin
+      emit env "set %d, %s" off (reg_name r);
+      emit env "add %%sp, %s, %s" (reg_name r) (reg_name r)
+    end;
+    Owned r
+  | Some (Lreg _) -> error "%s: %s is a scalar, not an array" env.fname name
+  | None ->
+    if not (Hashtbl.mem env.globals name) then
+      error "%s: unknown array %s" env.fname name;
+    let r = alloc env in
+    emit env "set g_%s, %s" name (reg_name r);
+    Owned r
+
+and gen_call env fname args =
+  (match Hashtbl.find_opt env.func_names fname with
+  | None -> error "%s: call to unknown function %s" env.fname fname
+  | Some arity ->
+    if arity <> List.length args then
+      error "%s: %s expects %d arguments, got %d" env.fname fname arity
+        (List.length args));
+  if List.length args > 6 then error "%s: more than 6 arguments" env.fname;
+  let temp_base = env.temp_sp in
+  (* save live scratch registers (caller-saved pool) to frame temporaries *)
+  let spilled =
+    List.map
+      (fun r ->
+        let slot = push_temp env in
+        emit_slot_st env r slot;
+        (r, slot))
+      env.live
+  in
+  (* evaluate arguments left to right into temporaries; nested calls in an
+     argument expression allocate their own slots above ours. A lone
+     borrowed (window-private) variable is safe across the moves and loads
+     directly into its argument register below. *)
+  let arg_values =
+    List.map
+      (fun a ->
+        match gen_expr env a with
+        | Borrowed l -> `Reg l
+        | Owned r ->
+          let slot = push_temp env in
+          emit_slot_st env r slot;
+          free env r;
+          `Slot slot)
+      args
+  in
+  (* load arguments into the outgoing registers *)
+  List.iteri
+    (fun k v ->
+      match v with
+      | `Slot slot -> emit_slot_ld env slot (8 + k)
+      | `Reg l -> emit env "mov %s, %s" (reg_name l) (reg_name (8 + k)))
+    arg_values;
+  emit env "call f_%s" fname;
+  (* capture the return value before refilling spilled registers *)
+  let r = alloc env in
+  emit env "mov %%o0, %s" (reg_name r);
+  List.iter (fun (reg, slot) -> emit_slot_ld env slot reg) spilled;
+  env.temp_sp <- temp_base;
+  r
+
+(* branch to [target] when the truth value of [e] equals [when_true] *)
+and gen_branch env (e : Ast.expr) ~target ~when_true =
+  match e with
+  | Ast.Unop (Not, e) -> gen_branch env e ~target ~when_true:(not when_true)
+  | Ast.Binop (op, a, b) when is_cmp op ->
+    let va = gen_expr env a in
+    let vb =
+      match b with
+      | Ast.Num n when fits_simm12 n -> `Imm n
+      | _ -> `Val (gen_expr env b)
+    in
+    (match vb with
+    | `Imm n -> emit env "cmp %s, %d" (reg_name (vreg va)) n
+    | `Val vb ->
+      emit env "cmp %s, %s" (reg_name (vreg va)) (reg_name (vreg vb));
+      release env vb);
+    release env va;
+    emit env "%s %s" (cmp_branch ~negate:(not when_true) op) target
+  | Ast.Binop (LAnd, a, b) ->
+    if when_true then begin
+      let skip = fresh_label env "and" in
+      gen_branch env a ~target:skip ~when_true:false;
+      gen_branch env b ~target ~when_true:true;
+      emit_label env skip
+    end
+    else begin
+      gen_branch env a ~target ~when_true:false;
+      gen_branch env b ~target ~when_true:false
+    end
+  | Ast.Binop (LOr, a, b) ->
+    if when_true then begin
+      gen_branch env a ~target ~when_true:true;
+      gen_branch env b ~target ~when_true:true
+    end
+    else begin
+      let skip = fresh_label env "or" in
+      gen_branch env a ~target:skip ~when_true:true;
+      gen_branch env b ~target ~when_true:false;
+      emit_label env skip
+    end
+  | Ast.Num n -> if n <> 0 = when_true then emit env "ba %s" target
+  | _ ->
+    let v = gen_expr env e in
+    emit env "cmp %s, 0" (reg_name (vreg v));
+    release env v;
+    emit env "%s %s" (if when_true then "bne" else "be") target
+
+(* materialise a boolean (0/1) value *)
+and gen_bool_value env e =
+  let r = alloc env in
+  let ltrue = fresh_label env "t" in
+  let lend = fresh_label env "d" in
+  gen_branch env e ~target:ltrue ~when_true:true;
+  emit env "mov 0, %s" (reg_name r);
+  emit env "ba %s" lend;
+  emit_label env ltrue;
+  emit env "mov 1, %s" (reg_name r);
+  emit_label env lend;
+  r
+
+(* evaluate [e] directly into register [dst] (a local), avoiding the extra
+   move for the common [x = a op b] shapes *)
+let gen_into env dst (e : Ast.expr) =
+  match e with
+  | Ast.Num n -> emit_imm env n dst
+  | Ast.Var _ | Ast.Index _ | Ast.Unop _ | Ast.Call _
+  | Ast.Binop ((LAnd | LOr), _, _) -> (
+    match gen_expr env e with
+    | Borrowed l -> if l <> dst then emit env "mov %s, %s" (reg_name l) (reg_name dst)
+    | Owned r ->
+      emit env "mov %s, %s" (reg_name r) (reg_name dst);
+      free env r)
+  | Ast.Binop (op, a, Num n) when binop_mnemonic op <> None && fits_simm12 n ->
+    let va = gen_expr env a in
+    emit env "%s %s, %d, %s"
+      (Option.get (binop_mnemonic op))
+      (reg_name (vreg va))
+      n (reg_name dst);
+    release env va
+  | Ast.Binop (op, a, b) when binop_mnemonic op <> None ->
+    let va = gen_expr env a in
+    let vb = gen_expr env b in
+    emit env "%s %s, %s, %s"
+      (Option.get (binop_mnemonic op))
+      (reg_name (vreg va))
+      (reg_name (vreg vb))
+      (reg_name dst);
+    release env va;
+    release env vb
+  | Ast.Binop _ -> (
+    match gen_expr env e with
+    | Borrowed l -> if l <> dst then emit env "mov %s, %s" (reg_name l) (reg_name dst)
+    | Owned r ->
+      emit env "mov %s, %s" (reg_name r) (reg_name dst);
+      free env r)
+
+let store_var env name (v : value) =
+  match Hashtbl.find_opt env.vars name with
+  | Some (Lreg l) ->
+    if vreg v <> l then emit env "mov %s, %s" (reg_name (vreg v)) (reg_name l)
+  | Some (Lstack off) -> emit_slot_st env (vreg v) off
+  | None ->
+    if not (Hashtbl.mem env.globals name) then
+      error "%s: unknown variable %s" env.fname name;
+    let t = alloc env in
+    emit env "set g_%s, %s" name (reg_name t);
+    emit env "st %s, [%s]" (reg_name (vreg v)) (reg_name t);
+    free env t
+
+let rec gen_stmt env (s : Ast.stmt) =
+  match s with
+  | Expr e ->
+    let v = gen_expr env e in
+    release env v
+  | Assign (name, e) -> (
+    match Hashtbl.find_opt env.vars name with
+    | Some (Lreg l) -> gen_into env l e
+    | _ ->
+      let v = gen_expr env e in
+      store_var env name v;
+      release env v)
+  | Store (name, idx, e) ->
+    let vi = gen_expr env idx in
+    let ri = writable env vi in
+    emit env "sll %s, 2, %s" (reg_name (vreg vi)) (reg_name ri);
+    let vb = gen_base_addr env name in
+    emit env "add %s, %s, %s" (reg_name (vreg vb)) (reg_name ri)
+      (reg_name (vreg vb));
+    free env ri;
+    let vv = gen_expr env e in
+    emit env "st %s, [%s]" (reg_name (vreg vv)) (reg_name (vreg vb));
+    release env vv;
+    release env vb
+  | Decl (name, init) -> (
+    match init with
+    | None -> ()
+    | Some e -> (
+      match Hashtbl.find_opt env.vars name with
+      | Some (Lreg l) -> gen_into env l e
+      | _ ->
+        let v = gen_expr env e in
+        store_var env name v;
+        release env v))
+  | DeclArr _ -> ()
+  | If (cond, then_, else_) ->
+    let lelse = fresh_label env "else" in
+    let lend = fresh_label env "fi" in
+    gen_branch env cond ~target:lelse ~when_true:false;
+    List.iter (gen_stmt env) then_;
+    if else_ <> [] then begin
+      emit env "ba %s" lend;
+      emit_label env lelse;
+      List.iter (gen_stmt env) else_;
+      emit_label env lend
+    end
+    else emit_label env lelse
+  | While (cond, body) ->
+    let lloop = fresh_label env "while" in
+    let lend = fresh_label env "wend" in
+    emit_label env lloop;
+    gen_branch env cond ~target:lend ~when_true:false;
+    env.loop_labels <- (lend, lloop) :: env.loop_labels;
+    List.iter (gen_stmt env) body;
+    env.loop_labels <- List.tl env.loop_labels;
+    emit env "ba %s" lloop;
+    emit_label env lend
+  | For (init, cond, step, body) ->
+    gen_stmt env init;
+    let lloop = fresh_label env "for" in
+    let lcont = fresh_label env "fstep" in
+    let lend = fresh_label env "fend" in
+    emit_label env lloop;
+    gen_branch env cond ~target:lend ~when_true:false;
+    env.loop_labels <- (lend, lcont) :: env.loop_labels;
+    List.iter (gen_stmt env) body;
+    env.loop_labels <- List.tl env.loop_labels;
+    emit_label env lcont;
+    gen_stmt env step;
+    emit env "ba %s" lloop;
+    emit_label env lend
+  | Break -> (
+    match env.loop_labels with
+    | (lend, _) :: _ -> emit env "ba %s" lend
+    | [] -> error "%s: break outside loop" env.fname)
+  | Continue -> (
+    match env.loop_labels with
+    | (_, lcont) :: _ -> emit env "ba %s" lcont
+    | [] -> error "%s: continue outside loop" env.fname)
+  | Return e ->
+    (match e with
+    | Some e -> gen_into env 24 e (* %i0 *)
+    | None -> ());
+    emit env "ba %s" env.epilogue
+
+(* pre-scan: assign every local (params + decls) a location *)
+let assign_locations fname params body =
+  let vars = Hashtbl.create 16 in
+  let next_lreg = ref 16 (* %l0 *) in
+  let stack_off = ref 0 in
+  let add_scalar name =
+    if Hashtbl.mem vars name then error "%s: duplicate variable %s" fname name;
+    if !next_lreg < 24 then begin
+      Hashtbl.replace vars name (Lreg !next_lreg);
+      incr next_lreg
+    end
+    else begin
+      Hashtbl.replace vars name (Lstack !stack_off);
+      stack_off := !stack_off + 4
+    end
+  in
+  let add_array name size =
+    if Hashtbl.mem vars name then error "%s: duplicate variable %s" fname name;
+    Hashtbl.replace vars name (Lstack !stack_off);
+    stack_off := !stack_off + (4 * size)
+  in
+  (* parameters land in %i0..%i5 *)
+  List.iteri
+    (fun k p ->
+      if k >= 6 then error "%s: more than 6 parameters" fname;
+      if Hashtbl.mem vars p then error "%s: duplicate parameter %s" fname p;
+      Hashtbl.replace vars p (Lreg (24 + k)))
+    params;
+  let rec scan stmts =
+    List.iter
+      (fun (s : Ast.stmt) ->
+        match s with
+        | Decl (name, _) -> add_scalar name
+        | DeclArr (name, size) -> add_array name size
+        | If (_, a, b) ->
+          scan a;
+          scan b
+        | While (_, b) -> scan b
+        | For (i, _, st, b) ->
+          scan [ i ];
+          scan [ st ];
+          scan b
+        | Expr _ | Assign _ | Store _ | Return _ | Break | Continue -> ())
+      stmts
+  in
+  scan body;
+  (vars, !stack_off)
+
+let gen_func ~globals ~func_names (f : Ast.func) =
+  let vars, locals_bytes = assign_locations f.name f.params f.body in
+  let env =
+    {
+      body = Buffer.create 1024;
+      labels = 0;
+      vars;
+      globals;
+      func_names;
+      free = scratch_pool;
+      live = [];
+      n_temps = 0;
+      temp_sp = 0;
+      locals_bytes;
+      loop_labels = [];
+      epilogue = Printf.sprintf ".L%s_epilogue" f.name;
+      fname = f.name;
+    }
+  in
+  List.iter (gen_stmt env) f.body;
+  if env.live <> [] then error "%s: internal scratch leak" f.name;
+  let frame = locals_bytes + (env.n_temps * 4) in
+  let frame = (frame + 7) / 8 * 8 in
+  let out = Buffer.create (Buffer.length env.body + 256) in
+  Printf.bprintf out "f_%s:\n" f.name;
+  Printf.bprintf out "        save %%sp, %d, %%sp\n" (-(frame + 64));
+  Buffer.add_buffer out env.body;
+  Printf.bprintf out "%s:\n" env.epilogue;
+  Printf.bprintf out "        restore\n";
+  Printf.bprintf out "        retl\n";
+  Buffer.contents out
+
+(** Compile a tinyc program to SRISC assembly source. The entry point calls
+    [main] and halts. *)
+let to_assembly (prog : Ast.program) =
+  let globals = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ast.global) ->
+      match g with
+      | Gvar (name, _) -> Hashtbl.replace globals name `Scalar
+      | Garr (name, _, _) -> Hashtbl.replace globals name `Array)
+    prog.globals;
+  let func_names = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem func_names f.name then error "duplicate function %s" f.name;
+      Hashtbl.replace func_names f.name (List.length f.params))
+    prog.funcs;
+  if not (Hashtbl.mem func_names "main") then error "no main function";
+  let out = Buffer.create 4096 in
+  Buffer.add_string out "        .data\n";
+  List.iter
+    (fun (g : Ast.global) ->
+      match g with
+      | Gvar (name, init) -> Printf.bprintf out "g_%s: .word %d\n" name init
+      | Garr (name, size, init) ->
+        if List.length init > size then error "initialiser too long for %s" name;
+        Printf.bprintf out "g_%s:" name;
+        if init <> [] then
+          Printf.bprintf out " .word %s"
+            (String.concat ", " (List.map string_of_int init));
+        Buffer.add_char out '\n';
+        let rest = size - List.length init in
+        if rest > 0 then Printf.bprintf out "        .space %d\n" (rest * 4))
+    prog.globals;
+  Buffer.add_string out "        .text\n";
+  Buffer.add_string out "start:  call f_main\n";
+  Buffer.add_string out "        halt\n";
+  List.iter
+    (fun f -> Buffer.add_string out (gen_func ~globals ~func_names f))
+    prog.funcs;
+  Buffer.contents out

@@ -1,0 +1,245 @@
+(** Hand-written lexer for tinyc. *)
+
+type token =
+  | INT_KW
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | RETURN
+  | BREAK
+  | CONTINUE
+  | IDENT of string
+  | NUM of int
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | BAR
+  | CARET
+  | SHL
+  | SHR
+  | LSHR
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ULT
+  | UGE
+  | ANDAND
+  | OROR
+  | BANG
+  | TILDE
+  | EOF
+
+exception Error of { line : int; msg : string }
+
+type t = { src : string; mutable pos : int; mutable line : int }
+
+let make src = { src; pos = 0; line = 1 }
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with Some '\n' -> lx.line <- lx.line + 1 | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_ws lx
+  | Some '/'
+    when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+    while peek_char lx <> None && peek_char lx <> Some '\n' do
+      advance lx
+    done;
+    skip_ws lx
+  | Some '/'
+    when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '*' ->
+    advance lx;
+    advance lx;
+    let rec go () =
+      match peek_char lx with
+      | None -> raise (Error { line = lx.line; msg = "unterminated comment" })
+      | Some '*'
+        when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+        advance lx;
+        advance lx
+      | Some _ ->
+        advance lx;
+        go ()
+    in
+    go ();
+    skip_ws lx
+  | _ -> ()
+
+let keyword = function
+  | "int" -> Some INT_KW
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "while" -> Some WHILE
+  | "for" -> Some FOR
+  | "return" -> Some RETURN
+  | "break" -> Some BREAK
+  | "continue" -> Some CONTINUE
+  | _ -> None
+
+(** Next token (with its source line). *)
+let next lx : token * int =
+  skip_ws lx;
+  let line = lx.line in
+  let two a rest_tok one_tok =
+    advance lx;
+    if peek_char lx = Some a then begin
+      advance lx;
+      rest_tok
+    end
+    else one_tok
+  in
+  match peek_char lx with
+  | None -> (EOF, line)
+  | Some c when is_digit c ->
+    let start = lx.pos in
+    let hex =
+      c = '0'
+      && lx.pos + 1 < String.length lx.src
+      && (lx.src.[lx.pos + 1] = 'x' || lx.src.[lx.pos + 1] = 'X')
+    in
+    if hex then begin
+      advance lx;
+      advance lx
+    end;
+    let is_num_char ch =
+      is_digit ch
+      || (hex && ((ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F')))
+    in
+    while (match peek_char lx with Some ch -> is_num_char ch | None -> false) do
+      advance lx
+    done;
+    let text = String.sub lx.src start (lx.pos - start) in
+    (match int_of_string_opt text with
+    | Some n -> (NUM n, line)
+    | None -> raise (Error { line; msg = "bad number " ^ text }))
+  | Some c when is_ident_start c ->
+    let start = lx.pos in
+    while
+      match peek_char lx with Some ch -> is_ident_char ch | None -> false
+    do
+      advance lx
+    done;
+    let text = String.sub lx.src start (lx.pos - start) in
+    ((match keyword text with Some k -> k | None -> IDENT text), line)
+  | Some '(' ->
+    advance lx;
+    (LPAREN, line)
+  | Some ')' ->
+    advance lx;
+    (RPAREN, line)
+  | Some '{' ->
+    advance lx;
+    (LBRACE, line)
+  | Some '}' ->
+    advance lx;
+    (RBRACE, line)
+  | Some '[' ->
+    advance lx;
+    (LBRACKET, line)
+  | Some ']' ->
+    advance lx;
+    (RBRACKET, line)
+  | Some ';' ->
+    advance lx;
+    (SEMI, line)
+  | Some ',' ->
+    advance lx;
+    (COMMA, line)
+  | Some '+' ->
+    advance lx;
+    (PLUS, line)
+  | Some '-' ->
+    advance lx;
+    (MINUS, line)
+  | Some '*' ->
+    advance lx;
+    (STAR, line)
+  | Some '/' ->
+    advance lx;
+    (SLASH, line)
+  | Some '%' ->
+    advance lx;
+    (PERCENT, line)
+  | Some '^' ->
+    advance lx;
+    (CARET, line)
+  | Some '~' ->
+    advance lx;
+    (TILDE, line)
+  | Some '&' -> (two '&' ANDAND AMP, line)
+  | Some '|' -> (two '|' OROR BAR, line)
+  | Some '=' -> (two '=' EQ ASSIGN, line)
+  | Some '!' -> (two '=' NEQ BANG, line)
+  | Some '<' ->
+    advance lx;
+    (match peek_char lx with
+    | Some '=' ->
+      advance lx;
+      (LE, line)
+    | Some '<' ->
+      advance lx;
+      (SHL, line)
+    | Some ':' ->
+      (* <: unsigned less-than *)
+      advance lx;
+      (ULT, line)
+    | _ -> (LT, line))
+  | Some '>' ->
+    advance lx;
+    (match peek_char lx with
+    | Some '=' ->
+      advance lx;
+      (GE, line)
+    | Some '>' ->
+      advance lx;
+      (match peek_char lx with
+      | Some '>' ->
+        advance lx;
+        (LSHR, line)
+      | _ -> (SHR, line))
+    | Some ':' ->
+      (* >: unsigned greater-or-equal *)
+      advance lx;
+      (UGE, line)
+    | _ -> (GT, line))
+  | Some c ->
+    raise (Error { line; msg = Printf.sprintf "unexpected character %C" c })
+
+(** Tokenise the whole source. *)
+let tokenize src =
+  let lx = make src in
+  let rec go acc =
+    let tok, line = next lx in
+    if tok = EOF then List.rev ((EOF, line) :: acc) else go ((tok, line) :: acc)
+  in
+  go []

@@ -1,0 +1,362 @@
+(** Recursive-descent parser for tinyc with precedence-climbing expression
+    parsing. *)
+
+exception Error of { line : int; msg : string }
+
+type t = { mutable toks : (Lexer.token * int) list }
+
+let error p fmt =
+  let line = match p.toks with (_, l) :: _ -> l | [] -> 0 in
+  Printf.ksprintf (fun msg -> raise (Error { line; msg })) fmt
+
+let peek p = match p.toks with (t, _) :: _ -> t | [] -> Lexer.EOF
+
+let advance p =
+  match p.toks with _ :: rest -> p.toks <- rest | [] -> ()
+
+let expect p tok what =
+  if peek p = tok then advance p else error p "expected %s" what
+
+let expect_ident p what =
+  match peek p with
+  | Lexer.IDENT name ->
+    advance p;
+    name
+  | _ -> error p "expected %s" what
+
+(* precedence table; higher binds tighter *)
+let binop_of_token : Lexer.token -> (Ast.binop * int) option = function
+  | OROR -> Some (LOr, 1)
+  | ANDAND -> Some (LAnd, 2)
+  | BAR -> Some (BOr, 3)
+  | CARET -> Some (BXor, 4)
+  | AMP -> Some (BAnd, 5)
+  | EQ -> Some (Eq, 6)
+  | NEQ -> Some (Neq, 6)
+  | LT -> Some (Lt, 7)
+  | LE -> Some (Le, 7)
+  | GT -> Some (Gt, 7)
+  | GE -> Some (Ge, 7)
+  | ULT -> Some (Ult, 7)
+  | UGE -> Some (Uge, 7)
+  | SHL -> Some (Shl, 8)
+  | SHR -> Some (Shr, 8)
+  | LSHR -> Some (Lshr, 8)
+  | PLUS -> Some (Add, 9)
+  | MINUS -> Some (Sub, 9)
+  | STAR -> Some (Mul, 10)
+  | SLASH -> Some (Div, 10)
+  | PERCENT -> Some (Mod, 10)
+  | _ -> None
+
+let rec parse_expr p = parse_binop p 0
+
+and parse_binop p min_prec =
+  let lhs = ref (parse_unary p) in
+  let rec loop () =
+    match binop_of_token (peek p) with
+    | Some (op, prec) when prec >= min_prec ->
+      advance p;
+      let rhs = parse_binop p (prec + 1) in
+      lhs := Ast.Binop (op, !lhs, rhs);
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_unary p =
+  match peek p with
+  | MINUS ->
+    advance p;
+    Ast.Unop (Neg, parse_unary p)
+  | BANG ->
+    advance p;
+    Ast.Unop (Not, parse_unary p)
+  | TILDE ->
+    advance p;
+    Ast.Unop (BNot, parse_unary p)
+  | _ -> parse_primary p
+
+and parse_primary p =
+  match peek p with
+  | NUM n ->
+    advance p;
+    Ast.Num n
+  | LPAREN ->
+    advance p;
+    let e = parse_expr p in
+    expect p RPAREN ")";
+    e
+  | IDENT name -> (
+    advance p;
+    match peek p with
+    | LPAREN ->
+      advance p;
+      let args = parse_args p in
+      Ast.Call (name, args)
+    | LBRACKET ->
+      advance p;
+      let idx = parse_expr p in
+      expect p RBRACKET "]";
+      Ast.Index (name, idx)
+    | _ -> Ast.Var name)
+  | _ -> error p "expected expression"
+
+and parse_args p =
+  if peek p = RPAREN then begin
+    advance p;
+    []
+  end
+  else
+    let rec go acc =
+      let e = parse_expr p in
+      match peek p with
+      | COMMA ->
+        advance p;
+        go (e :: acc)
+      | RPAREN ->
+        advance p;
+        List.rev (e :: acc)
+      | _ -> error p "expected , or ) in argument list"
+    in
+    go []
+
+let rec parse_stmt p : Ast.stmt =
+  match peek p with
+  | INT_KW -> (
+    advance p;
+    let name = expect_ident p "variable name" in
+    match peek p with
+    | LBRACKET ->
+      advance p;
+      let size =
+        match peek p with
+        | NUM n ->
+          advance p;
+          n
+        | _ -> error p "local array size must be a literal"
+      in
+      expect p RBRACKET "]";
+      expect p SEMI ";";
+      Ast.DeclArr (name, size)
+    | ASSIGN ->
+      advance p;
+      let e = parse_expr p in
+      expect p SEMI ";";
+      Ast.Decl (name, Some e)
+    | SEMI ->
+      advance p;
+      Ast.Decl (name, None)
+    | _ -> error p "bad declaration")
+  | IF ->
+    advance p;
+    expect p LPAREN "(";
+    let cond = parse_expr p in
+    expect p RPAREN ")";
+    let then_ = parse_block_or_stmt p in
+    let else_ =
+      if peek p = ELSE then begin
+        advance p;
+        parse_block_or_stmt p
+      end
+      else []
+    in
+    Ast.If (cond, then_, else_)
+  | WHILE ->
+    advance p;
+    expect p LPAREN "(";
+    let cond = parse_expr p in
+    expect p RPAREN ")";
+    Ast.While (cond, parse_block_or_stmt p)
+  | FOR ->
+    advance p;
+    expect p LPAREN "(";
+    let init = parse_simple_stmt p in
+    expect p SEMI ";";
+    let cond = parse_expr p in
+    expect p SEMI ";";
+    let step = parse_simple_stmt p in
+    expect p RPAREN ")";
+    Ast.For (init, cond, step, parse_block_or_stmt p)
+  | RETURN ->
+    advance p;
+    if peek p = SEMI then begin
+      advance p;
+      Ast.Return None
+    end
+    else begin
+      let e = parse_expr p in
+      expect p SEMI ";";
+      Ast.Return (Some e)
+    end
+  | BREAK ->
+    advance p;
+    expect p SEMI ";";
+    Ast.Break
+  | CONTINUE ->
+    advance p;
+    expect p SEMI ";";
+    Ast.Continue
+  | _ ->
+    let s = parse_simple_stmt p in
+    expect p SEMI ";";
+    s
+
+(* assignment / array store / expression statement, without trailing ; *)
+and parse_simple_stmt p : Ast.stmt =
+  match peek p with
+  | IDENT name -> (
+    advance p;
+    match peek p with
+    | ASSIGN ->
+      advance p;
+      Ast.Assign (name, parse_expr p)
+    | LBRACKET -> (
+      advance p;
+      let idx = parse_expr p in
+      expect p RBRACKET "]";
+      match peek p with
+      | ASSIGN ->
+        advance p;
+        Ast.Store (name, idx, parse_expr p)
+      | _ -> Ast.Expr (Ast.Index (name, idx)))
+    | LPAREN ->
+      advance p;
+      Ast.Expr (Ast.Call (name, parse_args p))
+    | _ -> Ast.Expr (Ast.Var name))
+  | _ -> Ast.Expr (parse_expr p)
+
+and parse_block_or_stmt p =
+  if peek p = LBRACE then begin
+    advance p;
+    let rec go acc =
+      if peek p = RBRACE then begin
+        advance p;
+        List.rev acc
+      end
+      else go (parse_stmt p :: acc)
+    in
+    go []
+  end
+  else [ parse_stmt p ]
+
+let parse_global p : Ast.global =
+  (* after 'int' *)
+  let name = expect_ident p "global name" in
+  match peek p with
+  | LBRACKET -> (
+    advance p;
+    let size =
+      match peek p with
+      | NUM n ->
+        advance p;
+        n
+      | _ -> error p "array size must be a literal"
+    in
+    expect p RBRACKET "]";
+    match peek p with
+    | ASSIGN ->
+      advance p;
+      expect p LBRACE "{";
+      let rec vals acc =
+        match peek p with
+        | NUM n -> (
+          advance p;
+          match peek p with
+          | COMMA ->
+            advance p;
+            vals (n :: acc)
+          | RBRACE ->
+            advance p;
+            List.rev (n :: acc)
+          | _ -> error p "expected , or } in initialiser")
+        | MINUS -> (
+          advance p;
+          match peek p with
+          | NUM n -> (
+            advance p;
+            match peek p with
+            | COMMA ->
+              advance p;
+              vals (-n :: acc)
+            | RBRACE ->
+              advance p;
+              List.rev (-n :: acc)
+            | _ -> error p "expected , or }")
+          | _ -> error p "expected number")
+        | RBRACE ->
+          advance p;
+          List.rev acc
+        | _ -> error p "expected number in initialiser"
+      in
+      let init = vals [] in
+      expect p SEMI ";";
+      Ast.Garr (name, size, init)
+    | _ ->
+      expect p SEMI ";";
+      Ast.Garr (name, size, []))
+  | ASSIGN -> (
+    advance p;
+    let neg = peek p = MINUS in
+    if neg then advance p;
+    match peek p with
+    | NUM n ->
+      advance p;
+      expect p SEMI ";";
+      Ast.Gvar (name, if neg then -n else n)
+    | _ -> error p "global initialiser must be a literal")
+  | SEMI ->
+    advance p;
+    Ast.Gvar (name, 0)
+  | _ -> error p "bad global declaration"
+
+let parse_func p name : Ast.func =
+  (* after 'int name (' *)
+  let params =
+    if peek p = RPAREN then begin
+      advance p;
+      []
+    end
+    else
+      let rec go acc =
+        expect p INT_KW "int";
+        let param = expect_ident p "parameter name" in
+        match peek p with
+        | COMMA ->
+          advance p;
+          go (param :: acc)
+        | RPAREN ->
+          advance p;
+          List.rev (param :: acc)
+        | _ -> error p "expected , or ) in parameters"
+      in
+      go []
+  in
+  expect p LBRACE "{";
+  let rec body acc =
+    if peek p = RBRACE then begin
+      advance p;
+      List.rev acc
+    end
+    else body (parse_stmt p :: acc)
+  in
+  { Ast.name; params; body = body [] }
+
+(** Parse a complete tinyc translation unit. *)
+let parse src : Ast.program =
+  let p = { toks = Lexer.tokenize src } in
+  let rec go globals funcs =
+    match peek p with
+    | EOF -> { Ast.globals = List.rev globals; funcs = List.rev funcs }
+    | INT_KW -> (
+      advance p;
+      match p.toks with
+      | (IDENT name, _) :: (LPAREN, _) :: rest ->
+        p.toks <- rest;
+        let f = parse_func p name in
+        go globals (f :: funcs)
+      | _ -> go (parse_global p :: globals) funcs)
+    | _ -> error p "expected top-level declaration"
+  in
+  go [] []

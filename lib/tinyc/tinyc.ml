@@ -1,0 +1,8 @@
+(** tinyc driver: source → AST → SRISC assembly → executable image. *)
+
+(** Compile tinyc source to assembly text. Raises {!Lexer.Error},
+    {!Parser.Error} or {!Codegen.Error} with diagnostics. *)
+let compile_to_assembly src = Codegen.to_assembly (Parser.parse src)
+
+(** Compile tinyc source all the way to a loadable {!Dts_asm.Program.t}. *)
+let compile src = Dts_asm.Assembler.assemble (compile_to_assembly src)

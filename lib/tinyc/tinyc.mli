@@ -1,0 +1,17 @@
+(** tinyc: a small C-like language compiled to SRISC, used to author the
+    SPECint95-analogue workloads.
+
+    The language has [int] scalars and one-dimensional [int] arrays (global
+    and local), functions with up to six parameters using the SPARC
+    register-window calling convention, [if]/[while]/[for] with
+    [break]/[continue], short-circuit [&&]/[||], and C operators plus [>>>]
+    (logical shift right) and [<:] / [>:] (unsigned comparisons). See
+    {!Ast} for the full grammar and {!Codegen} for the calling
+    convention. *)
+
+val compile_to_assembly : string -> string
+(** Compile tinyc source to SRISC assembly text.
+    @raise Lexer.Error, Parser.Error or Codegen.Error with diagnostics. *)
+
+val compile : string -> Dts_asm.Program.t
+(** Compile all the way to a loadable program image. *)

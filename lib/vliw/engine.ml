@@ -1,0 +1,515 @@
+(** The VLIW Engine (§3.5, §3.8–3.11).
+
+    Executes blocks of long instructions fetched from the VLIW Cache, one
+    long instruction per cycle. All operations of a long instruction read
+    the architectural state as it was at the start of the cycle; writes are
+    buffered and applied at the end. Renamed operations write renaming
+    registers; copy instructions deliver renaming registers to their
+    architectural targets when their branch tag proves valid.
+
+    Conditional and indirect branches are re-evaluated and compared against
+    the direction recorded during scheduling; the tag system (§3.8) decides
+    which operations of the long instruction commit. Memory aliasing is
+    detected with order fields (§3.10), and exceptions use block-granularity
+    checkpointing (§3.11). *)
+
+open Dts_sched.Schedtypes
+
+type rr_entry = {
+  mutable v : int;
+  mutable m_addr : int;  (** memory renaming registers: buffered store *)
+  mutable m_size : int;
+  mutable exn : Dts_isa.Semantics.trap option;
+}
+
+type exn_kind = E_aliasing | E_trap of Dts_isa.Semantics.trap
+
+(** How stores and exception recovery work (§3.11): the paper's implemented
+    scheme checkpoints overwritten data, or the alternative it describes but
+    did not build — stores buffer in a data store list and drain to memory
+    in order when the block commits. *)
+type store_scheme = Checkpoint_recovery | Data_store_list
+
+type li_result =
+  | R_next
+  | R_block_end of { next_addr : int }
+  | R_redirect of { target : int }  (** mispredicted branch, actual target *)
+  | R_exn of exn_kind
+
+type mem_event = {
+  ev_addr : int;
+  ev_size : int;
+  ev_order : int;
+  ev_li : int;
+  ev_is_store : bool;
+  ev_cross : bool;
+}
+
+type shadow = {
+  s_iregs : int array;
+  s_fregs : int array;
+  s_icc : int;
+  s_cwp : int;
+  s_wdepth : int;
+  s_wspill_sp : int;
+  s_pc : int;
+}
+
+type stats = {
+  mutable max_data_store_list : int;
+  mutable max_load_list : int;
+  mutable max_store_list : int;
+  mutable max_recovery_list : int;
+  mutable aliasing_exceptions : int;
+  mutable deferred_exceptions : int;
+  mutable block_exceptions : int;
+  mutable mispredicts : int;
+  mutable lis_executed : int;
+  mutable ops_committed : int;
+  mutable copies_committed : int;
+}
+
+type t = {
+  st : Dts_isa.State.t;
+  dcache : Dts_mem.Cache.t;
+  scheme : store_scheme;
+  mutable rr : rr_entry array array;  (** per {!rr_kind} *)
+  mutable shadow : shadow option;
+  mutable recovery : (int * int * int) list;  (** addr, size, old value *)
+  mutable n_recovery : int;
+  mutable dsl_mem : Dts_mem.Memory.t;  (** data-store-list byte buffer *)
+  mutable dsl_ranges : (int * int * int) list;  (** addr, size, order *)
+  mutable mem_log : mem_event list;
+  mutable wdelta : int;
+      (** window-relative replay: runtime entry cwp minus build-time entry
+          cwp (mod nwindows), applied to every baked cwp and physical
+          register position *)
+  stats : stats;
+}
+
+let create ?(scheme = Checkpoint_recovery) ~dcache st =
+  {
+    st;
+    dcache;
+    scheme;
+    rr = Array.make 4 [||];
+    shadow = None;
+    recovery = [];
+    n_recovery = 0;
+    dsl_mem = Dts_mem.Memory.create ();
+    dsl_ranges = [];
+    mem_log = [];
+    wdelta = 0;
+    stats =
+      {
+        max_data_store_list = 0;
+        max_load_list = 0;
+        max_store_list = 0;
+        max_recovery_list = 0;
+        aliasing_exceptions = 0;
+        deferred_exceptions = 0;
+        block_exceptions = 0;
+        mispredicts = 0;
+        lis_executed = 0;
+        ops_committed = 0;
+        copies_committed = 0;
+      };
+  }
+
+let fresh_rr () = { v = 0; m_addr = 0; m_size = 0; exn = None }
+
+(** Checkpoint (§3.11): snapshot the register state and reset the per-block
+    structures. Called at the start of every block's execution. *)
+let enter_block t (block : block) =
+  let st = t.st in
+  t.shadow <-
+    Some
+      {
+        s_iregs = Array.copy st.iregs;
+        s_fregs = Array.copy st.fregs;
+        s_icc = st.icc;
+        s_cwp = st.cwp;
+        s_wdepth = st.wdepth;
+        s_wspill_sp = st.wspill_sp;
+        s_pc = st.pc;
+      };
+  t.recovery <- [];
+  t.n_recovery <- 0;
+  if t.dsl_ranges <> [] then begin
+    t.dsl_mem <- Dts_mem.Memory.create ();
+    t.dsl_ranges <- []
+  end;
+  t.mem_log <- [];
+  t.wdelta <- (st.cwp - block.entry_cwp + st.nwindows) mod st.nwindows;
+  t.rr <-
+    Array.init 4 (fun k ->
+        Array.init block.rr_counts.(k) (fun _ -> fresh_rr ()))
+
+(** Roll back to the checkpoint: restore registers and undo every store of
+    the block in reverse order (§3.11). *)
+let rollback t =
+  let st = t.st in
+  (match t.shadow with
+  | None -> invalid_arg "Engine.rollback without checkpoint"
+  | Some s ->
+    Array.blit s.s_iregs 0 st.iregs 0 (Array.length st.iregs);
+    Array.blit s.s_fregs 0 st.fregs 0 (Array.length st.fregs);
+    st.icc <- s.s_icc;
+    st.cwp <- s.s_cwp;
+    st.wdepth <- s.s_wdepth;
+    st.wspill_sp <- s.s_wspill_sp;
+    st.pc <- s.s_pc);
+  List.iter
+    (fun (addr, size, old) -> Dts_mem.Memory.write st.mem ~addr ~size old)
+    t.recovery;
+  t.recovery <- [];
+  t.n_recovery <- 0;
+  (* in the data-store-list scheme, memory was never touched: "data
+     generated in the block where the exception is detected is annulled" *)
+  if t.dsl_ranges <> [] then begin
+    t.dsl_mem <- Dts_mem.Memory.create ();
+    t.dsl_ranges <- []
+  end;
+  t.mem_log <- [];
+  t.stats.block_exceptions <- t.stats.block_exceptions + 1
+
+let rr_of t (r : rref) = t.rr.(rr_kind_index r.kind).(r.ridx)
+
+(* window-relative replay: shift a baked window pointer / physical integer
+   register position by the block-entry window delta *)
+let shift_cwp t cwp = (cwp + t.wdelta) mod t.st.nwindows
+
+let shift_pos t (pos : Dts_isa.Storage.t) : Dts_isa.Storage.t =
+  match pos with
+  | Int_reg p when p >= Dts_isa.State.n_globals ->
+    let nw16 = t.st.nwindows * 16 in
+    Int_reg
+      (Dts_isa.State.n_globals
+      + ((p - Dts_isa.State.n_globals + (t.wdelta * 16)) mod nw16))
+  | Int_reg _ | Fp_reg _ | Flags | Win | Mem _ | Ren _ -> pos
+
+exception Alias_violation
+exception Block_trap of Dts_isa.Semantics.trap
+
+(* §3.10 order rule, made precise with execution positions: a load reads at
+   the start of its long instruction, a store commits at the end of its; an
+   (older, by order field) store must have committed strictly before a
+   younger load reads, and store/store pairs must commit in order. *)
+let check_aliasing t ~is_store ~addr ~size ~order ~li_idx =
+  let overlap e = addr < e.ev_addr + e.ev_size && e.ev_addr < addr + size in
+  List.iter
+    (fun e ->
+      if overlap e && e.ev_order <> order then
+        if is_store then begin
+          (* store vs earlier-logged load or store *)
+          if e.ev_is_store then begin
+            if
+              (order < e.ev_order && li_idx >= e.ev_li)
+              || (order > e.ev_order && li_idx <= e.ev_li)
+            then raise Alias_violation
+          end
+          else if
+            (* store S vs load L: S before L (order) requires commit li < read li *)
+            (order < e.ev_order && li_idx >= e.ev_li)
+            || (order > e.ev_order && li_idx < e.ev_li)
+          then raise Alias_violation
+        end
+        else if e.ev_is_store then begin
+          (* load L vs store S already logged *)
+          if
+            (e.ev_order < order && e.ev_li >= li_idx)
+            || (e.ev_order > order && e.ev_li < li_idx)
+          then raise Alias_violation
+        end)
+    t.mem_log
+
+let log_mem t ev =
+  check_aliasing t ~is_store:ev.ev_is_store ~addr:ev.ev_addr ~size:ev.ev_size
+    ~order:ev.ev_order ~li_idx:ev.ev_li;
+  t.mem_log <- ev :: t.mem_log;
+  let count p = List.length (List.filter p t.mem_log) in
+  if ev.ev_cross then
+    if ev.ev_is_store then
+      t.stats.max_store_list <-
+        max t.stats.max_store_list (count (fun e -> e.ev_is_store && e.ev_cross))
+    else
+      t.stats.max_load_list <-
+        max t.stats.max_load_list
+          (count (fun e -> (not e.ev_is_store) && e.ev_cross))
+
+let storage_of_write : Dts_isa.Semantics.write -> Dts_isa.Storage.t = function
+  | W_phys (p, _) -> Int_reg p
+  | W_freg (f, _) -> Fp_reg f
+  | W_icc _ -> Flags
+  | W_win _ -> Win
+
+(** Execute long instruction [idx] of [block]. Returns the control outcome
+    and the data-cache penalty cycles incurred. On [R_exn] the rollback has
+    already been performed. *)
+let exec_li t (block : block) idx : li_result * int =
+  let st = t.st in
+  let li = block.lis.(idx) in
+  t.stats.lis_executed <- t.stats.lis_executed + 1;
+  let penalty = ref 0 in
+  (* phase 1: compute outcomes for every op, reading pre-li state *)
+  let entries =
+    li_fold
+      (fun acc _k op tag ->
+        match op with
+        | Op s ->
+          (* forwarded sources read their renaming register (§3.2); the
+             positions semantics asks about are window-shifted, so shift the
+             baked substitution keys the same way *)
+          let subs =
+            if t.wdelta = 0 then s.subs
+            else List.map (fun (p, rr) -> (shift_pos t p, rr)) s.subs
+          in
+          let read_override pos =
+            match List.assoc_opt pos subs with
+            | Some rr -> Some (rr_of t rr).v
+            | None -> None
+          in
+          (* data-store-list scheme: loads read the list and the data cache
+             simultaneously, preferring the last data stored on a hit *)
+          let mem_read_override ~addr ~size ~signed =
+            if t.dsl_ranges = [] then None
+            else begin
+              let covered b =
+                List.exists
+                  (fun (a, sz, _) -> b >= a && b < a + sz)
+                  t.dsl_ranges
+              in
+              let any = ref false in
+              for b = addr to addr + size - 1 do
+                if covered b then any := true
+              done;
+              if not !any then None
+              else begin
+                let v = ref 0 in
+                for b = addr to addr + size - 1 do
+                  let byte =
+                    if covered b then
+                      Dts_mem.Memory.read t.dsl_mem ~addr:b ~size:1
+                        ~signed:false
+                    else
+                      Dts_mem.Memory.read st.mem ~addr:b ~size:1 ~signed:false
+                  in
+                  v := (!v lsl 8) lor byte
+                done;
+                let raw = !v in
+                Some
+                  (if signed then
+                     (raw lsl (Sys.int_size - (size * 8)))
+                     asr (Sys.int_size - (size * 8))
+                   else raw)
+              end
+            end
+          in
+          let out =
+            Dts_isa.Semantics.exec ~read_override ~mem_read_override st
+              ~cwp:(shift_cwp t s.cwp) ~pc:s.addr s.instr
+          in
+          (op, tag, Some (s, out)) :: acc
+        | Copy _ -> (op, tag, None) :: acc)
+      [] li
+    |> List.rev
+  in
+  (* phase 2: find the first mispredicted branch; ops with tag greater than
+     its tag do not commit *)
+  let fail : (int * int) option ref = ref None in
+  (* (tag, actual target) *)
+  List.iter
+    (fun (_, tag, info) ->
+      match info with
+      | Some (s, out) when Dts_isa.Instr.is_conditional_ctrl s.instr ->
+        if out.Dts_isa.Semantics.next_pc <> s.obs_next_pc then (
+          match !fail with
+          | Some (ft, _) when ft <= tag -> ()
+          | _ -> fail := Some (tag, out.next_pc))
+      | _ -> ())
+    entries;
+  let valid tag = match !fail with None -> true | Some (ft, _) -> tag <= ft in
+  (* phase 3: gather effects of valid ops *)
+  let buffered_writes = ref [] in
+  let buffered_stores = ref [] in
+  (try
+     List.iter
+       (fun (op, tag, info) ->
+         if valid tag then
+           match (op, info) with
+           | Op s, Some (_, out) -> (
+             match out.Dts_isa.Semantics.trap with
+             | Some tr ->
+               (* deferred iff every architectural output is renamed *)
+               if
+                 s.redirect <> []
+                 && List.for_all
+                      (fun w -> List.mem_assoc w s.redirect)
+                      s.arch_writes
+               then begin
+                 List.iter (fun (_, rr) -> (rr_of t rr).exn <- Some tr) s.redirect;
+                 t.stats.deferred_exceptions <- t.stats.deferred_exceptions + 1
+               end
+               else raise (Block_trap tr)
+             | None ->
+               t.stats.ops_committed <- t.stats.ops_committed + 1;
+               let redirect =
+                 if t.wdelta = 0 then s.redirect
+                 else List.map (fun (p, rr) -> (shift_pos t p, rr)) s.redirect
+               in
+               List.iter
+                 (fun w ->
+                   let pos = storage_of_write w in
+                   match List.assoc_opt pos redirect with
+                   | Some rr ->
+                     let e = rr_of t rr in
+                     (match w with
+                     | W_phys (_, v) | W_freg (_, v) | W_icc v -> e.v <- v
+                     | W_win _ -> invalid_arg "renamed window write");
+                     e.exn <- None
+                   | None -> buffered_writes := w :: !buffered_writes)
+                 out.writes;
+               (match out.load with
+               | Some (a, sz) ->
+                 penalty := !penalty + Dts_mem.Cache.access t.dcache a;
+                 log_mem t
+                   {
+                     ev_addr = a;
+                     ev_size = sz;
+                     ev_order = s.order;
+                     ev_li = idx;
+                     ev_is_store = false;
+                     ev_cross = s.cross;
+                   }
+               | None -> ());
+               (match out.store with
+               | Some (a, sz, v) -> (
+                 let pos = Dts_isa.Storage.Mem { addr = a; size = sz } in
+                 (* a renamed store redirects its (single) memory output *)
+                 match s.redirect with
+                 | (Mem _, rr) :: _ ->
+                   let e = rr_of t rr in
+                   e.m_addr <- a;
+                   e.m_size <- sz;
+                   e.v <- v;
+                   e.exn <- None
+                 | _ ->
+                   ignore pos;
+                   penalty := !penalty + Dts_mem.Cache.access t.dcache a;
+                   log_mem t
+                     {
+                       ev_addr = a;
+                       ev_size = sz;
+                       ev_order = s.order;
+                       ev_li = idx;
+                       ev_is_store = true;
+                       ev_cross = s.cross;
+                     };
+                   buffered_stores := (a, sz, v, s.order) :: !buffered_stores)
+               | None -> ()))
+           | Copy c, _ ->
+             t.stats.copies_committed <- t.stats.copies_committed + 1;
+             List.iter
+               (fun (rr, target) ->
+                 let src = rr_of t rr in
+                 match target with
+                 | T_ren dst_ref ->
+                   let dst = rr_of t dst_ref in
+                   dst.v <- src.v;
+                   dst.m_addr <- src.m_addr;
+                   dst.m_size <- src.m_size;
+                   dst.exn <- src.exn
+                 | T_arch pos -> (
+                   match src.exn with
+                   | Some tr -> raise (Block_trap tr)
+                   | None -> (
+                     match shift_pos t pos with
+                     | Int_reg p ->
+                       buffered_writes := W_phys (p, src.v) :: !buffered_writes
+                     | Fp_reg f ->
+                       buffered_writes := W_freg (f, src.v) :: !buffered_writes
+                     | Flags -> buffered_writes := W_icc src.v :: !buffered_writes
+                     | Win -> invalid_arg "renamed window copy"
+                     | Ren _ -> invalid_arg "T_arch to a renaming register"
+                     | Mem _ ->
+                       penalty :=
+                         !penalty + Dts_mem.Cache.access t.dcache src.m_addr;
+                       log_mem t
+                         {
+                           ev_addr = src.m_addr;
+                           ev_size = src.m_size;
+                           ev_order = c.c_order;
+                           ev_li = idx;
+                           ev_is_store = true;
+                           ev_cross = true;
+                         };
+                       buffered_stores :=
+                         (src.m_addr, src.m_size, src.v, c.c_order)
+                         :: !buffered_stores)))
+               c.c_moves
+           | Op _, None -> assert false)
+       entries;
+     (* phase 4: apply buffered effects (reads already done) *)
+     Dts_isa.Semantics.apply_writes st (List.rev !buffered_writes);
+     List.iter
+       (fun (addr, size, v, order) ->
+         match t.scheme with
+         | Checkpoint_recovery ->
+           (* save the overwritten data in the checkpoint recovery store
+              list, then write through (§3.11) *)
+           let old = Dts_mem.Memory.read st.mem ~addr ~size ~signed:true in
+           t.recovery <- (addr, size, old) :: t.recovery;
+           t.n_recovery <- t.n_recovery + 1;
+           t.stats.max_recovery_list <- max t.stats.max_recovery_list t.n_recovery;
+           Dts_mem.Memory.write st.mem ~addr ~size v
+         | Data_store_list ->
+           (* buffer in the data store list; memory is untouched until the
+              block commits *)
+           Dts_mem.Memory.write t.dsl_mem ~addr ~size v;
+           t.dsl_ranges <- (addr, size, order) :: t.dsl_ranges;
+           t.stats.max_data_store_list <-
+             max t.stats.max_data_store_list (List.length t.dsl_ranges))
+       (List.rev !buffered_stores);
+     match !fail with
+     | Some (_, target) ->
+       t.stats.mispredicts <- t.stats.mispredicts + 1;
+       (R_redirect { target }, !penalty)
+     | None ->
+       if idx = block.nba_idx then
+         (R_block_end { next_addr = block.nba_addr }, !penalty)
+       else (R_next, !penalty)
+   with
+  | Alias_violation ->
+    t.stats.aliasing_exceptions <- t.stats.aliasing_exceptions + 1;
+    rollback t;
+    (R_exn E_aliasing, !penalty)
+  | Block_trap tr ->
+    rollback t;
+    (R_exn (E_trap tr), !penalty))
+
+(** Clean block exit. In the checkpoint scheme the recovery data is simply
+    dropped; in the data-store-list scheme the buffered stores drain to
+    memory in order (the order fields make in-order memory update possible,
+    §3.11). Returns the data-cache penalty cycles of the drain. *)
+let commit_block t =
+  t.shadow <- None;
+  t.recovery <- [];
+  t.n_recovery <- 0;
+  t.mem_log <- [];
+  if t.dsl_ranges = [] then 0
+  else begin
+    let penalty = ref 0 in
+    List.iter
+      (fun (addr, size, _) ->
+        penalty := !penalty + Dts_mem.Cache.access t.dcache addr;
+        for b = addr to addr + size - 1 do
+          Dts_mem.Memory.write t.st.mem ~addr:b ~size:1
+            (Dts_mem.Memory.read t.dsl_mem ~addr:b ~size:1 ~signed:false)
+        done)
+      (List.sort
+         (fun (_, _, o1) (_, _, o2) -> compare o1 o2)
+         t.dsl_ranges);
+    t.dsl_mem <- Dts_mem.Memory.create ();
+    t.dsl_ranges <- [];
+    !penalty
+  end

@@ -1,0 +1,552 @@
+(** The benchmark suite: eight synthetic analogues of SPECint95 (Table 2),
+    written in tinyc and compiled to SRISC.
+
+    Real SPECint95 binaries cannot run here (no SPARC compiler or inputs in
+    this environment), so each analogue reproduces the {e property} the
+    paper's analysis attributes to its original — instruction-working-set
+    size, loop dominance, branchiness, recursion depth — which is what the
+    DTSVLIW results turn on (see DESIGN.md §2 and §5). [scale] multiplies
+    the outer iteration counts; [scale = 1] retires roughly 100–400k
+    sequential instructions per workload. *)
+
+type t = {
+  name : string;
+  mirrors : string;  (** the SPECint95 program this stands in for *)
+  character : string;
+  source : int -> string;  (** tinyc source at a given scale *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* compress: small hot loop set — hashing + bit packing over a buffer  *)
+(* ------------------------------------------------------------------ *)
+
+let compress_like scale =
+  Printf.sprintf
+    {|
+int input[1024];
+int htab[1024];
+int codes[1024];
+int checksum;
+
+int hash(int prefix, int c) {
+  return ((prefix << 4) ^ (c * 40503)) & 1023;
+}
+
+int main() {
+  int rounds; int i; int h; int prefix; int c; int ncodes; int probes;
+  prefix = 12345;
+  for (i = 0; i < 1024; i = i + 1) {
+    prefix = (prefix * 1103515245 + 12345) & 0x7fffffff;
+    input[i] = (prefix >>> 16) & 255;
+    if ((i & 7) < 3) { input[i] = 65; }
+  }
+  checksum = 0;
+  for (rounds = 0; rounds < %d; rounds = rounds + 1) {
+    for (i = 0; i < 1024; i = i + 1) { htab[i] = 0 - 1; }
+    ncodes = 0;
+    prefix = input[0];
+    for (i = 1; i < 1024; i = i + 1) {
+      c = input[i];
+      h = hash(prefix, c);
+      probes = 0;
+      while (htab[h] != -1 && htab[h] != prefix * 256 + c && probes < 8) {
+        h = (h + 1) & 1023;
+        probes = probes + 1;
+      }
+      if (htab[h] == prefix * 256 + c) {
+        prefix = 256 + h;
+      } else {
+        htab[h] = prefix * 256 + c;
+        codes[ncodes & 1023] = prefix;
+        ncodes = ncodes + 1;
+        prefix = c;
+      }
+    }
+    checksum = checksum ^ (ncodes + rounds);
+  }
+  return checksum;
+}
+|}
+    (max 1 scale)
+
+(* ------------------------------------------------------------------ *)
+(* gcc: many distinct medium-size functions — large instruction        *)
+(* working set, branchy IR-walk                                        *)
+(* ------------------------------------------------------------------ *)
+
+let gcc_like scale =
+  (* generate 28 distinct "compiler pass" functions plus a driver walking a
+     synthetic IR; the point is code-footprint diversity *)
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "int ir[1024];\nint acc;\n";
+  for k = 0 to 27 do
+    let a = 3 + (k * 7 mod 11) and b = 1 + (k mod 5) and c = k mod 3 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         {|
+int pass%d(int node, int depth) {
+  int v; int w;
+  v = ir[node & 1023];
+  w = (v >> %d) ^ (v * %d) ^ depth;
+  if ((v & %d) == 0) { w = w + pass%d((node + %d) & 1023, depth - 1); }
+  else if (v %% %d == 1) { w = w - (v << %d); }
+  else { w = w ^ (v %% %d); }
+  if (depth > 0 && (w & 3) == 0) { w = w + pass%d((node + v) & 1023, 0); }
+  return w;
+}
+|}
+         k b a
+         ((k mod 4) + 1)
+         (if k = 0 then 27 else k - 1)
+         (a + b)
+         (b + 2) c
+         ((k mod 7) + 2)
+         (if k >= 14 then k - 14 else k))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|
+int main() {
+  int r; int i; int seed;
+  seed = 987654321;
+  for (i = 0; i < 1024; i = i + 1) {
+    seed = (seed * 69069 + 1) & 0x7fffffff;
+    ir[i] = seed;
+  }
+  acc = 0;
+  for (r = 0; r < %d; r = r + 1) {
+    for (i = 0; i < 1024; i = i + 16) {
+      acc = acc + pass%d(i, 2) - pass%d(i + 1, 1) + pass%d(i + 2, 2);
+      acc = acc ^ pass%d(i + 3, 1);
+    }
+  }
+  return acc;
+}
+|}
+       (4 * max 1 scale) 0 9 17 25);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* go: large irregular code, data-dependent branches on a board        *)
+(* ------------------------------------------------------------------ *)
+
+let go_like scale =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "int board[441];\nint score;\n";
+  (* 441 = 21x21 board with a border *)
+  for k = 0 to 15 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         {|
+int eval%d(int p) {
+  int v; int n; int e; int s; int w;
+  v = board[p];
+  n = board[p - 21]; e = board[p + 1]; s = board[p + 21]; w = board[p - 1];
+  if (v == 0) { return (n == %d) + (e == %d) + (s == %d) + (w == %d); }
+  if (v == 1) {
+    if (n + e + s + w > %d) { return 2 + (v << %d); }
+    return n * %d - e + (s ^ w);
+  }
+  if (n == w && e == s) { return %d - v; }
+  return (v * %d) %% 13;
+}
+|}
+         k (k mod 3) ((k + 1) mod 3) ((k + 2) mod 3) (k mod 2)
+         ((k mod 4) + 1)
+         (k mod 3) (k + 2) (k + 5) (k + 3))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|
+int main() {
+  int r; int x; int y; int p; int seed; int k;
+  seed = 42;
+  for (p = 0; p < 441; p = p + 1) {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    board[p] = seed %% 3;
+  }
+  score = 0;
+  for (r = 0; r < %d; r = r + 1) {
+    for (y = 1; y < 20; y = y + 1) {
+      for (x = 1; x < 20; x = x + 1) {
+        p = y * 21 + x;
+        k = board[p] + ((x + y + r) & 7) * 2;
+        if (k == 0) { score = score + eval0(p); }
+        else if (k == 1) { score = score + eval1(p); }
+        else if (k == 2) { score = score - eval2(p); }
+        else if (k == 3) { score = score + eval3(p); }
+        else if (k == 4) { score = score ^ eval4(p); }
+        else if (k == 5) { score = score + eval5(p); }
+        else if (k == 6) { score = score - eval6(p); }
+        else if (k == 7) { score = score + eval7(p); }
+        else if (k == 8) { score = score + eval8(p); }
+        else if (k == 9) { score = score - eval9(p); }
+        else if (k == 10) { score = score + eval10(p); }
+        else if (k == 11) { score = score ^ eval11(p); }
+        else if (k == 12) { score = score + eval12(p); }
+        else if (k == 13) { score = score - eval13(p); }
+        else if (k == 14) { score = score + eval14(p); }
+        else { score = score + eval15(p); }
+        if (score > 100000) { score = score - 200000; }
+        board[p] = (board[p] + (score & 1)) %% 3;
+      }
+    }
+  }
+  return score;
+}
+|}
+       (4 * max 1 scale));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* ijpeg: one dominant high-ILP loop nest (8x8 DCT-style transform)    *)
+(* ------------------------------------------------------------------ *)
+
+let ijpeg_like scale =
+  Printf.sprintf
+    {|
+int image[1024];
+int out[1024];
+int checksum;
+
+int main() {
+  int r; int b; int i; int j; int k; int s; int base;
+  int seed;
+  seed = 7;
+  for (i = 0; i < 1024; i = i + 1) {
+    seed = (seed * 69069 + 5) & 0x7fffffff;
+    image[i] = (seed >>> 12) & 255;
+  }
+  checksum = 0;
+  for (r = 0; r < %d; r = r + 1) {
+    for (b = 0; b < 16; b = b + 1) {
+      base = b * 64;
+      /* row pass: each output is a weighted sum of the 8 row elements */
+      for (i = 0; i < 8; i = i + 1) {
+        for (j = 0; j < 8; j = j + 1) {
+          s = 0;
+          for (k = 0; k < 8; k = k + 1) {
+            s = s + image[base + i * 8 + k] * ((k * j + 3) & 15);
+          }
+          out[base + i * 8 + j] = (s >> 4) + image[base + i * 8 + j];
+        }
+      }
+      checksum = checksum + out[base] + out[base + 63];
+    }
+  }
+  return checksum;
+}
+|}
+    (max 1 scale)
+
+(* ------------------------------------------------------------------ *)
+(* m88ksim: fetch-decode-dispatch interpreter of a tiny register ISA   *)
+(* ------------------------------------------------------------------ *)
+
+let m88ksim_like scale =
+  Printf.sprintf
+    {|
+int prog[256];
+int regs[16];
+int datamem[256];
+int retired;
+
+int main() {
+  int r; int pc; int insn; int op; int rd; int rs1; int rs2; int steps;
+  int seed;
+  seed = 314159;
+  /* synthesize a random but terminating program: op in 0..7 */
+  for (pc = 0; pc < 256; pc = pc + 1) {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    prog[pc] = seed;
+  }
+  retired = 0;
+  for (r = 0; r < %d; r = r + 1) {
+    for (pc = 0; pc < 16; pc = pc + 1) { regs[pc] = pc * 3 + r; }
+    pc = 0;
+    steps = 0;
+    while (steps < 3000) {
+      insn = prog[pc & 255];
+      op = (insn >>> 28) & 7;
+      rd = (insn >>> 24) & 15;
+      rs1 = (insn >>> 20) & 15;
+      rs2 = (insn >>> 16) & 15;
+      if (op == 0) { regs[rd] = regs[rs1] + regs[rs2]; pc = pc + 1; }
+      else if (op == 1) { regs[rd] = regs[rs1] - regs[rs2]; pc = pc + 1; }
+      else if (op == 2) { regs[rd] = regs[rs1] ^ (regs[rs2] << 1); pc = pc + 1; }
+      else if (op == 3) { regs[rd] = datamem[(regs[rs1] + insn) & 255]; pc = pc + 1; }
+      else if (op == 4) { datamem[(regs[rs1] + insn) & 255] = regs[rs2]; pc = pc + 1; }
+      else if (op == 5) {
+        if (regs[rs1] > regs[rs2]) { pc = pc + (insn & 15) + 1; }
+        else { pc = pc + 1; }
+      }
+      else if (op == 6) { regs[rd] = insn & 65535; pc = pc + 1; }
+      else { pc = pc + (insn & 7) + 1; }
+      regs[0] = 0;
+      steps = steps + 1;
+    }
+    retired = retired + regs[5] + steps;
+  }
+  return retired;
+}
+|}
+    (max 1 scale)
+
+(* ------------------------------------------------------------------ *)
+(* perl: stack bytecode interpreter with string-ish byte buffers       *)
+(* ------------------------------------------------------------------ *)
+
+let perl_like scale =
+  Printf.sprintf
+    {|
+int code[512];
+int stack[64];
+int text[512];
+int result;
+
+int interp(int entry, int limit) {
+  int ip; int sp; int op; int a; int b; int steps;
+  ip = entry;
+  sp = 0;
+  steps = 0;
+  while (steps < limit) {
+    op = code[ip & 511];
+    ip = ip + 1;
+    if (op < 64) { stack[sp & 63] = op; sp = sp + 1; }
+    else if (op < 96) {
+      a = stack[(sp - 1) & 63]; b = stack[(sp - 2) & 63];
+      if (op < 72) { stack[(sp - 2) & 63] = a + b; }
+      else if (op < 80) { stack[(sp - 2) & 63] = a * b + 1; }
+      else if (op < 88) { stack[(sp - 2) & 63] = (a ^ b) | 1; }
+      else { stack[(sp - 2) & 63] = a - b; }
+      sp = sp - 1;
+      if (sp < 1) { sp = 1; }
+    }
+    else if (op < 128) {
+      /* string op: scan and transform a span of text */
+      a = op & 31;
+      b = 0;
+      while (b < 12) {
+        text[(a + b) & 511] = (text[(a + b) & 511] * 31 + b) & 255;
+        b = b + 1;
+      }
+    }
+    else if (op < 160) { ip = ip + (op & 7); }
+    else { stack[sp & 63] = text[op & 511]; sp = sp + 1; }
+    steps = steps + 1;
+  }
+  return stack[(sp - 1) & 63] + sp;
+}
+
+int main() {
+  int r; int i; int seed;
+  seed = 271828;
+  for (i = 0; i < 512; i = i + 1) {
+    seed = (seed * 69069 + 7) & 0x7fffffff;
+    code[i] = (seed >>> 8) & 255;
+    text[i] = seed & 255;
+  }
+  result = 0;
+  for (r = 0; r < %d; r = r + 1) {
+    result = result + interp(r & 255, 2500);
+  }
+  return result;
+}
+|}
+    (max 1 scale)
+
+(* ------------------------------------------------------------------ *)
+(* vortex: object store — record inserts/lookups with index chasing    *)
+(* ------------------------------------------------------------------ *)
+
+let vortex_like scale =
+  Printf.sprintf
+    {|
+int key[1024];
+int val0[1024];
+int val1[1024];
+int nextidx[1024];
+int buckets[256];
+int nobjects;
+int found;
+
+int insert(int k, int a, int b) {
+  int h; int i;
+  if (nobjects >= 1024) { return -1; }
+  i = nobjects;
+  nobjects = nobjects + 1;
+  key[i] = k;
+  val0[i] = a;
+  val1[i] = b;
+  h = (k * 2654435761) >>> 24;
+  nextidx[i] = buckets[h & 255];
+  buckets[h & 255] = i;
+  return i;
+}
+
+int lookup(int k) {
+  int h; int i; int hops;
+  h = (k * 2654435761) >>> 24;
+  i = buckets[h & 255];
+  hops = 0;
+  while (i != -1 && hops < 64) {
+    if (key[i] == k) { return i; }
+    i = nextidx[i];
+    hops = hops + 1;
+  }
+  return -1;
+}
+
+int main() {
+  int r; int i; int k; int seed; int idx;
+  found = 0;
+  for (r = 0; r < %d; r = r + 1) {
+    nobjects = 0;
+    for (i = 0; i < 256; i = i + 1) { buckets[i] = -1; }
+    seed = 13 + r;
+    for (i = 0; i < 900; i = i + 1) {
+      seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+      k = seed %% 2048;
+      idx = lookup(k);
+      if (idx == -1) { insert(k, seed & 255, i); }
+      else { val1[idx] = val1[idx] + 1; found = found + 1; }
+    }
+    /* traversal: walk every chain */
+    for (i = 0; i < 256; i = i + 1) {
+      idx = buckets[i];
+      while (idx != -1) {
+        found = found + (val0[idx] & 1);
+        idx = nextidx[idx];
+      }
+    }
+  }
+  return found;
+}
+|}
+    (max 1 scale)
+
+(* ------------------------------------------------------------------ *)
+(* xlisp: cons cells + recursive evaluation (queens-style search)      *)
+(* ------------------------------------------------------------------ *)
+
+let xlisp_like scale =
+  Printf.sprintf
+    {|
+int car[4096];
+int cdr[4096];
+int freeptr;
+int solutions;
+
+int cons(int a, int d) {
+  int c;
+  c = freeptr;
+  freeptr = (freeptr + 1) & 4095;
+  car[c] = a;
+  cdr[c] = d;
+  return c;
+}
+
+int safe(int row, int dist, int placed) {
+  int q;
+  if (placed == -1) { return 1; }
+  q = car[placed];
+  if (q == row) { return 0; }
+  if (q == row + dist) { return 0; }
+  if (q == row - dist) { return 0; }
+  return safe(row, dist + 1, cdr[placed]);
+}
+
+int queens(int n, int col, int placed) {
+  int row; int count;
+  if (col == n) { return 1; }
+  count = 0;
+  for (row = 0; row < n; row = row + 1) {
+    if (safe(row, 1, placed)) {
+      count = count + queens(n, col + 1, cons(row, placed));
+    }
+  }
+  return count;
+}
+
+int len(int lst) {
+  if (lst == -1) { return 0; }
+  return 1 + len(cdr[lst]);
+}
+
+int main() {
+  int r; int lst; int i;
+  solutions = 0;
+  for (r = 0; r < %d; r = r + 1) {
+    freeptr = 0;
+    solutions = solutions + queens(6, 0, -1);
+    /* build and measure a list, lisp-style */
+    lst = -1;
+    for (i = 0; i < 50; i = i + 1) { lst = cons(i, lst); }
+    solutions = solutions + len(lst);
+  }
+  return solutions;
+}
+|}
+    (3 * max 1 scale)
+
+(* ------------------------------------------------------------------ *)
+
+let all : t list =
+  [
+    {
+      name = "compress";
+      mirrors = "129.compress";
+      character = "small hot loop set: hash probing + byte buffers";
+      source = compress_like;
+    };
+    {
+      name = "gcc";
+      mirrors = "126.gcc";
+      character = "28 distinct pass functions over a synthetic IR: large I-working set";
+      source = gcc_like;
+    };
+    {
+      name = "go";
+      mirrors = "099.go";
+      character = "irregular data-dependent branches over a board; wide code footprint";
+      source = go_like;
+    };
+    {
+      name = "ijpeg";
+      mirrors = "132.ijpeg";
+      character = "one dominant DCT-style loop nest with high ILP";
+      source = ijpeg_like;
+    };
+    {
+      name = "m88ksim";
+      mirrors = "124.m88ksim";
+      character = "fetch-decode-dispatch CPU interpreter loop";
+      source = m88ksim_like;
+    };
+    {
+      name = "perl";
+      mirrors = "134.perl";
+      character = "stack bytecode interpreter with byte-buffer string ops";
+      source = perl_like;
+    };
+    {
+      name = "vortex";
+      mirrors = "147.vortex";
+      character = "object store: hashed record inserts/lookups, chain walking";
+      source = vortex_like;
+    };
+    {
+      name = "xlisp";
+      mirrors = "130.li";
+      character = "cons cells + recursive queens search (deep call chains)";
+      source = xlisp_like;
+    };
+  ]
+
+let find name =
+  match List.find_opt (fun w -> w.name = name) all with
+  | Some w -> w
+  | None -> invalid_arg ("Workloads.find: unknown workload " ^ name)
+
+(** Compile a workload at a given scale. *)
+let program ?(scale = 1) w = Dts_tinyc.Tinyc.compile (w.source scale)

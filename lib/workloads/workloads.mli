@@ -1,0 +1,23 @@
+(** The benchmark suite: eight synthetic analogues of SPECint95 (Table 2),
+    written in tinyc and compiled to SRISC.
+
+    Each analogue reproduces the property the paper's analysis attributes
+    to its original — instruction-working-set size, loop dominance,
+    branchiness, recursion depth (see DESIGN.md §5). *)
+
+type t = {
+  name : string;  (** short name used throughout the harness *)
+  mirrors : string;  (** the SPECint95 program this stands in for *)
+  character : string;  (** one-line description of the behaviour modelled *)
+  source : int -> string;  (** tinyc source at a given scale *)
+}
+
+val all : t list
+(** The eight analogues, in the paper's Table 2 order. *)
+
+val find : string -> t
+(** Look up by [name]. @raise Invalid_argument on an unknown name. *)
+
+val program : ?scale:int -> t -> Dts_asm.Program.t
+(** Compile a workload; [scale] multiplies the outer iteration counts
+    (default 1 ≈ 50–200k sequential instructions). *)

@@ -1,0 +1,2 @@
+(* operator enum for the tinyc expression property test *)
+type t = Add | Sub | Mul | Div | Mod | BAnd | BOr | BXor | Shl | Shr | Lshr

@@ -1,0 +1,280 @@
+(* Assembler tests: parsing, label resolution, pseudo expansion, and
+   end-to-end execution of assembled programs on the golden machine. *)
+
+let check_int = Alcotest.(check int)
+
+let asm src = Dts_asm.Assembler.assemble src
+
+let run_golden ?(fuel = 1_000_000) program =
+  let st = Dts_asm.Program.boot program in
+  let g = Dts_golden.Golden.of_state st in
+  ignore (Dts_golden.Golden.run ~max_instructions:fuel g);
+  Alcotest.(check bool) "program halted" true st.Dts_isa.State.halted;
+  st
+
+let vis st r = Dts_isa.State.get_reg st ~cwp:st.Dts_isa.State.cwp r
+
+let test_simple_program () =
+  let p =
+    asm {|
+start:  mov   7, %o0
+        add   %o0, 5, %o1
+        halt
+|}
+  in
+  let st = run_golden p in
+  check_int "o1" 12 (vis st 9)
+
+let test_loop_sum () =
+  (* the paper's Figure 2 kernel: sum an array *)
+  let p =
+    asm
+      {|
+        .data
+arr:    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+        .text
+start:  mov   0, %o0          ! sum
+        set   arr, %o1
+        mov   0, %o2          ! i*4
+loop:   ld    [%o1+%o2], %o3
+        add   %o0, %o3, %o0
+        add   %o2, 4, %o2
+        cmp   %o2, 40
+        bl    loop
+        halt
+|}
+  in
+  let st = run_golden p in
+  check_int "sum 1..10" 55 (vis st 8)
+
+let test_call_convention () =
+  let p =
+    asm
+      {|
+start:  mov   21, %o0
+        call  double
+        add   %o0, 1, %o1
+        halt
+double: save  %sp, -96, %sp
+        add   %i0, %i0, %i0
+        restore %i0, 0, %o0
+        retl
+|}
+  in
+  (* without delay slots the epilogue is restore-then-retl: after the
+     restore the return address is the caller-frame %o7 again *)
+  let st = run_golden p in
+  check_int "doubled" 42 (vis st 8);
+  check_int "after call" 43 (vis st 9)
+
+let test_set_large_constant () =
+  let p = asm {|
+start:  set   0x12345678, %o0
+        set   100, %o1
+        halt
+|} in
+  let st = run_golden p in
+  check_int "large" 0x12345678 (vis st 8);
+  check_int "small" 100 (vis st 9)
+
+let test_data_directives () =
+  let p =
+    asm
+      {|
+        .data
+bytes:  .byte 1, 2, 255
+        .align 2
+halves: .half 1000, 2000
+        .align 4
+words:  .word 123456, bytes
+        .text
+start:  set   bytes, %o0
+        ldub  [%o0+2], %o1
+        set   halves, %o0
+        ldsh  [%o0+2], %o2
+        set   words, %o0
+        ld    [%o0], %o3
+        ld    [%o0+4], %o4
+        halt
+|}
+  in
+  let st = run_golden p in
+  check_int "byte" 255 (vis st 9);
+  check_int "half" 2000 (vis st 10);
+  check_int "word" 123456 (vis st 11);
+  check_int "label in .word" (Dts_asm.Program.symbol p "bytes") (vis st 12)
+
+let test_branch_conditions () =
+  let p =
+    asm
+      {|
+start:  mov   0, %o0
+        cmp   %o0, 1
+        bl    less
+        halt
+less:   mov   -1, %o1
+        cmp   %o1, 1
+        bgu   unsigned_greater   ! 0xFFFFFFFF > 1 unsigned
+        halt
+unsigned_greater:
+        mov   99, %o2
+        halt
+|}
+  in
+  let st = run_golden p in
+  check_int "reached end" 99 (vis st 10)
+
+let test_store_byte_halt () =
+  let p =
+    asm
+      {|
+        .data
+buf:    .space 16
+        .text
+start:  set   buf, %o0
+        mov   0xAB, %o1
+        stb   %o1, [%o0+3]
+        ldub  [%o0+3], %o2
+        halt
+|}
+  in
+  let st = run_golden p in
+  check_int "stb/ldub" 0xAB (vis st 10)
+
+let test_error_unknown_mnemonic () =
+  match asm "start: frobnicate %o0, %o1\nhalt\n" with
+  | exception Dts_asm.Assembler.Error { line = 1; _ } -> ()
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected assembler error"
+
+let test_error_undefined_symbol () =
+  match asm "start: ba nowhere\n" with
+  | exception Dts_asm.Assembler.Error { msg; _ } ->
+    Alcotest.(check bool) "mentions symbol" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected assembler error"
+
+let test_error_duplicate_label () =
+  match asm "a: nop\na: nop\n" with
+  | exception Dts_asm.Assembler.Error { line = 2; _ } -> ()
+  | _ -> Alcotest.fail "expected duplicate label error"
+
+let test_error_immediate_range () =
+  match asm "start: add %o0, 100000, %o1\n" with
+  | exception Dts_asm.Assembler.Error { msg; _ } ->
+    Alcotest.(check bool) "has message" true (String.length msg > 0)
+  | _ -> Alcotest.fail "expected range error"
+
+let test_hi_lo () =
+  let p =
+    asm
+      {|
+        .data
+        .org 0x123400
+var:    .word 77
+        .text
+start:  sethi hi(var), %o0
+        or    %o0, lo(var), %o0
+        ld    [%o0], %o1
+        halt
+|}
+  in
+  let st = run_golden p in
+  check_int "hi/lo addressing" 77 (vis st 9)
+
+let test_comments_and_blank_lines () =
+  let p =
+    asm
+      {|
+! full line comment
+start:  nop            ; trailing comment
+        # another style
+
+        mov 5, %o0
+        halt
+|}
+  in
+  let st = run_golden p in
+  check_int "survives comments" 5 (vis st 8)
+
+let test_disasm_roundtrip_text () =
+  let p = asm {|
+start:  add %o0, 5, %o1
+        halt
+|} in
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Dts_asm.Program.pp fmt p;
+  Format.pp_print_flush fmt ();
+  Alcotest.(check bool) "mentions add" true
+    (String.length (Buffer.contents buf) > 0)
+
+let test_pseudo_ops () =
+  let p =
+    asm
+      {|
+start:  mov   10, %o0
+        inc   %o0
+        inc   %o0
+        dec   %o0
+        tst   %o0
+        be    never
+        clr   %o1
+        cmp   %o0, 11
+        be    good
+        halt
+good:   mov   1, %o2
+        halt
+never:  halt
+|}
+  in
+  let st = run_golden p in
+  check_int "inc/dec" 11 (vis st 8);
+  check_int "clr" 0 (vis st 9);
+  check_int "reached good" 1 (vis st 10)
+
+let test_reg_plus_reg_addressing () =
+  let p =
+    asm
+      {|
+        .data
+tbl:    .word 11, 22, 33
+        .text
+start:  set   tbl, %o0
+        mov   8, %o1
+        ld    [%o0+%o1], %o2
+        halt
+|}
+  in
+  let st = run_golden p in
+  check_int "reg+reg load" 33 (vis st 10)
+
+let test_org_in_text () =
+  let p = asm {|
+        .text
+        .org 0x4000
+start:  mov 5, %o0
+        halt
+|} in
+  Alcotest.(check int) "entry at org" 0x4000 p.entry
+
+let suite =
+  [
+    Alcotest.test_case "simple program" `Quick test_simple_program;
+    Alcotest.test_case "loop sum (fig 2 kernel)" `Quick test_loop_sum;
+    Alcotest.test_case "call convention" `Quick test_call_convention;
+    Alcotest.test_case "set large constant" `Quick test_set_large_constant;
+    Alcotest.test_case "data directives" `Quick test_data_directives;
+    Alcotest.test_case "branch conditions" `Quick test_branch_conditions;
+    Alcotest.test_case "store byte" `Quick test_store_byte_halt;
+    Alcotest.test_case "error: unknown mnemonic" `Quick test_error_unknown_mnemonic;
+    Alcotest.test_case "error: undefined symbol" `Quick test_error_undefined_symbol;
+    Alcotest.test_case "error: duplicate label" `Quick test_error_duplicate_label;
+    Alcotest.test_case "error: immediate range" `Quick test_error_immediate_range;
+    Alcotest.test_case "hi/lo" `Quick test_hi_lo;
+    Alcotest.test_case "comments" `Quick test_comments_and_blank_lines;
+    Alcotest.test_case "program pp" `Quick test_disasm_roundtrip_text;
+    Alcotest.test_case "pseudo ops" `Quick test_pseudo_ops;
+    Alcotest.test_case "reg+reg addressing" `Quick test_reg_plus_reg_addressing;
+    Alcotest.test_case ".org in text" `Quick test_org_in_text;
+  ]

@@ -1,0 +1,141 @@
+(* DIF baseline tests: greedy placement, instance renaming, exit maps, the
+   instance-exhaustion block limit, and end-to-end co-simulation. *)
+
+open Dts_sched.Schedtypes
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ret ?(cwp = 0) ?(taken = false) ?(next = -1) ?mem ~addr instr =
+  {
+    Dts_primary.Primary.instr;
+    addr;
+    cwp;
+    next_pc = (if next >= 0 then next else addr + 4);
+    taken;
+    mem;
+    trapped = false;
+    cycles = 1;
+  }
+
+let alu ?(cc = false) rs1 op2 rd =
+  Dts_isa.Instr.Alu { op = Add; cc; rs1; op2; rd }
+
+let insert_ok t r =
+  match Dts_dif.Dif.insert t r with
+  | `Ok -> ()
+  | `Full -> Alcotest.fail "unexpected full"
+
+let test_greedy_dependence_chain () =
+  let t = Dts_dif.Dif.create Dts_dif.Dif.default_config in
+  (* r2 := r1+1; r3 := r2+1; r4 := r1+2 — the chain spans two lis, the
+     independent op shares li 0 *)
+  insert_ok t (ret ~addr:0x1000 (alu 1 (Imm 1) 2));
+  insert_ok t (ret ~addr:0x1004 (alu 2 (Imm 1) 3));
+  insert_ok t (ret ~addr:0x1008 (alu 1 (Imm 2) 4));
+  let b = Option.get (Dts_dif.Dif.finish_block t ~nba_addr:0x100c) in
+  check_int "two long instructions" 2 (Array.length b.lis);
+  let count_ops li =
+    li_fold (fun n _ op _ -> match op with Op _ -> n + 1 | Copy _ -> n) 0 li
+  in
+  check_int "li0 holds producer + independent" 2 (count_ops b.lis.(0));
+  check_int "li1 holds consumer" 1 (count_ops b.lis.(1))
+
+let test_every_destination_renamed () =
+  let t = Dts_dif.Dif.create Dts_dif.Dif.default_config in
+  insert_ok t (ret ~addr:0x1000 (alu 1 (Imm 1) 2));
+  let b = Option.get (Dts_dif.Dif.finish_block t ~nba_addr:0x1004) in
+  let renamed = ref false in
+  Array.iter
+    (fun li ->
+      li_iter
+        (fun _ op _ ->
+          match op with Op s -> if s.redirect <> [] then renamed := true | Copy _ -> ())
+        li)
+    b.lis;
+  check_bool "dest instanced" true !renamed
+
+let test_exit_map_on_finish () =
+  let t = Dts_dif.Dif.create Dts_dif.Dif.default_config in
+  insert_ok t (ret ~addr:0x1000 (alu 1 (Imm 1) 2));
+  let b = Option.get (Dts_dif.Dif.finish_block t ~nba_addr:0x1004) in
+  let copies = ref 0 in
+  Array.iter
+    (fun li ->
+      li_iter (fun _ op _ -> match op with Copy _ -> incr copies | Op _ -> ()) li)
+    b.lis;
+  check_bool "fall-through exit map present" true (!copies >= 1)
+
+let test_exit_map_per_branch () =
+  let t = Dts_dif.Dif.create Dts_dif.Dif.default_config in
+  insert_ok t (ret ~addr:0x1000 (alu 1 (Imm 1) 2));
+  insert_ok t
+    (ret ~addr:0x1004 ~taken:false
+       (Dts_isa.Instr.Branch { cond = E; target = 0x2000 }));
+  insert_ok t (ret ~addr:0x1008 (alu 1 (Imm 2) 3));
+  let _ = Option.get (Dts_dif.Dif.finish_block t ~nba_addr:0x100c) in
+  (* one branch exit + one fall-through exit *)
+  check_int "two exit points" 2 t.total_exits
+
+let test_instance_exhaustion_ends_block () =
+  let t = Dts_dif.Dif.create { Dts_dif.Dif.default_config with instances_per_reg = 2 } in
+  insert_ok t (ret ~addr:0x1000 (alu 1 (Imm 1) 2));
+  insert_ok t (ret ~addr:0x1004 (alu 1 (Imm 2) 2));
+  (match Dts_dif.Dif.insert t (ret ~addr:0x1008 (alu 1 (Imm 3) 2)) with
+  | `Full -> ()
+  | `Ok -> Alcotest.fail "third write to r2 must exhaust 2 instances")
+
+let test_cache_byte_accounting () =
+  let t = Dts_dif.Dif.create Dts_dif.Dif.default_config in
+  insert_ok t (ret ~addr:0x1000 (alu 1 (Imm 1) 2));
+  ignore (Dts_dif.Dif.finish_block t ~nba_addr:0x1004);
+  (* 6x6 block of 6-byte decoded instructions + 1 exit * 19 bytes *)
+  check_int "bytes" ((6 * 6 * 6) + 19) t.cache_bytes
+
+let run_cosim name =
+  let w = Dts_workloads.Workloads.find name in
+  let program = Dts_workloads.Workloads.program ~scale:1 w in
+  let m, dif = Dts_dif.Dif.machine ~machine_cfg:(Dts_dif.Dif.fig9_machine_cfg ()) program in
+  let n = Dts_core.Machine.run ~max_instructions:50_000 m in
+  (m, dif, n)
+
+let test_cosim_compress () =
+  let m, dif, n = run_cosim "compress" in
+  check_bool "progressed" true (n >= 40_000);
+  check_bool "vliw mode used" true (m.vliw_cycles > 0);
+  check_bool "blocks built" true (dif.blocks_built > 0)
+
+let test_cosim_recursive () =
+  (* xlisp: recursion exercises window-relative replay of DIF blocks *)
+  let m, _, n = run_cosim "xlisp" in
+  check_bool "progressed" true (n >= 40_000);
+  check_bool "vliw mode used" true (m.vliw_cycles > 0)
+
+let test_dif_close_to_dtsvliw () =
+  (* Figure 9's qualitative claim: the two machines land close together *)
+  let program () =
+    Dts_workloads.Workloads.program ~scale:1 (Dts_workloads.Workloads.find "m88ksim")
+  in
+  let m1, _, n1 = run_cosim "m88ksim" in
+  let cfg = Dts_experiments.Experiments.fig9_dtsvliw_cfg () in
+  let m2 = Dts_core.Machine.create cfg (program ()) in
+  let n2 = Dts_core.Machine.run ~max_instructions:50_000 m2 in
+  let ipc1 = float_of_int n1 /. float_of_int m1.cycles in
+  let ipc2 = float_of_int n2 /. float_of_int m2.cycles in
+  check_bool
+    (Printf.sprintf "DIF %.2f within 40%% of DTSVLIW %.2f" ipc1 ipc2)
+    true
+    (ipc1 /. ipc2 < 1.4 && ipc2 /. ipc1 < 1.4)
+
+let suite =
+  [
+    Alcotest.test_case "greedy chain placement" `Quick test_greedy_dependence_chain;
+    Alcotest.test_case "destinations instanced" `Quick test_every_destination_renamed;
+    Alcotest.test_case "fall-through exit map" `Quick test_exit_map_on_finish;
+    Alcotest.test_case "exit map per branch" `Quick test_exit_map_per_branch;
+    Alcotest.test_case "instance exhaustion" `Quick test_instance_exhaustion_ends_block;
+    Alcotest.test_case "cache byte accounting" `Quick test_cache_byte_accounting;
+    Alcotest.test_case "co-sim: compress" `Quick test_cosim_compress;
+    Alcotest.test_case "co-sim: xlisp (recursion)" `Quick test_cosim_recursive;
+    Alcotest.test_case "DIF within band of DTSVLIW" `Quick test_dif_close_to_dtsvliw;
+  ]

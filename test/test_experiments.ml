@@ -1,0 +1,61 @@
+(* Smoke tests for the experiment harness: every registered experiment must
+   render a non-empty table at a tiny budget, mentioning every workload.
+   These are the regression net for the reproduction harness itself. *)
+
+let check_bool = Alcotest.(check bool)
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let budget = 4_000
+
+let renders name =
+  let f = List.assoc name Dts_experiments.Experiments.by_name in
+  let out = f ~scale:1 ~budget () in
+  check_bool (name ^ " non-empty") true (String.length out > 100);
+  check_bool (name ^ " lists workloads") true
+    (List.for_all
+       (fun (w : Dts_workloads.Workloads.t) -> contains out w.name)
+       Dts_workloads.Workloads.all)
+
+let test_run_record () =
+  let r =
+    Dts_experiments.Experiments.run_dtsvliw ~budget
+      (Dts_core.Config.ideal ()) "compress"
+  in
+  check_bool "instructions counted" true (r.instructions >= budget);
+  check_bool "ipc positive" true (r.ipc > 0.1);
+  check_bool "cycles consistent" true
+    (abs_float (r.ipc -. (float_of_int r.instructions /. float_of_int r.cycles))
+    < 1e-9);
+  check_bool "vliw fraction in range" true
+    (r.vliw_fraction >= 0. && r.vliw_fraction <= 1.)
+
+let test_dif_run_record () =
+  let r, dif =
+    Dts_experiments.Experiments.run_dif ~budget
+      (Dts_dif.Dif.fig9_machine_cfg ())
+      "compress"
+  in
+  check_bool "progressed" true (r.instructions >= budget);
+  check_bool "dif blocks" true (dif.blocks_built > 0);
+  check_bool "dif cache bytes accounted" true (dif.cache_bytes > 0)
+
+let test_fig8_components_nonnegative_sum () =
+  (* the stacked decomposition must add back up to the ideal IPC *)
+  let out =
+    (List.assoc "fig8" Dts_experiments.Experiments.by_name) ~scale:1 ~budget ()
+  in
+  check_bool "has ILP column" true (contains out "ILP")
+
+let suite =
+  List.map
+    (fun name -> Alcotest.test_case ("renders: " ^ name) `Quick (fun () -> renders name))
+    [ "table2"; "fig6"; "fig9"; "ablation"; "extensions"; "table3" ]
+  @ [
+      Alcotest.test_case "run record" `Quick test_run_record;
+      Alcotest.test_case "dif run record" `Quick test_dif_run_record;
+      Alcotest.test_case "fig8 renders" `Quick test_fig8_components_nonnegative_sum;
+    ]

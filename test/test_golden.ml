@@ -1,0 +1,72 @@
+(* Golden reference machine tests: budgets, halting, and the test-mode
+   synchronisation primitive. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let boot src =
+  let program = Dts_asm.Assembler.assemble src in
+  let st = Dts_asm.Program.boot program in
+  (Dts_golden.Golden.of_state st, st)
+
+let counting_loop =
+  {|
+start:  mov   0, %o0
+loop:   add   %o0, 1, %o0
+        cmp   %o0, 100
+        bl    loop
+        halt
+|}
+
+let test_run_to_halt () =
+  let g, st = boot counting_loop in
+  let n = Dts_golden.Golden.run g in
+  check_bool "halted" true st.halted;
+  check_int "o0" 100 (Dts_isa.State.get_reg st ~cwp:st.cwp 8);
+  (* 1 mov + 100*(add,cmp,branch) + halt *)
+  check_int "instruction count" (1 + 300 + 1) n
+
+let test_budget_stops_early () =
+  let g, st = boot counting_loop in
+  let n = Dts_golden.Golden.run ~max_instructions:10 g in
+  check_int "retired exactly the budget" 10 n;
+  check_bool "not halted" false st.halted;
+  (* a second call continues from where it stopped *)
+  let n2 = Dts_golden.Golden.run g in
+  check_int "total" 302 (n + n2)
+
+let test_step_raises_on_halt () =
+  let g, _ = boot "start: halt\n" in
+  (try
+     Dts_golden.Golden.step g;
+     Alcotest.fail "expected Program_halted"
+   with Dts_golden.Golden.Program_halted -> ());
+  (* stepping a halted machine keeps raising *)
+  try
+    Dts_golden.Golden.step g;
+    Alcotest.fail "expected Program_halted again"
+  with Dts_golden.Golden.Program_halted -> ()
+
+let test_run_until_pc () =
+  let g, st = boot counting_loop in
+  let loop_pc = 0x1004 in
+  check_bool "reaches the loop head" true
+    (Dts_golden.Golden.run_until_pc g ~pc:loop_pc);
+  check_int "stopped there" loop_pc st.pc;
+  (* reaches it again on the next iteration *)
+  Dts_golden.Golden.step g;
+  check_bool "reaches it again" true (Dts_golden.Golden.run_until_pc g ~pc:loop_pc)
+
+let test_run_until_pc_fuel () =
+  let g, _ = boot counting_loop in
+  check_bool "unreachable pc exhausts fuel" false
+    (Dts_golden.Golden.run_until_pc ~fuel:50 g ~pc:0xDEAD00)
+
+let suite =
+  [
+    Alcotest.test_case "run to halt" `Quick test_run_to_halt;
+    Alcotest.test_case "budget stops early" `Quick test_budget_stops_early;
+    Alcotest.test_case "step raises on halt" `Quick test_step_raises_on_halt;
+    Alcotest.test_case "run_until_pc" `Quick test_run_until_pc;
+    Alcotest.test_case "run_until_pc fuel" `Quick test_run_until_pc_fuel;
+  ]

@@ -1,0 +1,452 @@
+(* End-to-end DTSVLIW machine tests. Every run executes in test mode: the
+   machine co-simulates the golden model and raises Test_mode_mismatch on
+   any architectural divergence, so a passing test validates the Primary
+   Processor, the Scheduler Unit and the VLIW Engine together. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_source ?cfg src =
+  let cfg = match cfg with Some c -> c | None -> Dts_core.Config.ideal () in
+  let program = Dts_tinyc.Tinyc.compile src in
+  let m = Dts_core.Machine.create cfg program in
+  let n = Dts_core.Machine.run m in
+  (m, program, n)
+
+let run_asm ?cfg src =
+  let cfg = match cfg with Some c -> c | None -> Dts_core.Config.ideal () in
+  let program = Dts_asm.Assembler.assemble src in
+  let m = Dts_core.Machine.create cfg program in
+  let n = Dts_core.Machine.run m in
+  (m, program, n)
+
+let global (m : Dts_core.Machine.t) program name =
+  Dts_mem.Memory.read m.st.mem
+    ~addr:(Dts_asm.Program.symbol program ("g_" ^ name))
+    ~size:4 ~signed:true
+
+(* the paper's Figure 2 kernel: vector sum *)
+let vector_sum_asm n =
+  Printf.sprintf
+    {|
+        .data
+arr:    .space %d
+        .text
+start:  mov   0, %%o0          ! sum
+        set   arr, %%o1
+        mov   0, %%o2
+        set   %d, %%l0
+init:   st    %%o2, [%%o1+%%o2]
+        add   %%o2, 4, %%o2
+        cmp   %%o2, %%l0
+        bl    init
+        mov   0, %%o2
+loop:   ld    [%%o1+%%o2], %%o3
+        add   %%o0, %%o3, %%o0
+        add   %%o2, 4, %%o2
+        cmp   %%o2, %%l0
+        bl    loop
+        halt
+|}
+    (4 * n) (4 * n)
+
+let test_vector_sum () =
+  let m, _, _ = run_asm (vector_sum_asm 100) in
+  (* sum of 0,4,8,...,396 = arr[i] holds i*4 *)
+  check_int "sum" (Array.init 100 (fun i -> 4 * i) |> Array.fold_left ( + ) 0)
+    (Dts_isa.State.get_reg m.st ~cwp:m.st.cwp 8);
+  check_bool "used the VLIW engine" true (m.vliw_cycles > 0);
+  check_bool "built blocks" true (m.blocks_flushed > 0)
+
+let test_vector_sum_beats_primary_alone () =
+  (* IPC with scheduling must exceed 1/primary-cycles; for this loop the
+     DTSVLIW should comfortably exceed 1 instruction per cycle *)
+  let m, _, n = run_asm (vector_sum_asm 200) in
+  let ipc = float_of_int n /. float_of_int m.cycles in
+  check_bool
+    (Printf.sprintf "ipc %.2f > 1.0" ipc)
+    true (ipc > 1.0)
+
+let test_fib_cosim () =
+  let m, p, _ =
+    run_source
+      {| int r;
+         int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+         int main() { r = fib(14); return 0; } |}
+  in
+  check_int "fib(14)" 377 (global m p "r")
+
+let test_sort_cosim () =
+  let m, p, _ =
+    run_source
+      {| int a[64];
+         int r;
+         int main() {
+           int i; int j; int t;
+           for (i = 0; i < 64; i = i + 1) { a[i] = (i * 37 + 11) % 64; }
+           for (i = 0; i < 64; i = i + 1) {
+             for (j = i + 1; j < 64; j = j + 1) {
+               if (a[j] < a[i]) { t = a[i]; a[i] = a[j]; a[j] = t; }
+             }
+           }
+           r = 1;
+           for (i = 1; i < 64; i = i + 1) { if (a[i] < a[i-1]) { r = 0; } }
+           return 0;
+         } |}
+  in
+  check_int "sorted" 1 (global m p "r")
+
+let test_pointer_chase_aliasing_paths () =
+  (* stores through computed indices next to loads: exercises the memory
+     dependency and (potentially) aliasing machinery *)
+  let m, p, _ =
+    run_source
+      {| int a[32];
+         int r;
+         int main() {
+           int i; int s;
+           for (i = 0; i < 32; i = i + 1) { a[i] = i; }
+           s = 0;
+           for (i = 0; i < 1000; i = i + 1) {
+             a[(i * 7) % 32] = a[(i * 3) % 32] + 1;
+             s = s + a[(i * 5) % 32];
+           }
+           r = s;
+           return 0;
+         } |}
+  in
+  check_bool "finished with consistent state" true (global m p "r" <> 0)
+
+let test_deep_recursion_window_traps () =
+  (* window overflow traps make save non-schedulable occurrences and can
+     raise block exceptions in VLIW mode *)
+  let m, p, _ =
+    run_source ~cfg:(Dts_core.Config.ideal ())
+      {| int r;
+         int down(int n, int acc) {
+           if (n == 0) { return acc; }
+           return down(n - 1, acc + n);
+         }
+         int main() {
+           int i; int s;
+           s = 0;
+           for (i = 0; i < 20; i = i + 1) { s = s + down(60, 0); }
+           r = s;
+           return 0;
+         } |}
+  in
+  check_int "sum" (20 * (60 * 61 / 2)) (global m p "r")
+
+let test_flags_renaming () =
+  (* many cc-writing instructions and branches in flight *)
+  let m, p, _ =
+    run_source
+      {| int r;
+         int main() {
+           int i; int a; int b; int c;
+           a = 0; b = 0; c = 0;
+           for (i = 0; i < 2000; i = i + 1) {
+             if (i % 3 == 0) { a = a + 1; }
+             if (i % 5 == 0) { b = b + 1; }
+             if (i % 7 == 0) { c = c + 2; }
+           }
+           r = a * 10000 + b * 100 + c;
+           return 0;
+         } |}
+  in
+  let expect =
+    let a = ref 0 and b = ref 0 and c = ref 0 in
+    for i = 0 to 1999 do
+      if i mod 3 = 0 then incr a;
+      if i mod 5 = 0 then incr b;
+      if i mod 7 = 0 then c := !c + 2
+    done;
+    (!a * 10000) + (!b * 100) + !c
+  in
+  check_int "flag-heavy loop" expect (global m p "r")
+
+let test_geometry_affects_ipc () =
+  let src = vector_sum_asm 400 in
+  let run w h =
+    let m, _, n = run_asm ~cfg:(Dts_core.Config.ideal ~width:w ~height:h ()) src in
+    float_of_int n /. float_of_int m.cycles
+  in
+  let ipc_small = run 2 2 in
+  let ipc_big = run 8 8 in
+  check_bool
+    (Printf.sprintf "8x8 (%.2f) >= 2x2 (%.2f)" ipc_big ipc_small)
+    true (ipc_big >= ipc_small)
+
+let test_feasible_machine_runs () =
+  let m, p, _ =
+    run_source ~cfg:(Dts_core.Config.feasible ())
+      {| int r;
+         int main() {
+           int i; int s;
+           s = 0;
+           for (i = 0; i < 3000; i = i + 1) { s = s + (i ^ (s << 1)) % 97; }
+           r = s;
+           return 0;
+         } |}
+  in
+  check_bool "completed" true (global m p "r" <> 1234567);
+  check_bool "vliw fraction sane" true
+    (Dts_core.Machine.vliw_cycle_fraction m >= 0.0
+    && Dts_core.Machine.vliw_cycle_fraction m <= 1.0)
+
+let test_vliw_cycle_fraction_high_for_loops () =
+  let m, _, _ = run_asm (vector_sum_asm 2000) in
+  let f = Dts_core.Machine.vliw_cycle_fraction m in
+  check_bool (Printf.sprintf "vliw fraction %.2f > 0.5" f) true (f > 0.5)
+
+let test_tiny_vliw_cache_still_correct () =
+  (* a 1-block-capacity cache forces constant eviction and rebuilds *)
+  let cfg =
+    let c = Dts_core.Config.ideal () in
+    { c with vliw_cache = { kb = 1; assoc = 1 } }
+  in
+  let m, p, _ =
+    run_source ~cfg
+      {| int r;
+         int f(int x) { return x * 3 + 1; }
+         int main() {
+           int i; int s;
+           s = 0;
+           for (i = 0; i < 500; i = i + 1) { s = s + f(i); }
+           r = s;
+           return 0;
+         } |}
+  in
+  let expect = ref 0 in
+  for i = 0 to 499 do
+    expect := !expect + (i * 3) + 1
+  done;
+  check_int "result" !expect (global m p "r")
+
+let test_no_renaming_still_correct () =
+  let cfg =
+    let c = Dts_core.Config.ideal () in
+    { c with sched = { c.sched with renaming = false } }
+  in
+  let m, p, _ =
+    run_source ~cfg
+      {| int r;
+         int main() {
+           int i; int s;
+           s = 1;
+           for (i = 0; i < 300; i = i + 1) { s = (s * 5 + i) % 8191; }
+           r = s;
+           return 0;
+         } |}
+  in
+  check_bool "completed" true (global m p "r" >= 0)
+
+let test_renaming_improves_ipc () =
+  let src = vector_sum_asm 500 in
+  let ipc renaming =
+    let c = Dts_core.Config.ideal () in
+    let cfg = { c with sched = { c.sched with renaming } } in
+    let m, _, n = run_asm ~cfg src in
+    float_of_int n /. float_of_int m.cycles
+  in
+  let with_r = ipc true and without_r = ipc false in
+  check_bool
+    (Printf.sprintf "renaming %.2f >= none %.2f" with_r without_r)
+    true (with_r >= without_r)
+
+let test_heterogeneous_fu_constraint () =
+  let m, p, _ =
+    run_source ~cfg:(Dts_core.Config.feasible ())
+      {| int a[16];
+         int r;
+         int main() {
+           int i; int s;
+           for (i = 0; i < 16; i = i + 1) { a[i] = i * i; }
+           s = 0;
+           for (i = 0; i < 16; i = i + 1) { s = s + a[i]; }
+           r = s;
+           return 0;
+         } |}
+  in
+  check_int "sum of squares" 1240 (global m p "r")
+
+let test_data_store_list_scheme () =
+  (* §3.11's alternative scheme must compute identical architectural
+     results; the co-simulation checks every block boundary *)
+  let cfg =
+    {
+      (Dts_core.Config.ideal ()) with
+      store_scheme = Dts_vliw.Engine.Data_store_list;
+    }
+  in
+  let m, p, _ =
+    run_source ~cfg
+      {| int a[32];
+         int r;
+         int main() {
+           int i; int s;
+           for (i = 0; i < 32; i = i + 1) { a[i] = i; }
+           s = 0;
+           for (i = 0; i < 800; i = i + 1) {
+             a[(i * 7) % 32] = a[(i * 3) % 32] + 1;
+             s = s + a[(i * 5) % 32];
+           }
+           r = s;
+           return 0;
+         } |}
+  in
+  check_bool "store-list scheme verified" true (global m p "r" <> 0);
+  check_bool "data store list used" true
+    (m.engine.stats.max_data_store_list > 0)
+
+let test_schemes_agree () =
+  let src = vector_sum_asm 300 in
+  let run scheme =
+    let cfg = { (Dts_core.Config.ideal ()) with store_scheme = scheme } in
+    let m, _, n = run_asm ~cfg src in
+    (n, Dts_isa.State.get_reg m.st ~cwp:m.st.cwp 8)
+  in
+  let n1, r1 = run Dts_vliw.Engine.Checkpoint_recovery in
+  let n2, r2 = run Dts_vliw.Engine.Data_store_list in
+  check_int "same instruction count" n1 n2;
+  check_int "same result" r1 r2
+
+let test_next_li_prediction_helps () =
+  let src = vector_sum_asm 500 in
+  let run pred =
+    let cfg =
+      {
+        (Dts_core.Config.feasible ()) with
+        next_li_prediction = pred;
+        sched = { (Dts_core.Config.feasible ()).sched with slot_classes = None; width = 8 };
+      }
+    in
+    let m, _, n = run_asm ~cfg src in
+    (float_of_int n /. float_of_int m.cycles, m.nlp_hits)
+  in
+  let base, _ = run false in
+  let with_pred, hits = run true in
+  check_bool
+    (Printf.sprintf "prediction %.3f >= baseline %.3f" with_pred base)
+    true (with_pred >= base);
+  check_bool "predictor hit" true (hits > 0)
+
+let test_multicycle_cosim () =
+  (* multicycle latencies change the schedule shape but not the results;
+     the co-simulation verifies every block *)
+  let base = Dts_core.Config.ideal () in
+  let cfg =
+    {
+      base with
+      sched = { base.sched with latencies = Dts_isa.Instr.multicycle_latencies };
+      primary_timing =
+        { base.primary_timing with latencies = Dts_isa.Instr.multicycle_latencies };
+    }
+  in
+  let m, p, _ =
+    run_source ~cfg
+      {| int r;
+         int main() {
+           int i; int s;
+           s = 0;
+           for (i = 1; i < 400; i = i + 1) { s = s + (s * 3 + i) / i; }
+           r = s;
+           return 0;
+         } |}
+  in
+  check_bool "completed with multicycle units" true (global m p "r" <> 0)
+
+let test_stats_collected () =
+  let m, _, n = run_asm (vector_sum_asm 300) in
+  check_bool "instructions counted" true (n > 1000);
+  check_bool "slot utilisation in (0,1]" true
+    (Dts_core.Machine.slot_utilisation m > 0.0
+    && Dts_core.Machine.slot_utilisation m <= 1.0);
+  check_bool "renaming registers tracked" true
+    (Array.exists (fun v -> v > 0) m.rr_max)
+
+(* property: ANY configuration must simulate correctly — the co-simulation
+   raises on divergence, so surviving the run is the assertion *)
+let prop_random_config_correct =
+  let open QCheck2.Gen in
+  let gen_cfg =
+    let* width = int_range 1 16 in
+    let* height = int_range 1 16 in
+    let* renaming = bool in
+    let* resplit = bool in
+    let* mem_motion = bool in
+    let* strict = bool in
+    let* store_list = bool in
+    let* nlp = bool in
+    let* multicycle = bool in
+    let* vkb = oneofl [ 1; 4; 48; 3072 ] in
+    let* vassoc = oneofl [ 1; 2; 4 ] in
+    let base = Dts_core.Config.ideal ~width ~height () in
+    return
+      {
+        base with
+        sched =
+          {
+            base.sched with
+            renaming;
+            resplit_on_control = resplit;
+            mem_motion;
+            strict_control_insert = strict;
+            latencies =
+              (if multicycle then Dts_isa.Instr.multicycle_latencies
+               else Dts_isa.Instr.unit_latencies);
+          };
+        vliw_cache = { kb = vkb; assoc = vassoc };
+        store_scheme =
+          (if store_list then Dts_vliw.Engine.Data_store_list
+           else Dts_vliw.Engine.Checkpoint_recovery);
+        next_li_prediction = nlp;
+        primary_timing =
+          {
+            base.primary_timing with
+            latencies =
+              (if multicycle then Dts_isa.Instr.multicycle_latencies
+               else Dts_isa.Instr.unit_latencies);
+          };
+        memcmp_interval = 16;
+      }
+  in
+  QCheck2.Test.make ~count:25 ~name:"any configuration co-simulates cleanly"
+    gen_cfg (fun cfg ->
+      let program =
+        Dts_workloads.Workloads.program ~scale:1
+          (Dts_workloads.Workloads.find "compress")
+      in
+      let m = Dts_core.Machine.create cfg program in
+      let n = Dts_core.Machine.run ~max_instructions:20_000 m in
+      n >= 20_000)
+
+let suite =
+  [
+    Alcotest.test_case "vector sum (fig 2 kernel)" `Quick test_vector_sum;
+    Alcotest.test_case "ipc beats sequential" `Quick
+      test_vector_sum_beats_primary_alone;
+    Alcotest.test_case "fib co-simulation" `Quick test_fib_cosim;
+    Alcotest.test_case "sort co-simulation" `Quick test_sort_cosim;
+    Alcotest.test_case "memory dependencies" `Quick
+      test_pointer_chase_aliasing_paths;
+    Alcotest.test_case "window traps in blocks" `Quick
+      test_deep_recursion_window_traps;
+    Alcotest.test_case "flags renaming" `Quick test_flags_renaming;
+    Alcotest.test_case "geometry affects ipc" `Quick test_geometry_affects_ipc;
+    Alcotest.test_case "feasible machine" `Quick test_feasible_machine_runs;
+    Alcotest.test_case "vliw cycle fraction" `Quick
+      test_vliw_cycle_fraction_high_for_loops;
+    Alcotest.test_case "tiny vliw cache" `Quick test_tiny_vliw_cache_still_correct;
+    Alcotest.test_case "no renaming still correct" `Quick
+      test_no_renaming_still_correct;
+    Alcotest.test_case "renaming improves ipc" `Quick test_renaming_improves_ipc;
+    Alcotest.test_case "heterogeneous FUs" `Quick test_heterogeneous_fu_constraint;
+    Alcotest.test_case "stats collected" `Quick test_stats_collected;
+    Alcotest.test_case "multicycle co-sim" `Quick test_multicycle_cosim;
+    Alcotest.test_case "data store list scheme" `Quick
+      test_data_store_list_scheme;
+    Alcotest.test_case "store schemes agree" `Quick test_schemes_agree;
+    Alcotest.test_case "next-li prediction" `Quick test_next_li_prediction_helps;
+    QCheck_alcotest.to_alcotest prop_random_config_correct;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "dtsvliw"
+    [
+      ("mem", Test_mem.suite);
+      ("isa", Test_isa.suite);
+      ("asm", Test_asm.suite);
+      ("golden", Test_golden.suite);
+      ("tinyc", Test_tinyc.suite);
+      ("sched", Test_sched.suite);
+      ("primary", Test_primary.suite);
+      ("vliw", Test_vliw.suite);
+      ("machine", Test_machine.suite);
+      ("dif", Test_dif.suite);
+      ("workloads", Test_workloads.suite);
+      ("report", Test_report.suite);
+      ("experiments", Test_experiments.suite);
+    ]

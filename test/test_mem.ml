@@ -1,0 +1,158 @@
+(* Unit and property tests for the memory substrate. *)
+
+open Dts_mem
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_rw_roundtrip () =
+  let m = Memory.create () in
+  Memory.write m ~addr:0x1000 ~size:4 0x12345678;
+  check_int "word" 0x12345678 (Memory.read m ~addr:0x1000 ~size:4 ~signed:true);
+  Memory.write m ~addr:0x2000 ~size:1 0xFF;
+  check_int "byte signed" (-1) (Memory.read m ~addr:0x2000 ~size:1 ~signed:true);
+  check_int "byte unsigned" 0xFF (Memory.read m ~addr:0x2000 ~size:1 ~signed:false);
+  Memory.write m ~addr:0x2002 ~size:2 0x8000;
+  check_int "half signed" (-32768) (Memory.read m ~addr:0x2002 ~size:2 ~signed:true);
+  check_int "half unsigned" 0x8000 (Memory.read m ~addr:0x2002 ~size:2 ~signed:false)
+
+let test_big_endian () =
+  let m = Memory.create () in
+  Memory.write m ~addr:0x100 ~size:4 0x0A0B0C0D;
+  check_int "msb first" 0x0A (Memory.read m ~addr:0x100 ~size:1 ~signed:false);
+  check_int "lsb last" 0x0D (Memory.read m ~addr:0x103 ~size:1 ~signed:false)
+
+let test_zero_default () =
+  let m = Memory.create () in
+  check_int "untouched reads zero" 0
+    (Memory.read m ~addr:0xABC000 ~size:4 ~signed:true)
+
+let test_misaligned () =
+  let m = Memory.create () in
+  Alcotest.check_raises "misaligned word" (Memory.Misaligned 0x1002) (fun () ->
+      ignore (Memory.read m ~addr:0x1002 ~size:4 ~signed:true));
+  Alcotest.check_raises "misaligned half" (Memory.Misaligned 0x1001) (fun () ->
+      Memory.write m ~addr:0x1001 ~size:2 1)
+
+let test_negative_word () =
+  let m = Memory.create () in
+  Memory.write m ~addr:0x40 ~size:4 (-5);
+  check_int "negative round-trips" (-5)
+    (Memory.read m ~addr:0x40 ~size:4 ~signed:true)
+
+let test_copy_and_equal () =
+  let m = Memory.create () in
+  Memory.write m ~addr:0x500 ~size:4 42;
+  let m2 = Memory.copy m in
+  check_bool "copies equal" true (Memory.equal m m2);
+  Memory.write m2 ~addr:0x504 ~size:4 7;
+  check_bool "diverged" false (Memory.equal m m2);
+  Alcotest.(check (option int))
+    "first difference" (Some 0x507)
+    (Memory.first_difference m m2)
+
+let test_zero_page_equal () =
+  let m = Memory.create () in
+  let m2 = Memory.create () in
+  Memory.write m ~addr:0x500 ~size:4 0;
+  check_bool "explicit zero equals untouched" true (Memory.equal m m2)
+
+let test_load_bytes () =
+  let m = Memory.create () in
+  Memory.load_bytes m ~addr:0x10 "\x01\x02\x03\x04";
+  check_int "bulk load" 0x01020304 (Memory.read m ~addr:0x10 ~size:4 ~signed:false)
+
+let prop_rw count =
+  QCheck2.Test.make ~count ~name:"memory read-after-write"
+    QCheck2.Gen.(
+      list_size (int_range 1 60)
+        (tup2 (int_range 0 0xFFFF) (int_range (-2147483648) 2147483647)))
+    (fun writes ->
+      let m = Memory.create () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (slot, v) ->
+          let addr = slot * 4 in
+          Memory.write m ~addr ~size:4 v;
+          Hashtbl.replace model addr v)
+        writes;
+      Hashtbl.fold
+        (fun addr v ok ->
+          ok && Memory.read m ~addr ~size:4 ~signed:true = v land 0xFFFFFFFF
+                || Memory.read m ~addr ~size:4 ~signed:true
+                   = (v lsl (Sys.int_size - 32)) asr (Sys.int_size - 32))
+        model true)
+
+let test_cache_direct_mapped () =
+  let c = Cache.create ~size_bytes:1024 ~line_bytes:32 ~assoc:1 ~miss_penalty:8 in
+  check_int "cold miss" 8 (Cache.access c 0);
+  check_int "hit" 0 (Cache.access c 4);
+  check_int "conflicting line" 8 (Cache.access c 1024);
+  check_int "evicted" 8 (Cache.access c 0);
+  check_int "hits" 1 (Cache.hits c);
+  check_int "misses" 3 (Cache.misses c)
+
+let test_cache_assoc_lru () =
+  let c = Cache.create ~size_bytes:64 ~line_bytes:32 ~assoc:2 ~miss_penalty:8 in
+  (* one set of two ways *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 32);
+  check_int "both resident" 0 (Cache.access c 0);
+  (* 0 is now MRU; inserting a third line evicts 32 *)
+  ignore (Cache.access c 64);
+  check_int "lru evicted" 8 (Cache.access c 32);
+  check_bool "0 evicted by 32's refill (now lru=64)" true
+    (Cache.probe c 32)
+
+let test_cache_perfect () =
+  let c = Cache.perfect () in
+  check_int "always hits" 0 (Cache.access c 123456);
+  check_bool "probe hits" true (Cache.probe c 98765)
+
+let test_blockcache_basic () =
+  let bc = Blockcache.create ~n_sets:4 ~assoc:2 in
+  Alcotest.(check (option string)) "miss" None (Blockcache.find bc 0x1000);
+  ignore (Blockcache.insert bc 0x1000 "a");
+  Alcotest.(check (option string)) "hit" (Some "a") (Blockcache.find bc 0x1000);
+  ignore (Blockcache.insert bc 0x1000 "b");
+  Alcotest.(check (option string)) "replaced" (Some "b") (Blockcache.find bc 0x1000);
+  check_bool "invalidate" true (Blockcache.invalidate bc 0x1000);
+  Alcotest.(check (option string)) "gone" None (Blockcache.find bc 0x1000)
+
+let test_blockcache_lru_eviction () =
+  let bc = Blockcache.create ~n_sets:1 ~assoc:2 in
+  ignore (Blockcache.insert bc 0x10 "a");
+  ignore (Blockcache.insert bc 0x20 "b");
+  ignore (Blockcache.find bc 0x10);
+  (* b is LRU *)
+  let evicted = Blockcache.insert bc 0x30 "c" in
+  Alcotest.(check (option string)) "evicted lru" (Some "b") evicted;
+  check_bool "a kept" true (Blockcache.probe bc 0x10);
+  check_bool "b gone" false (Blockcache.probe bc 0x20)
+
+let test_blockcache_sets () =
+  let bc = Blockcache.create ~n_sets:2 ~assoc:1 in
+  (* addresses 0x0 and 0x4 land in different sets (word-indexed) *)
+  ignore (Blockcache.insert bc 0x0 "a");
+  ignore (Blockcache.insert bc 0x4 "b");
+  check_bool "no conflict across sets" true
+    (Blockcache.probe bc 0x0 && Blockcache.probe bc 0x4)
+
+let suite =
+  [
+    Alcotest.test_case "rw roundtrip" `Quick test_rw_roundtrip;
+    Alcotest.test_case "big endian" `Quick test_big_endian;
+    Alcotest.test_case "zero default" `Quick test_zero_default;
+    Alcotest.test_case "misaligned" `Quick test_misaligned;
+    Alcotest.test_case "negative word" `Quick test_negative_word;
+    Alcotest.test_case "copy and equal" `Quick test_copy_and_equal;
+    Alcotest.test_case "zero page equal" `Quick test_zero_page_equal;
+    Alcotest.test_case "load bytes" `Quick test_load_bytes;
+    QCheck_alcotest.to_alcotest (prop_rw 200);
+    Alcotest.test_case "cache direct mapped" `Quick test_cache_direct_mapped;
+    Alcotest.test_case "cache assoc lru" `Quick test_cache_assoc_lru;
+    Alcotest.test_case "cache perfect" `Quick test_cache_perfect;
+    Alcotest.test_case "blockcache basic" `Quick test_blockcache_basic;
+    Alcotest.test_case "blockcache lru" `Quick test_blockcache_lru_eviction;
+    Alcotest.test_case "blockcache sets" `Quick test_blockcache_sets;
+  ]

@@ -1,0 +1,190 @@
+(* Primary Processor timing-model tests (Table 1): base CPI, not-taken
+   branch bubbles, load-use bubbles, cache miss stalls and trap service. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let build ?(icache = Dts_mem.Cache.perfect ()) ?(dcache = Dts_mem.Cache.perfect ())
+    src =
+  let program = Dts_asm.Assembler.assemble src in
+  let st = Dts_asm.Program.boot program in
+  (Dts_primary.Primary.create ~icache ~dcache st, st)
+
+let run_all p =
+  let cycles = ref 0 and retired = ref 0 in
+  (try
+     while true do
+       let r = Dts_primary.Primary.step p in
+       cycles := !cycles + r.Dts_primary.Primary.cycles;
+       incr retired
+     done
+   with Dts_primary.Primary.Halted -> ());
+  (!retired, !cycles)
+
+let test_straight_line_cpi_1 () =
+  let p, _ =
+    build {|
+start:  mov 1, %o0
+        mov 2, %o1
+        add %o0, %o1, %o2
+        xor %o2, 3, %o3
+        halt
+|}
+  in
+  let retired, cycles = run_all p in
+  check_int "retired" 4 retired;
+  check_int "one cycle each" 4 cycles
+
+let test_not_taken_branch_bubble () =
+  let p, _ =
+    build
+      {|
+start:  cmp %g0, 1
+        be  nowhere        ! not taken: 3-cycle bubble
+        mov 1, %o0
+        halt
+nowhere: halt
+|}
+  in
+  let _, cycles = run_all p in
+  (* cmp(1) + be(1+3) + mov(1) = 6 *)
+  check_int "bubble charged" 6 cycles
+
+let test_taken_branch_free () =
+  let p, _ =
+    build {|
+start:  cmp %g0, 0
+        be  target
+        halt
+target: mov 1, %o0
+        halt
+|}
+  in
+  let _, cycles = run_all p in
+  (* cmp(1) + be taken(1) + mov(1) = 3 *)
+  check_int "taken branch costs 1" 3 cycles
+
+let test_load_use_bubble () =
+  let p, _ =
+    build
+      {|
+        .data
+v:      .word 42
+        .text
+start:  set v, %o0
+        ld  [%o0], %o1
+        add %o1, 1, %o2    ! uses the loaded value: +1 bubble
+        halt
+|}
+  in
+  let _, cycles = run_all p in
+  (* set = 2 instrs (2) + ld (1) + add (1+1) = 5 *)
+  check_int "load-use bubble" 5 cycles
+
+let test_load_no_use_no_bubble () =
+  let p, _ =
+    build
+      {|
+        .data
+v:      .word 42
+        .text
+start:  set v, %o0
+        ld  [%o0], %o1
+        add %o3, 1, %o2    ! independent of the load
+        halt
+|}
+  in
+  let _, cycles = run_all p in
+  check_int "no bubble" 4 cycles
+
+let test_icache_miss_penalty () =
+  let icache =
+    Dts_mem.Cache.create ~size_bytes:64 ~line_bytes:32 ~assoc:1 ~miss_penalty:8
+  in
+  let p, _ = build ~icache {|
+start:  mov 1, %o0
+        mov 2, %o1
+        halt
+|} in
+  let _, cycles = run_all p in
+  (* both instructions in one 32B line: one cold miss *)
+  check_int "one cold miss" (2 + 8) cycles
+
+let test_dcache_miss_penalty () =
+  let dcache =
+    Dts_mem.Cache.create ~size_bytes:64 ~line_bytes:32 ~assoc:1 ~miss_penalty:8
+  in
+  let p, _ =
+    build ~dcache
+      {|
+        .data
+v:      .word 1
+        .text
+start:  set v, %o0
+        ld  [%o0], %o1      ! cold miss
+        ld  [%o0], %o2      ! hit
+        halt
+|}
+  in
+  let _, cycles = run_all p in
+  (* set(2) + ld(1+8) + ld(1, but load-use? second ld reads %o0, not %o1: no) *)
+  check_int "one dcache miss" 12 cycles
+
+let test_trap_service_charged () =
+  (* nwindows = 32 at boot; drive saves deep enough to overflow *)
+  let src =
+    "start:  set 100, %l1\n"
+    ^ String.concat ""
+        (List.init 31 (fun _ -> "        save %sp, -64, %sp\n"))
+    ^ String.concat ""
+        (List.init 31 (fun _ -> "        restore\n"))
+    ^ "        halt\n"
+  in
+  let p, st = build src in
+  let retired, cycles = run_all p in
+  check_bool "trap serviced" true (st.traps > 0);
+  check_bool "trap cycles charged" true (cycles > retired)
+
+let test_retired_observations () =
+  let p, _ =
+    build
+      {|
+        .data
+v:      .word 7
+        .text
+start:  set v, %o0
+        ld  [%o0], %o1
+        cmp %o1, 7
+        be  out
+        halt
+out:    halt
+|}
+  in
+  let seen = ref [] in
+  (try
+     while true do
+       seen := Dts_primary.Primary.step p :: !seen
+     done
+   with Dts_primary.Primary.Halted -> ());
+  let seen = List.rev !seen in
+  let ld = List.nth seen 2 in
+  check_bool "load observed address" true
+    (match ld.Dts_primary.Primary.mem with Some (_, 4) -> true | _ -> false);
+  let br = List.nth seen 4 in
+  check_bool "branch observed taken" true br.Dts_primary.Primary.taken;
+  check_bool "branch target recorded" true
+    (br.Dts_primary.Primary.next_pc <> br.addr + 4)
+
+let suite =
+  [
+    Alcotest.test_case "straight-line CPI 1" `Quick test_straight_line_cpi_1;
+    Alcotest.test_case "not-taken branch bubble" `Quick
+      test_not_taken_branch_bubble;
+    Alcotest.test_case "taken branch free" `Quick test_taken_branch_free;
+    Alcotest.test_case "load-use bubble" `Quick test_load_use_bubble;
+    Alcotest.test_case "independent after load" `Quick test_load_no_use_no_bubble;
+    Alcotest.test_case "icache miss penalty" `Quick test_icache_miss_penalty;
+    Alcotest.test_case "dcache miss penalty" `Quick test_dcache_miss_penalty;
+    Alcotest.test_case "trap service charged" `Quick test_trap_service_charged;
+    Alcotest.test_case "retired observations" `Quick test_retired_observations;
+  ]

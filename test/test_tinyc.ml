@@ -1,0 +1,419 @@
+(* tinyc compiler tests: compile programs and execute them on the golden
+   machine, checking results left in global variables. *)
+
+let compile_and_run ?(fuel = 5_000_000) src =
+  let program = Dts_tinyc.Tinyc.compile src in
+  let st = Dts_asm.Program.boot program in
+  let g = Dts_golden.Golden.of_state st in
+  ignore (Dts_golden.Golden.run ~max_instructions:fuel g);
+  Alcotest.(check bool) "halted" true st.Dts_isa.State.halted;
+  (program, st)
+
+let global_value (program, st) name =
+  Dts_mem.Memory.read st.Dts_isa.State.mem
+    ~addr:(Dts_asm.Program.symbol program ("g_" ^ name))
+    ~size:4 ~signed:true
+
+let check_global src name expected =
+  let r = compile_and_run src in
+  Alcotest.(check int) name expected (global_value r name)
+
+let test_arith () =
+  check_global
+    {| int r;
+       int main() { r = (2 + 3) * 4 - 10 / 2; return 0; } |}
+    "r" 15
+
+let test_precedence () =
+  check_global
+    {| int r;
+       int main() { r = 1 + 2 * 3 == 7; return 0; } |}
+    "r" 1
+
+let test_mod_and_shifts () =
+  check_global
+    {| int r;
+       int main() { r = ((17 % 5) << 4) | (256 >> 6) | (1 << 10); return 0; } |}
+    "r" (((17 mod 5) lsl 4) lor (256 lsr 6) lor (1 lsl 10))
+
+let test_negative_mod () =
+  check_global {| int r; int main() { r = -7 % 3; return 0; } |} "r" (-1)
+
+let test_unsigned_compare () =
+  (* -1 is 0xFFFFFFFF unsigned, so (-1) <: 1 is false and 1 <: -1 is true *)
+  check_global
+    {| int a; int b;
+       int main() { a = -1 <: 1; b = 1 <: -1; return 0; } |}
+    "a" 0;
+  check_global
+    {| int a; int b;
+       int main() { a = -1 <: 1; b = 1 <: -1; return 0; } |}
+    "b" 1
+
+let test_logical_shortcircuit () =
+  check_global
+    {| int hits;
+       int bump() { hits = hits + 1; return 1; }
+       int main() {
+         if (0 && bump()) { hits = 100; }
+         if (1 || bump()) { hits = hits + 10; }
+         return 0;
+       } |}
+    "hits" 10
+
+let test_if_else_chain () =
+  check_global
+    {| int r;
+       int classify(int x) {
+         if (x < 0) { return -1; }
+         else if (x == 0) { return 0; }
+         else { return 1; }
+       }
+       int main() { r = classify(-5) * 100 + classify(0) * 10 + classify(7); return 0; } |}
+    "r" (-99)
+
+let test_while_loop () =
+  check_global
+    {| int r;
+       int main() {
+         int i; int s;
+         s = 0;
+         i = 1;
+         while (i <= 100) { s = s + i; i = i + 1; }
+         r = s;
+         return 0;
+       } |}
+    "r" 5050
+
+let test_for_break_continue () =
+  check_global
+    {| int r;
+       int main() {
+         int i; int s;
+         s = 0;
+         for (i = 0; i < 100; i = i + 1) {
+           if (i % 2 == 0) { continue; }
+           if (i > 20) { break; }
+           s = s + i;
+         }
+         r = s;
+         return 0;
+       } |}
+    "r" (1 + 3 + 5 + 7 + 9 + 11 + 13 + 15 + 17 + 19)
+
+let test_global_arrays () =
+  check_global
+    {| int a[10];
+       int r;
+       int main() {
+         int i;
+         for (i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+         r = a[7] + a[3];
+         return 0;
+       } |}
+    "r" 58
+
+let test_global_array_init () =
+  check_global
+    {| int a[5] = {10, 20, 30};
+       int r;
+       int main() { r = a[0] + a[1] + a[2] + a[3] + a[4]; return 0; } |}
+    "r" 60
+
+let test_local_arrays () =
+  check_global
+    {| int r;
+       int main() {
+         int buf[16];
+         int i; int s;
+         for (i = 0; i < 16; i = i + 1) { buf[i] = i; }
+         s = 0;
+         for (i = 0; i < 16; i = i + 1) { s = s + buf[i]; }
+         r = s;
+         return 0;
+       } |}
+    "r" 120
+
+let test_recursion_fib () =
+  check_global
+    {| int r;
+       int fib(int n) {
+         if (n < 2) { return n; }
+         return fib(n - 1) + fib(n - 2);
+       }
+       int main() { r = fib(15); return 0; } |}
+    "r" 610
+
+let test_deep_recursion_window_spill () =
+  (* depth 100 forces window overflow traps with 32 windows *)
+  check_global
+    {| int r;
+       int down(int n, int acc) {
+         if (n == 0) { return acc; }
+         return down(n - 1, acc + n);
+       }
+       int main() { r = down(100, 0); return 0; } |}
+    "r" 5050
+
+let test_many_locals_stack_overflow_slots () =
+  (* more than 8 scalars: some spill to the stack frame *)
+  check_global
+    {| int r;
+       int main() {
+         int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+         int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;
+         int k = 11; int l = 12;
+         r = a + b + c + d + e + f + g + h + i + j + k + l;
+         return 0;
+       } |}
+    "r" 78
+
+let test_call_in_expression_spill () =
+  (* live scratch must survive across the inner calls *)
+  check_global
+    {| int r;
+       int id(int x) { return x; }
+       int main() { r = id(1) + id(2) * id(3) + (id(4) - id(5)); return 0; } |}
+    "r" 6
+
+let test_nested_call_arguments () =
+  (* regression: a call inside another call's argument list must not clobber
+     the outer call's already-stored arguments (temp slots are a stack) *)
+  check_global
+    {| int r;
+       int add3(int a, int b, int c) { return a + b + c; }
+       int twice(int x) { return x * 2; }
+       int main() {
+         r = add3(100, twice(add3(1, 2, twice(3))), 10000);
+         return 0;
+       } |}
+    "r" (100 + (2 * (1 + 2 + 6)) + 10000)
+
+let test_six_args () =
+  check_global
+    {| int r;
+       int sum6(int a, int b, int c, int d, int e, int f) {
+         return a + b + c + d + e + f;
+       }
+       int main() { r = sum6(1, 2, 3, 4, 5, 6); return 0; } |}
+    "r" 21
+
+let test_mutual_recursion () =
+  check_global
+    {| int r;
+       int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+       int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+       int main() { r = is_even(10) * 10 + is_odd(7); return 0; } |}
+    "r" 11
+
+let test_sort () =
+  check_global
+    {| int a[20] = {5, 3, 8, 1, 9, 2, 7, 4, 6, 0, 15, 13, 18, 11, 19, 12, 17, 14, 16, 10};
+       int r;
+       int main() {
+         int i; int j; int t;
+         for (i = 0; i < 20; i = i + 1) {
+           for (j = i + 1; j < 20; j = j + 1) {
+             if (a[j] < a[i]) { t = a[i]; a[i] = a[j]; a[j] = t; }
+           }
+         }
+         r = 1;
+         for (i = 0; i < 20; i = i + 1) { if (a[i] != i) { r = 0; } }
+         return 0;
+       } |}
+    "r" 1
+
+let test_hash_mixing () =
+  (* exercises unsigned shifts and xor, like the compress analogue *)
+  check_global
+    {| int r;
+       int mix(int h, int x) {
+         h = h ^ x;
+         h = h * 31;
+         h = (h >>> 7) ^ (h << 3);
+         return h;
+       }
+       int main() {
+         int i; int h;
+         h = 1234567;
+         for (i = 0; i < 50; i = i + 1) { h = mix(h, i); }
+         r = h;
+         return 0;
+       } |}
+    "r"
+    (let norm32 v = (v lsl (Sys.int_size - 32)) asr (Sys.int_size - 32) in
+     let mix h x =
+       let h = h lxor x in
+       let h = norm32 (h * 31) in
+       norm32 ((h land 0xFFFFFFFF) lsr 7 lxor norm32 (h lsl 3))
+     in
+     let h = ref 1234567 in
+     for i = 0 to 49 do
+       h := mix !h i
+     done;
+     !h)
+
+let test_comments () =
+  check_global
+    {| // line comment
+       int r; /* block
+                 comment */
+       int main() { r = 4; return 0; } |}
+    "r" 4
+
+let test_error_unknown_var () =
+  match Dts_tinyc.Tinyc.compile "int main() { x = 1; return 0; }" with
+  | exception Dts_tinyc.Codegen.Error _ -> ()
+  | _ -> Alcotest.fail "expected codegen error"
+
+let test_error_unknown_func () =
+  match Dts_tinyc.Tinyc.compile "int main() { return nope(); }" with
+  | exception Dts_tinyc.Codegen.Error _ -> ()
+  | _ -> Alcotest.fail "expected codegen error"
+
+let test_error_arity () =
+  match
+    Dts_tinyc.Tinyc.compile
+      "int f(int a) { return a; } int main() { return f(1, 2); }"
+  with
+  | exception Dts_tinyc.Codegen.Error _ -> ()
+  | _ -> Alcotest.fail "expected arity error"
+
+let test_error_parse () =
+  match Dts_tinyc.Tinyc.compile "int main() { if { } }" with
+  | exception Dts_tinyc.Parser.Error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_error_no_main () =
+  match Dts_tinyc.Tinyc.compile "int f() { return 1; }" with
+  | exception Dts_tinyc.Codegen.Error _ -> ()
+  | _ -> Alcotest.fail "expected no-main error"
+
+(* property: random arithmetic expressions agree with an OCaml oracle that
+   applies 32-bit two's-complement semantics *)
+let norm32 v = (v lsl (Sys.int_size - 32)) asr (Sys.int_size - 32)
+let u32 v = v land 0xFFFFFFFF
+
+type rexpr =
+  | RNum of int
+  | RVar of int  (* variable index 0..3 *)
+  | RBin of Ast_op.t * rexpr * rexpr
+
+and _unused = unit
+
+let rec eval_rexpr env = function
+  | RNum n -> norm32 n
+  | RVar i -> env.(i)
+  | RBin (op, a, b) ->
+    let x = eval_rexpr env a and y = eval_rexpr env b in
+    norm32
+      (match op with
+      | Ast_op.Add -> x + y
+      | Sub -> x - y
+      | Mul -> x * y
+      | Div -> if y = 0 then 0 else x / y
+      | Mod -> if y = 0 then x else x - (x / y * y)
+      | BAnd -> x land y
+      | BOr -> x lor y
+      | BXor -> x lxor y
+      | Shl -> x lsl (y land 31)
+      | Shr -> norm32 x asr (y land 31)
+      | Lshr -> u32 x lsr (y land 31))
+
+and rexpr_to_src = function
+  | RNum n -> string_of_int n
+  | RVar i -> Printf.sprintf "v%d" i
+  | RBin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (rexpr_to_src a)
+      (match op with
+      | Ast_op.Add -> "+"
+      | Sub -> "-"
+      | Mul -> "*"
+      | Div -> "/"
+      | Mod -> "%"
+      | BAnd -> "&"
+      | BOr -> "|"
+      | BXor -> "^"
+      | Shl -> "<<"
+      | Shr -> ">>"
+      | Lshr -> ">>>")
+      (rexpr_to_src b)
+
+and gen_rexpr depth =
+  let open QCheck2.Gen in
+  if depth = 0 then
+    oneof
+      [
+        map (fun n -> RNum n) (int_range (-1000) 1000);
+        map (fun i -> RVar i) (int_range 0 3);
+      ]
+  else
+    let sub = gen_rexpr (depth - 1) in
+    oneof
+      [
+        map (fun n -> RNum n) (int_range (-1000) 1000);
+        map (fun i -> RVar i) (int_range 0 3);
+        map3
+          (fun op a b -> RBin (op, a, b))
+          (oneofl
+             Ast_op.
+               [ Add; Sub; Mul; Div; Mod; BAnd; BOr; BXor; Shl; Shr; Lshr ])
+          sub sub;
+      ]
+
+let prop_expressions_agree_with_oracle =
+  QCheck2.Test.make ~count:150 ~name:"tinyc expressions match 32-bit oracle"
+    QCheck2.Gen.(
+      tup2 (gen_rexpr 3)
+        (array_size (return 4) (int_range (-10000) 10000)))
+    (fun (e, vars) ->
+      (* division semantics: tinyc sdiv truncates toward zero and yields 0
+         on division by zero; the oracle above mirrors that *)
+      let src =
+        Printf.sprintf
+          {| int r;
+             int main() {
+               int v0 = %d; int v1 = %d; int v2 = %d; int v3 = %d;
+               r = %s;
+               return 0;
+             } |}
+          vars.(0) vars.(1) vars.(2) vars.(3) (rexpr_to_src e)
+      in
+      let expected = eval_rexpr (Array.map norm32 vars) e in
+      let got = global_value (compile_and_run src) "r" in
+      got = expected)
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "mod and shifts" `Quick test_mod_and_shifts;
+    Alcotest.test_case "negative mod" `Quick test_negative_mod;
+    Alcotest.test_case "unsigned compare" `Quick test_unsigned_compare;
+    Alcotest.test_case "logical short-circuit" `Quick test_logical_shortcircuit;
+    Alcotest.test_case "if/else chain" `Quick test_if_else_chain;
+    Alcotest.test_case "while loop" `Quick test_while_loop;
+    Alcotest.test_case "for/break/continue" `Quick test_for_break_continue;
+    Alcotest.test_case "global arrays" `Quick test_global_arrays;
+    Alcotest.test_case "global array init" `Quick test_global_array_init;
+    Alcotest.test_case "local arrays" `Quick test_local_arrays;
+    Alcotest.test_case "recursion (fib)" `Quick test_recursion_fib;
+    Alcotest.test_case "deep recursion window spill" `Quick
+      test_deep_recursion_window_spill;
+    Alcotest.test_case "locals beyond registers" `Quick
+      test_many_locals_stack_overflow_slots;
+    Alcotest.test_case "calls in expressions" `Quick test_call_in_expression_spill;
+    Alcotest.test_case "six arguments" `Quick test_six_args;
+    Alcotest.test_case "nested call arguments" `Quick
+      test_nested_call_arguments;
+    Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+    Alcotest.test_case "selection sort" `Quick test_sort;
+    Alcotest.test_case "hash mixing" `Quick test_hash_mixing;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "error: unknown variable" `Quick test_error_unknown_var;
+    Alcotest.test_case "error: unknown function" `Quick test_error_unknown_func;
+    Alcotest.test_case "error: arity" `Quick test_error_arity;
+    Alcotest.test_case "error: parse" `Quick test_error_parse;
+    Alcotest.test_case "error: no main" `Quick test_error_no_main;
+    QCheck_alcotest.to_alcotest prop_expressions_agree_with_oracle;
+  ]

@@ -1,0 +1,83 @@
+(* Workload suite tests: every analogue compiles, terminates on the golden
+   machine, is deterministic, and runs clean through the DTSVLIW machine's
+   test-mode co-simulation. *)
+
+let check_bool = Alcotest.(check bool)
+
+let golden_run ?(fuel = 30_000_000) program =
+  let st = Dts_asm.Program.boot program in
+  let g = Dts_golden.Golden.of_state st in
+  ignore (Dts_golden.Golden.run ~max_instructions:fuel g);
+  st
+
+let test_compiles_and_halts (w : Dts_workloads.Workloads.t) () =
+  let program = Dts_workloads.Workloads.program ~scale:1 w in
+  let st = golden_run program in
+  check_bool "halted" true st.halted;
+  check_bool
+    (Printf.sprintf "substantial run (%d instructions)" st.instret)
+    true
+    (st.instret > 50_000)
+
+let test_deterministic () =
+  let w = Dts_workloads.Workloads.find "compress" in
+  let p = Dts_workloads.Workloads.program ~scale:1 w in
+  let a = golden_run p and b = golden_run p in
+  check_bool "same instruction count" true (a.instret = b.instret);
+  check_bool "same final state" true (Dts_isa.State.regs_equal a b)
+
+let test_scale_increases_work () =
+  let w = Dts_workloads.Workloads.find "ijpeg" in
+  let small = golden_run (Dts_workloads.Workloads.program ~scale:1 w) in
+  let large = golden_run (Dts_workloads.Workloads.program ~scale:2 w) in
+  check_bool "scale grows instruction count" true
+    (large.instret > small.instret)
+
+let test_distinct_characters () =
+  (* the analogues must differ in code size, matching their working-set
+     story: gcc/go text much larger than compress/ijpeg *)
+  let text name =
+    Dts_asm.Program.text_size
+      (Dts_workloads.Workloads.program ~scale:1
+         (Dts_workloads.Workloads.find name))
+  in
+  check_bool "gcc text > 2x compress text" true
+    (text "gcc" > 2 * text "compress");
+  check_bool "go text > 2x ijpeg text" true (text "go" > 2 * text "ijpeg")
+
+let test_dtsvliw_cosim name () =
+  let w = Dts_workloads.Workloads.find name in
+  let program = Dts_workloads.Workloads.program ~scale:1 w in
+  let m = Dts_core.Machine.create (Dts_core.Config.ideal ()) program in
+  let n = Dts_core.Machine.run ~max_instructions:60_000 m in
+  check_bool "progressed" true (n >= 50_000);
+  check_bool "nonzero vliw execution" true (m.vliw_cycles > 0)
+
+let suite =
+  List.map
+    (fun (w : Dts_workloads.Workloads.t) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (mirrors %s) compiles and halts" w.name w.mirrors)
+        `Quick
+        (test_compiles_and_halts w))
+    Dts_workloads.Workloads.all
+  @ [
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+      Alcotest.test_case "scale increases work" `Quick test_scale_increases_work;
+      Alcotest.test_case "distinct code footprints" `Quick
+        test_distinct_characters;
+      Alcotest.test_case "dtsvliw co-sim: compress" `Quick
+        (test_dtsvliw_cosim "compress");
+      Alcotest.test_case "dtsvliw co-sim: ijpeg" `Quick
+        (test_dtsvliw_cosim "ijpeg");
+      Alcotest.test_case "dtsvliw co-sim: xlisp" `Quick
+        (test_dtsvliw_cosim "xlisp");
+      Alcotest.test_case "dtsvliw co-sim: gcc" `Slow (test_dtsvliw_cosim "gcc");
+      Alcotest.test_case "dtsvliw co-sim: go" `Slow (test_dtsvliw_cosim "go");
+      Alcotest.test_case "dtsvliw co-sim: m88ksim" `Slow
+        (test_dtsvliw_cosim "m88ksim");
+      Alcotest.test_case "dtsvliw co-sim: perl" `Slow
+        (test_dtsvliw_cosim "perl");
+      Alcotest.test_case "dtsvliw co-sim: vortex" `Slow
+        (test_dtsvliw_cosim "vortex");
+    ]
