@@ -4,7 +4,11 @@
    (§4): Table 1, Table 2, Figure 5a/5b, Figure 6, Figure 7, Figure 8,
    Table 3, Figure 9, plus the ablation study. The instruction budget per
    simulation comes from BENCH_BUDGET (default 100000); raise it for
-   tighter numbers (the paper used 50M+ per run).
+   tighter numbers (the paper used 50M+ per run). Each figure is timed,
+   and the machine-readable baseline — per-figure wall-clock, simulated
+   instructions/sec, budget, git revision — is written to
+   BENCH_RESULTS.json next to the stdout report so every run leaves a
+   perf trajectory to compare against (see EXPERIMENTS.md "Benchmarking").
 
    Part 2 runs Bechamel micro/meso benchmarks: one Test.make per paper
    table/figure (measuring the wall-clock cost of regenerating it at a
@@ -12,8 +16,102 @@
 
 let budget =
   match Sys.getenv_opt "BENCH_BUDGET" with
-  | Some s -> int_of_string s
   | None -> 100_000
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | Some _ | None ->
+      Printf.eprintf
+        "bench: invalid BENCH_BUDGET %S — expected a positive integer \
+         (sequential instructions per simulation)\n"
+        s;
+      exit 2)
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's figures, timed, with a JSON baseline             *)
+(* ------------------------------------------------------------------ *)
+
+type figure_result = {
+  fr_name : string;
+  fr_wall_s : float;
+  fr_instructions : int;  (** sequential instructions simulated *)
+}
+
+let results_path = "BENCH_RESULTS.json"
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.tm_year + 1900)
+    (tm.tm_mon + 1) tm.tm_mday tm.tm_hour tm.tm_min tm.tm_sec
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let instr_per_sec instructions wall_s =
+  if wall_s > 0. && instructions > 0 then
+    float_of_int instructions /. wall_s
+  else 0.
+
+let write_results ~started figures =
+  let total_wall = List.fold_left (fun a f -> a +. f.fr_wall_s) 0. figures in
+  let total_instr =
+    List.fold_left (fun a f -> a + f.fr_instructions) 0 figures
+  in
+  let oc = open_out results_path in
+  let figure_json f =
+    Printf.sprintf
+      "    {\"name\": %S, \"wall_s\": %.6f, \"instructions\": %d, \
+       \"instr_per_sec\": %.1f}"
+      f.fr_name f.fr_wall_s f.fr_instructions
+      (instr_per_sec f.fr_instructions f.fr_wall_s)
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema_version\": 1,\n\
+    \  \"generated_at\": \"%s\",\n\
+    \  \"git_rev\": \"%s\",\n\
+    \  \"budget\": %d,\n\
+    \  \"figures\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"total\": {\"wall_s\": %.6f, \"instructions\": %d, \
+     \"instr_per_sec\": %.1f}\n\
+     }\n"
+    (iso8601 started)
+    (json_escape (git_rev ()))
+    budget
+    (String.concat ",\n" (List.map figure_json figures))
+    total_wall total_instr
+    (instr_per_sec total_instr total_wall);
+  close_out oc
+
+let figure_names =
+  [
+    "table1"; "table2"; "fig5a"; "fig5"; "fig6"; "fig7"; "fig8"; "table3";
+    "fig9"; "ablation"; "extensions";
+  ]
 
 let part1 () =
   Printf.printf
@@ -22,8 +120,31 @@ let part1 () =
      per run; set BENCH_BUDGET to change)\n\
      ==============================================================\n\n"
     budget;
-  print_string (Dts_experiments.Experiments.all ~scale:1 ~budget ());
-  print_newline ()
+  let started = Unix.gettimeofday () in
+  let figures =
+    List.map
+      (fun name ->
+        let f = List.assoc name Dts_experiments.Experiments.by_name in
+        let instr0 = Dts_experiments.Experiments.simulated_instructions () in
+        let t0 = Unix.gettimeofday () in
+        let out = f ~scale:1 ~budget () in
+        let wall = Unix.gettimeofday () -. t0 in
+        let instructions =
+          Dts_experiments.Experiments.simulated_instructions () - instr0
+        in
+        print_string out;
+        print_newline ();
+        { fr_name = name; fr_wall_s = wall; fr_instructions = instructions })
+      figure_names
+  in
+  write_results ~started figures;
+  List.iter
+    (fun f ->
+      Printf.printf "  %-12s %8.2f s  %10d instr  %12.0f instr/s\n" f.fr_name
+        f.fr_wall_s f.fr_instructions
+        (instr_per_sec f.fr_instructions f.fr_wall_s))
+    figures;
+  Printf.printf "\nMachine-readable baseline written to %s\n\n" results_path
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel benchmarks                                          *)

@@ -37,7 +37,7 @@ type t = {
   mutable cycles : int;
   mutable vliw_cycles : int;
   mutable exception_mode : bool;
-  mutable pending_blocks : (int * block) list;  (** (ready cycle, block) *)
+  pending_blocks : (int * block) Queue.t;  (** (ready cycle, block) *)
   next_li_predictor : (int, int) Hashtbl.t;
       (** block tag -> last observed exit target (when enabled) *)
   mutable nlp_hits : int;
@@ -85,7 +85,7 @@ let create ?scheduler cfg program =
     cycles = 0;
     vliw_cycles = 0;
     exception_mode = false;
-    pending_blocks = [];
+    pending_blocks = Queue.create ();
     next_li_predictor = Hashtbl.create 256;
     nlp_hits = 0;
     nlp_misses = 0;
@@ -159,14 +159,23 @@ let sync t =
 (* Block bookkeeping                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Drain times are not monotone (a tall block flushed just before a short
+   one can be ready later), so filter the whole queue, keeping flush order —
+   the stable partition the list implementation performed. The queue is
+   almost always empty or a couple of entries deep; what matters is that
+   {!flush_current}'s enqueue is O(1) instead of a tail append. *)
 let install_ready_blocks t =
-  let ready, waiting =
-    List.partition (fun (c, _) -> c <= t.cycles) t.pending_blocks
-  in
-  List.iter
-    (fun (_, b) -> ignore (Dts_mem.Blockcache.insert t.vcache b.tag_addr b))
-    ready;
-  t.pending_blocks <- waiting
+  if not (Queue.is_empty t.pending_blocks) then begin
+    let waiting = Queue.create () in
+    Queue.iter
+      (fun ((c, b) as pending) ->
+        if c <= t.cycles then
+          ignore (Dts_mem.Blockcache.insert t.vcache b.tag_addr b)
+        else Queue.add pending waiting)
+      t.pending_blocks;
+    Queue.clear t.pending_blocks;
+    Queue.transfer waiting t.pending_blocks
+  end
 
 let note_block_stats t (b : block) =
   t.blocks_flushed <- t.blocks_flushed + 1;
@@ -182,8 +191,7 @@ let flush_current t ~nba_addr =
   | None -> ()
   | Some b ->
     note_block_stats t b;
-    t.pending_blocks <-
-      t.pending_blocks @ [ (t.cycles + Array.length b.lis, b) ]
+    Queue.add (t.cycles + Array.length b.lis, b) t.pending_blocks
 
 let probe t addr =
   install_ready_blocks t;

@@ -39,7 +39,7 @@ type t = {
   mutable vliw_cycles : int;  (** cycles spent in the VLIW Engine *)
   mutable exception_mode : bool;  (** §3.11: scheduling disabled until the
                                       exception repeats in the Primary *)
-  mutable pending_blocks : (int * Dts_sched.Schedtypes.block) list;
+  pending_blocks : (int * Dts_sched.Schedtypes.block) Queue.t;
       (** blocks draining to the VLIW Cache: (ready cycle, block) *)
   next_li_predictor : (int, int) Hashtbl.t;
       (** §5 extension: block tag -> last observed exit target *)

@@ -166,7 +166,7 @@ let emit_exit_map t li tag =
   in
   if moves <> [] then begin
     let k = find_aux_slot t li in
-    li.slots.(k) <- Some (Copy { c_moves = moves; c_order = -1; c_from = 0 }, tag)
+    li_fill li k (Copy { c_moves = moves; c_order = -1; c_from = 0 }, tag)
   end;
   t.exits <- t.exits + 1
 
@@ -293,7 +293,7 @@ let insert t (r : Dts_primary.Primary.retired) =
         }
       in
       let tag = li_cur_tag li in
-      li.slots.(k) <- Some (Op sop, tag);
+      li_fill li k (Op sop, tag);
       t.max_li <- max t.max_li i;
       (* availability of the results: [latency] long instructions later *)
       let lat = Dts_isa.Instr.latency cfg.latencies r.instr in

@@ -23,7 +23,14 @@ type run = {
 
 let budget_default = 150_000
 
+(* Cumulative sequential instructions simulated by every run this process
+   performed — the denominator data for the bench harness's simulated
+   instructions/sec. Monotone; callers read deltas around a figure. *)
+let sim_ctr = ref 0
+let simulated_instructions () = !sim_ctr
+
 let collect (m : Dts_core.Machine.t) workload instructions =
+  sim_ctr := !sim_ctr + instructions;
   let e = m.engine.stats in
   {
     workload;

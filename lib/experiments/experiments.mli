@@ -23,6 +23,11 @@ type run = {
   blocks : int;
 }
 
+val simulated_instructions : unit -> int
+(** Cumulative sequential instructions simulated by every run performed in
+    this process (monotone counter). The bench harness reads deltas around
+    each figure to report simulated instructions/sec. *)
+
 val run_dtsvliw : ?scale:int -> ?budget:int -> Dts_core.Config.t -> string -> run
 (** Run one named workload on a DTSVLIW configuration. *)
 

@@ -35,9 +35,28 @@ let table ?title ~headers rows =
   List.iter render_row rows;
   Buffer.contents buf
 
+(* RFC 4180: a cell containing a comma, double quote, CR or LF must be
+   quoted, with embedded quotes doubled. *)
+let csv_cell s =
+  let special = function ',' | '"' | '\n' | '\r' -> true | _ -> false in
+  if not (String.exists special s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
 let csv ~headers rows =
   let buf = Buffer.create 1024 in
-  let line cells = Buffer.add_string buf (String.concat "," cells ^ "\n") in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells) ^ "\n")
+  in
   line headers;
   List.iter line rows;
   Buffer.contents buf
@@ -45,11 +64,21 @@ let csv ~headers rows =
 (** A labelled series (one line of a figure), rendered as rows of
     [x, y] pairs with a shared x axis. *)
 let series_table ?title ~x_label ~x_values lines =
+  let nx = List.length x_values in
+  let arrays =
+    List.map
+      (fun (label, ys) ->
+        let a = Array.of_list ys in
+        if Array.length a < nx then
+          invalid_arg
+            (Printf.sprintf
+               "Report.series_table: series %S has %d values for %d x values"
+               label (Array.length a) nx);
+        (label, a))
+      lines
+  in
   let headers = x_label :: List.map fst lines in
   let rows =
-    List.mapi
-      (fun i x ->
-        x :: List.map (fun (_, ys) -> List.nth ys i) lines)
-      x_values
+    List.mapi (fun i x -> x :: List.map (fun (_, a) -> a.(i)) arrays) x_values
   in
   table ?title ~headers rows

@@ -11,6 +11,8 @@ val table : ?title:string -> headers:string list -> string list list -> string
 (** An aligned table: first column left-aligned, the rest right-aligned. *)
 
 val csv : headers:string list -> string list list -> string
+(** RFC 4180 CSV: cells containing commas, quotes or newlines are quoted,
+    with embedded quotes doubled. *)
 
 val series_table :
   ?title:string ->
@@ -19,4 +21,6 @@ val series_table :
   (string * string list) list ->
   string
 (** Render labelled series (the lines of a figure) as a table with a shared
-    x axis: [series_table ~x_label ~x_values [(label, ys); ...]]. *)
+    x axis: [series_table ~x_label ~x_values [(label, ys); ...]].
+    @raise Invalid_argument naming the offending series label if a series
+    has fewer values than [x_values]. *)

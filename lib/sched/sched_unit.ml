@@ -185,7 +185,7 @@ let update_cross_bits li placed =
       li
 
 let place li slot_op tag k =
-  li.slots.(k) <- Some (slot_op, tag);
+  li_fill li k (slot_op, tag);
   update_cross_bits li slot_op
 
 (* ------------------------------------------------------------------ *)
@@ -195,7 +195,7 @@ let place li slot_op tag k =
 let do_move t cur prev c =
   let op = c.c_op in
   (match cur.e_li.slots.(c.c_slot) with
-  | Some (Op o, _) when o.uid = op.uid -> cur.e_li.slots.(c.c_slot) <- None
+  | Some (Op o, _) when o.uid = op.uid -> li_clear_slot cur.e_li c.c_slot
   | _ -> invalid_arg "Sched_unit: companion slot corrupted");
   let k =
     match find_slot t prev.e_li op.fu with
@@ -253,7 +253,7 @@ let do_split t cur prev c ~rename_arch ~rechain =
       }
   in
   (* the companion becomes the copy, permanently, with the op's tag *)
-  cur.e_li.slots.(c.c_slot) <- Some (copy, c.c_tag);
+  li_fill cur.e_li c.c_slot (copy, c.c_tag);
   update_cross_bits cur.e_li copy;
   (* the renamed op moves up *)
   let k =
@@ -373,7 +373,20 @@ let tick t =
 (* Insertion                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let build_sop t (r : Dts_primary.Primary.retired) =
+(** The decode-once view of a retired instruction: read/write sets from
+    {!Dts_isa.Rwsets.of_instr} plus the forwarding substitutions active at
+    preparation time. [insert] prepares this once, runs its dependency
+    checks on it, and hands the same record to {!build_sop} — the sets used
+    to be recomputed (another [of_instr] decode and forwarding-table sweep)
+    for every accepted instruction. Only valid while the forwarding table is
+    unchanged, i.e. within one [insert]. *)
+type prepped = {
+  p_reads : Dts_isa.Storage.t list;  (** read set, forwarding applied *)
+  p_arch_writes : Dts_isa.Storage.t list;
+  p_subs : (Dts_isa.Storage.t * rref) list;
+}
+
+let prep_sop t (r : Dts_primary.Primary.retired) =
   let arch_reads, arch_writes =
     Dts_isa.Rwsets.of_instr ~nwindows:t.cfg.nwindows ~cwp:r.cwp ?mem:r.mem
       r.instr
@@ -395,10 +408,13 @@ let build_sop t (r : Dts_primary.Primary.retired) =
         | Win | Mem _ | Ren _ -> p)
       arch_reads
   in
+  { p_reads = reads; p_arch_writes = arch_writes; p_subs = !subs }
+
+let build_sop t (r : Dts_primary.Primary.retired) p =
   (* an architectural write supersedes any active forwarding of it *)
-  List.iter (fun w -> Hashtbl.remove t.fwd w) arch_writes;
+  List.iter (fun w -> Hashtbl.remove t.fwd w) p.p_arch_writes;
   let uid = t.uid_ctr + 1 in
-  List.iter (fun w -> Hashtbl.replace t.last_writer w uid) arch_writes;
+  List.iter (fun w -> Hashtbl.replace t.last_writer w uid) p.p_arch_writes;
   let is_mem = Dts_isa.Instr.is_mem r.instr in
   let order =
     if is_mem then begin
@@ -414,15 +430,15 @@ let build_sop t (r : Dts_primary.Primary.retired) =
     instr = r.instr;
     addr = r.addr;
     cwp = r.cwp;
-    reads;
-    arch_writes;
+    reads = p.p_reads;
+    arch_writes = p.p_arch_writes;
     obs_taken = r.taken;
     obs_next_pc = r.next_pc;
     obs_mem = r.mem;
     order;
     cross = false;
     redirect = [];
-    subs = !subs;
+    subs = p.p_subs;
     fu = Dts_isa.Instr.fu_class r.instr;
   }
 
@@ -459,42 +475,29 @@ let insert t (r : Dts_primary.Primary.retired) =
     t.n_copies <- 0;
     Hashtbl.reset t.fwd;
     Hashtbl.reset t.last_writer;
-    let sop = build_sop t r in
+    let sop = build_sop t r (prep_sop t r) in
     place_new t (add_element t) sop;
     t.instrs_inserted <- t.instrs_inserted + 1;
     `Ok
   end
   else begin
     let tail = element t (t.n - 1) in
-    (* build the sop lazily only once we know we can take it: order counter
-       must not advance if the list is full *)
-    let arch_reads, writes =
-      Dts_isa.Rwsets.of_instr ~nwindows:t.cfg.nwindows ~cwp:r.cwp ?mem:r.mem
-        r.instr
-    in
-    let reads =
-      List.map
-        (fun p ->
-          match p with
-          | Dts_isa.Storage.Int_reg _ | Fp_reg _ | Flags -> (
-            match Hashtbl.find_opt t.fwd p with
-            | Some rr -> storage_of_rref rr
-            | None -> p)
-          | Win | Mem _ | Ren _ -> p)
-        arch_reads
-    in
+    (* decode once; the sop itself is built lazily only once we know we can
+       take it: the order counter and forwarding table must not advance if
+       the list is full *)
+    let p = prep_sop t r in
     let tail_w = li_all_writes tail.e_li in
     let tail_r = li_fold (fun acc _ op _ -> slot_arch_reads op @ acc) [] tail.e_li in
     let fu = Dts_isa.Instr.fu_class r.instr in
     let dep =
-      Dts_isa.Storage.any_overlap writes tail_w
-      || Dts_isa.Storage.any_overlap writes tail_r
+      Dts_isa.Storage.any_overlap p.p_arch_writes tail_w
+      || Dts_isa.Storage.any_overlap p.p_arch_writes tail_r
       || find_slot t tail.e_li fu = None
       || (t.cfg.strict_control_insert && tail.e_li.n_branches > 0)
     in
-    let dep = dep || flow_blocked_at t ~target:(t.n - 1) reads in
+    let dep = dep || flow_blocked_at t ~target:(t.n - 1) p.p_reads in
     if not dep then begin
-      place_new t tail (build_sop t r);
+      place_new t tail (build_sop t r p);
       t.instrs_inserted <- t.instrs_inserted + 1;
       `Ok
     end
@@ -504,7 +507,7 @@ let insert t (r : Dts_primary.Primary.retired) =
          the stall) *)
       let rec first_ok idx =
         if idx >= t.cfg.height then None
-        else if flow_blocked_at t ~target:idx reads then first_ok (idx + 1)
+        else if flow_blocked_at t ~target:idx p.p_reads then first_ok (idx + 1)
         else Some idx
       in
       match first_ok t.n with
@@ -514,7 +517,7 @@ let insert t (r : Dts_primary.Primary.retired) =
         while t.n <= idx do
           el := add_element t
         done;
-        place_new t !el (build_sop t r);
+        place_new t !el (build_sop t r p);
         t.instrs_inserted <- t.instrs_inserted + 1;
         `Ok
     end

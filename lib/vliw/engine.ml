@@ -36,7 +36,7 @@ type li_result =
   | R_redirect of { target : int }  (** mispredicted branch, actual target *)
   | R_exn of exn_kind
 
-type mem_event = {
+type mem_event = Aliaslog.event = {
   ev_addr : int;
   ev_size : int;
   ev_order : int;
@@ -79,7 +79,7 @@ type t = {
   mutable n_recovery : int;
   mutable dsl_mem : Dts_mem.Memory.t;  (** data-store-list byte buffer *)
   mutable dsl_ranges : (int * int * int) list;  (** addr, size, order *)
-  mutable mem_log : mem_event list;
+  mem_log : Aliaslog.t;  (** per-block aliasing log (§3.10), bucketed *)
   mutable wdelta : int;
       (** window-relative replay: runtime entry cwp minus build-time entry
           cwp (mod nwindows), applied to every baked cwp and physical
@@ -98,7 +98,7 @@ let create ?(scheme = Checkpoint_recovery) ~dcache st =
     n_recovery = 0;
     dsl_mem = Dts_mem.Memory.create ();
     dsl_ranges = [];
-    mem_log = [];
+    mem_log = Aliaslog.create ();
     wdelta = 0;
     stats =
       {
@@ -139,7 +139,7 @@ let enter_block t (block : block) =
     t.dsl_mem <- Dts_mem.Memory.create ();
     t.dsl_ranges <- []
   end;
-  t.mem_log <- [];
+  Aliaslog.clear t.mem_log;
   t.wdelta <- (st.cwp - block.entry_cwp + st.nwindows) mod st.nwindows;
   t.rr <-
     Array.init 4 (fun k ->
@@ -170,7 +170,7 @@ let rollback t =
     t.dsl_mem <- Dts_mem.Memory.create ();
     t.dsl_ranges <- []
   end;
-  t.mem_log <- [];
+  Aliaslog.clear t.mem_log;
   t.stats.block_exceptions <- t.stats.block_exceptions + 1
 
 let rr_of t (r : rref) = t.rr.(rr_kind_index r.kind).(r.ridx)
@@ -188,54 +188,20 @@ let shift_pos t (pos : Dts_isa.Storage.t) : Dts_isa.Storage.t =
       + ((p - Dts_isa.State.n_globals + (t.wdelta * 16)) mod nw16))
   | Int_reg _ | Fp_reg _ | Flags | Win | Mem _ | Ren _ -> pos
 
-exception Alias_violation
+exception Alias_violation = Aliaslog.Alias_violation
 exception Block_trap of Dts_isa.Semantics.trap
 
-(* §3.10 order rule, made precise with execution positions: a load reads at
-   the start of its long instruction, a store commits at the end of its; an
-   (older, by order field) store must have committed strictly before a
-   younger load reads, and store/store pairs must commit in order. *)
-let check_aliasing t ~is_store ~addr ~size ~order ~li_idx =
-  let overlap e = addr < e.ev_addr + e.ev_size && e.ev_addr < addr + size in
-  List.iter
-    (fun e ->
-      if overlap e && e.ev_order <> order then
-        if is_store then begin
-          (* store vs earlier-logged load or store *)
-          if e.ev_is_store then begin
-            if
-              (order < e.ev_order && li_idx >= e.ev_li)
-              || (order > e.ev_order && li_idx <= e.ev_li)
-            then raise Alias_violation
-          end
-          else if
-            (* store S vs load L: S before L (order) requires commit li < read li *)
-            (order < e.ev_order && li_idx >= e.ev_li)
-            || (order > e.ev_order && li_idx < e.ev_li)
-          then raise Alias_violation
-        end
-        else if e.ev_is_store then begin
-          (* load L vs store S already logged *)
-          if
-            (e.ev_order < order && e.ev_li >= li_idx)
-            || (e.ev_order > order && e.ev_li < li_idx)
-          then raise Alias_violation
-        end)
-    t.mem_log
-
+(* The §3.10 order rule lives in {!Aliaslog.add}; the engine only tracks
+   the Table 3 high-water marks from the log's running list counters. *)
 let log_mem t ev =
-  check_aliasing t ~is_store:ev.ev_is_store ~addr:ev.ev_addr ~size:ev.ev_size
-    ~order:ev.ev_order ~li_idx:ev.ev_li;
-  t.mem_log <- ev :: t.mem_log;
-  let count p = List.length (List.filter p t.mem_log) in
+  Aliaslog.add t.mem_log ev;
   if ev.ev_cross then
     if ev.ev_is_store then
       t.stats.max_store_list <-
-        max t.stats.max_store_list (count (fun e -> e.ev_is_store && e.ev_cross))
+        max t.stats.max_store_list (Aliaslog.cross_stores t.mem_log)
     else
       t.stats.max_load_list <-
-        max t.stats.max_load_list
-          (count (fun e -> (not e.ev_is_store) && e.ev_cross))
+        max t.stats.max_load_list (Aliaslog.cross_loads t.mem_log)
 
 let storage_of_write : Dts_isa.Semantics.write -> Dts_isa.Storage.t = function
   | W_phys (p, _) -> Int_reg p
@@ -495,7 +461,7 @@ let commit_block t =
   t.shadow <- None;
   t.recovery <- [];
   t.n_recovery <- 0;
-  t.mem_log <- [];
+  Aliaslog.clear t.mem_log;
   if t.dsl_ranges = [] then 0
   else begin
     let penalty = ref 0 in

@@ -34,6 +34,23 @@ let test_csv () =
     "a,b\n1,2\n"
     (Dts_report.Report.csv ~headers:[ "a"; "b" ] [ [ "1"; "2" ] ])
 
+(* RFC 4180: commas, quotes and newlines must be quoted, quotes doubled *)
+let test_csv_escaping () =
+  check_str "adversarial cells"
+    "label,\"a,b\"\n\"say \"\"hi\"\"\",\"line1\nline2\"\n\"\r\",plain\n"
+    (Dts_report.Report.csv
+       ~headers:[ "label"; "a,b" ]
+       [ [ "say \"hi\""; "line1\nline2" ]; [ "\r"; "plain" ] ])
+
+let test_series_table_ragged () =
+  Alcotest.check_raises "ragged series raises with the label"
+    (Invalid_argument
+       "Report.series_table: series \"short\" has 1 values for 2 x values")
+    (fun () ->
+      ignore
+        (Dts_report.Report.series_table ~x_label:"x" ~x_values:[ "a"; "b" ]
+           [ ("ok", [ "1"; "2" ]); ("short", [ "1" ]) ]))
+
 let test_series_table () =
   let out =
     Dts_report.Report.series_table ~x_label:"bench" ~x_values:[ "w1"; "w2" ]
@@ -67,6 +84,9 @@ let suite =
     Alcotest.test_case "table alignment" `Quick test_table_alignment;
     Alcotest.test_case "table title" `Quick test_table_title;
     Alcotest.test_case "csv" `Quick test_csv;
+    Alcotest.test_case "csv RFC 4180 escaping" `Quick test_csv_escaping;
+    Alcotest.test_case "series table ragged input" `Quick
+      test_series_table_ragged;
     Alcotest.test_case "series table" `Quick test_series_table;
     Alcotest.test_case "formatters" `Quick test_formatters;
     Alcotest.test_case "experiments registry" `Quick test_experiments_registry;

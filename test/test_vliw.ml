@@ -36,7 +36,7 @@ let sop ?(cwp = 0) ?(taken = false) ?(next = -1) ?mem ?(order = -1)
 
 let li_of ops =
   let li = li_create 8 in
-  List.iteri (fun k (op, tag) -> li.slots.(k) <- Some (op, tag)) ops;
+  List.iteri (fun k (op, tag) -> li_fill li k (op, tag)) ops;
   li
 
 let block_of ?(tag_addr = 0x1000) ?(entry_cwp = 0) ?(rr = [| 8; 8; 8; 8 |])
