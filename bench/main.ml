@@ -35,6 +35,10 @@ type figure_result = {
   fr_name : string;
   fr_wall_s : float;
   fr_instructions : int;  (** sequential instructions simulated *)
+  fr_runs : int;  (** simulation runs performed by the figure *)
+  fr_mean_ipc : float;  (** mean IPC over those runs (0 if none) *)
+  fr_cycles : int;  (** total machine cycles across the runs *)
+  fr_attributed : int;  (** total attributed cycles (= fr_cycles invariant) *)
 }
 
 let results_path = "BENCH_RESULTS.json"
@@ -83,13 +87,15 @@ let write_results ~started figures =
   let figure_json f =
     Printf.sprintf
       "    {\"name\": %S, \"wall_s\": %.6f, \"instructions\": %d, \
-       \"instr_per_sec\": %.1f}"
+       \"instr_per_sec\": %.1f, \"runs\": %d, \"mean_ipc\": %.4f, \
+       \"cycles\": %d, \"attributed_cycles\": %d}"
       f.fr_name f.fr_wall_s f.fr_instructions
       (instr_per_sec f.fr_instructions f.fr_wall_s)
+      f.fr_runs f.fr_mean_ipc f.fr_cycles f.fr_attributed
   in
   Printf.fprintf oc
     "{\n\
-    \  \"schema_version\": 1,\n\
+    \  \"schema_version\": 2,\n\
     \  \"generated_at\": \"%s\",\n\
     \  \"git_rev\": \"%s\",\n\
     \  \"budget\": %d,\n\
@@ -127,14 +133,43 @@ let part1 () =
         let f = List.assoc name Dts_experiments.Experiments.by_name in
         let instr0 = Dts_experiments.Experiments.simulated_instructions () in
         let t0 = Unix.gettimeofday () in
-        let out = f ~scale:1 ~budget () in
+        let fig = f ~scale:1 ~budget () in
         let wall = Unix.gettimeofday () -. t0 in
         let instructions =
           Dts_experiments.Experiments.simulated_instructions () - instr0
         in
-        print_string out;
+        print_string (fig.Dts_experiments.Experiments.render ());
         print_newline ();
-        { fr_name = name; fr_wall_s = wall; fr_instructions = instructions })
+        let rows = fig.Dts_experiments.Experiments.rows in
+        let n_runs = List.length rows in
+        let mean_ipc =
+          if n_runs = 0 then 0.
+          else
+            List.fold_left
+              (fun a (r : Dts_experiments.Experiments.run) -> a +. r.ipc)
+              0. rows
+            /. float_of_int n_runs
+        in
+        let cycles =
+          List.fold_left
+            (fun a (r : Dts_experiments.Experiments.run) -> a + r.cycles)
+            0 rows
+        in
+        let attributed =
+          List.fold_left
+            (fun a (r : Dts_experiments.Experiments.run) ->
+              a + Dts_obs.Stats.attributed_total r.stats)
+            0 rows
+        in
+        {
+          fr_name = name;
+          fr_wall_s = wall;
+          fr_instructions = instructions;
+          fr_runs = n_runs;
+          fr_mean_ipc = mean_ipc;
+          fr_cycles = cycles;
+          fr_attributed = attributed;
+        })
       figure_names
   in
   write_results ~started figures;
@@ -156,8 +191,12 @@ open Toolkit
 let small = 15_000 (* instruction budget inside timed benchmarks *)
 
 (* one Test.make per paper artifact: time-to-regenerate at a small budget *)
-let bench_figure name (f : ?scale:int -> ?budget:int -> unit -> string) =
-  Test.make ~name (Staged.stage (fun () -> ignore (f ~scale:1 ~budget:small ())))
+let bench_figure name
+    (f : ?scale:int -> ?budget:int -> unit -> Dts_experiments.Experiments.figure)
+    =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore ((f ~scale:1 ~budget:small ()).Dts_experiments.Experiments.render ())))
 
 let figure_tests =
   [

@@ -66,36 +66,42 @@ let build_config ~feasible ~width ~height ~vcache_kb ~vcache_assoc ~no_renaming
   else base
 
 let print_stats (m : Dts_core.Machine.t) instructions =
+  let s = Dts_core.Machine.stats m in
   Printf.printf "instructions (sequential): %d\n" instructions;
-  Printf.printf "cycles:                    %d\n" m.cycles;
+  Printf.printf "cycles:                    %d\n" s.cycles;
   Printf.printf "IPC:                       %.3f\n"
-    (float_of_int instructions /. float_of_int (max 1 m.cycles));
+    (float_of_int instructions /. float_of_int (max 1 s.cycles));
   Printf.printf "VLIW execution cycles:     %.1f%%\n"
-    (100. *. Dts_core.Machine.vliw_cycle_fraction m);
+    (100. *. Dts_obs.Stats.vliw_cycle_fraction s);
   Printf.printf "slot utilisation:          %.1f%%\n"
-    (100. *. Dts_core.Machine.slot_utilisation m);
-  Printf.printf "blocks built:              %d\n" m.blocks_flushed;
-  Printf.printf "engine switches:           %d\n" m.engine_switches;
+    (100. *. Dts_obs.Stats.slot_utilisation s);
+  Printf.printf "blocks built:              %d\n" s.blocks_flushed;
+  Printf.printf "engine switches:           %d\n" s.engine_switches;
   Printf.printf "renaming registers (max):  %d int, %d fp, %d flag, %d mem\n"
-    m.rr_max.(0) m.rr_max.(1) m.rr_max.(2) m.rr_max.(3);
-  let e = m.engine.stats in
-  Printf.printf "load/store lists (max):    %d / %d\n" e.max_load_list
-    e.max_store_list;
-  Printf.printf "checkpoint recovery (max): %d\n" e.max_recovery_list;
-  Printf.printf "branch mispredictions:     %d\n" e.mispredicts;
-  Printf.printf "aliasing exceptions:       %d\n" e.aliasing_exceptions;
-  Printf.printf "block exceptions:          %d\n" e.block_exceptions;
+    s.rr_max.(0) s.rr_max.(1) s.rr_max.(2) s.rr_max.(3);
+  Printf.printf "load/store lists (max):    %d / %d\n" s.max_load_list
+    s.max_store_list;
+  Printf.printf "checkpoint recovery (max): %d\n" s.max_recovery_list;
+  Printf.printf "branch mispredictions:     %d\n" s.mispredicts;
+  Printf.printf "aliasing exceptions:       %d\n" s.aliasing_exceptions;
+  Printf.printf "block exceptions:          %d\n" s.block_exceptions;
   Printf.printf "VLIW cache: %d hits, %d misses, %d insertions, %d evictions\n"
-    (Dts_mem.Blockcache.hits m.vcache)
-    (Dts_mem.Blockcache.misses m.vcache)
-    (Dts_mem.Blockcache.insertions m.vcache)
-    (Dts_mem.Blockcache.evictions m.vcache);
+    s.vcache_hits s.vcache_misses s.vcache_insertions s.vcache_evictions;
   if m.cfg.next_li_prediction then
-    Printf.printf "next-li predictor:         %d hits, %d misses\n" m.nlp_hits
-      m.nlp_misses;
-  if m.engine.stats.max_data_store_list > 0 then
-    Printf.printf "data store list (max):     %d\n"
-      m.engine.stats.max_data_store_list
+    Printf.printf "next-li predictor:         %d hits, %d misses\n" s.nlp_hits
+      s.nlp_misses;
+  if s.max_data_store_list > 0 then
+    Printf.printf "data store list (max):     %d\n" s.max_data_store_list;
+  Printf.printf "cycle attribution:\n";
+  List.iter
+    (fun cat ->
+      let n = Dts_obs.Attribution.sum_of s.attribution [ cat ] in
+      if n > 0 then
+        Printf.printf "  %-28s %9d  (%.1f%%)\n"
+          (Dts_obs.Attribution.label cat)
+          n
+          (100. *. float_of_int n /. float_of_int (max 1 s.cycles)))
+    Dts_obs.Attribution.all
 
 let dump_blocks (m : Dts_core.Machine.t) n =
   let blocks = ref [] in
@@ -110,18 +116,39 @@ let dump_blocks (m : Dts_core.Machine.t) n =
       if i < n then Format.printf "%a" Dts_sched.Schedtypes.pp_block b)
     blocks
 
+let write_stats_json path (m : Dts_core.Machine.t) =
+  match path with
+  | None -> ()
+  | Some path ->
+    let s = Dts_core.Machine.stats m in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Dts_obs.Stats.to_json_string s))
+
 let run workload file scale budget feasible dif width height vcache_kb
-    vcache_assoc no_renaming store_list predict_next multicycle show_blocks =
+    vcache_assoc no_renaming store_list predict_next multicycle show_blocks
+    trace_file trace_limit stats_json =
   let program = load_program ~workload ~file ~scale in
+  let trace_oc = Option.map open_out trace_file in
+  let tracer =
+    match trace_oc with
+    | None -> Dts_obs.Trace.null
+    | Some oc -> Dts_obs.Trace.to_channel ~limit:trace_limit oc
+  in
+  let finish m =
+    write_stats_json stats_json m;
+    Dts_obs.Trace.close tracer;
+    Option.iter close_out trace_oc
+  in
   if dif then begin
     let machine_cfg = Dts_dif.Dif.fig9_machine_cfg () in
-    let m, d = Dts_dif.Dif.machine ~machine_cfg program in
+    let m, d = Dts_dif.Dif.machine ~tracer ~machine_cfg program in
     let n = Dts_core.Machine.run ~max_instructions:budget m in
     print_endline "[DIF machine]";
     print_stats m n;
     Printf.printf "DIF exit points:           %d\n" d.total_exits;
     Printf.printf "DIF cache bytes built:     %d\n" d.cache_bytes;
-    if show_blocks > 0 then dump_blocks m show_blocks
+    if show_blocks > 0 then dump_blocks m show_blocks;
+    finish m
   end
   else begin
     let cfg =
@@ -129,10 +156,11 @@ let run workload file scale budget feasible dif width height vcache_kb
         ~no_renaming ~store_list ~predict_next ~multicycle
     in
     Printf.printf "[DTSVLIW: %s]\n" (Dts_core.Config.describe cfg);
-    let m = Dts_core.Machine.create cfg program in
+    let m = Dts_core.Machine.create ~tracer cfg program in
     let n = Dts_core.Machine.run ~max_instructions:budget m in
     print_stats m n;
-    if show_blocks > 0 then dump_blocks m show_blocks
+    if show_blocks > 0 then dump_blocks m show_blocks;
+    finish m
   end
 
 let workload_arg =
@@ -156,6 +184,9 @@ let storelist_arg = Arg.(value & flag & info [ "store-list" ] ~doc:"Use the data
 let predict_arg = Arg.(value & flag & info [ "predict-next" ] ~doc:"Enable next-long-instruction prediction (the paper's section-5 future work)")
 let multicycle_arg = Arg.(value & flag & info [ "multicycle" ] ~doc:"Multicycle functional units: ld 2, mul 3, div 8, fp 3")
 let blocks_arg = Arg.(value & opt int 0 & info [ "dump-blocks" ] ~doc:"Print up to N scheduled blocks from the VLIW cache after the run")
+let trace_arg = Arg.(value & opt (some string) None & info [ "trace" ] ~doc:"Write the structural event trace (engine switches, block flush/install/evict/fetch, aliasing violations, checkpoint recoveries) as JSONL to $(docv)" ~docv:"FILE")
+let trace_limit_arg = Arg.(value & opt int Dts_obs.Trace.default_limit & info [ "trace-limit" ] ~doc:"Stop recording trace events after N lines (the dropped count is reported in the stats)")
+let stats_json_arg = Arg.(value & opt (some string) None & info [ "stats-json" ] ~doc:"Write the consolidated run statistics (including the cycle attribution) as JSON to $(docv)" ~docv:"FILE")
 
 let cmd =
   let doc = "execution-driven DTSVLIW simulator (always in test mode)" in
@@ -164,6 +195,7 @@ let cmd =
     Term.(
       const run $ workload_arg $ file_arg $ scale_arg $ budget_arg
       $ feasible_arg $ dif_arg $ width_arg $ height_arg $ vkb_arg $ vassoc_arg
-      $ noren_arg $ storelist_arg $ predict_arg $ multicycle_arg $ blocks_arg)
+      $ noren_arg $ storelist_arg $ predict_arg $ multicycle_arg $ blocks_arg
+      $ trace_arg $ trace_limit_arg $ stats_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -13,7 +13,7 @@ let run_experiments names scale budget =
     (fun name ->
       match List.assoc_opt name Dts_experiments.Experiments.by_name with
       | Some f ->
-        print_string (f ~scale ~budget ());
+        print_string ((f ~scale ~budget ()).Dts_experiments.Experiments.render ());
         print_newline ()
       | None ->
         Printf.eprintf "unknown experiment %s; available: %s\n" name
@@ -25,7 +25,7 @@ let run_experiments names scale budget =
 let names_arg =
   let doc =
     "Experiments to run: table1, table2, fig5, fig6, fig7, fig8, table3, \
-     fig9, ablation, or all."
+     fig9, ablation, extensions, breakdown (cycle attribution), or all."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 

@@ -1,0 +1,58 @@
+(* CI validator for the --stats-json document.
+
+   Reads a stats JSON file produced by `dtsvliw_sim --stats-json`, checks
+   that it parses, that the required sections and keys are present, and
+   that the cycle-attribution invariant holds: the attribution categories
+   sum to the machine cycle count (and the VLIW-side categories to the
+   VLIW cycle count). Exits non-zero with a diagnostic on any failure —
+   wired into `dune runtest` as a smoke test of the observability path. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("stats_check: " ^ s); exit 1) fmt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ -> fail "usage: stats_check STATS.json"
+  in
+  let doc =
+    let text = In_channel.with_open_text path In_channel.input_all in
+    try Dts_obs.Json.of_string text
+    with Dts_obs.Json.Parse_error msg -> fail "%s does not parse: %s" path msg
+  in
+  let get obj key =
+    match Dts_obs.Json.member key obj with
+    | Some v -> v
+    | None -> fail "%s: missing key %S" path key
+  in
+  let int_of obj key =
+    match Dts_obs.Json.to_int (get obj key) with
+    | Some n -> n
+    | None -> fail "%s: key %S is not an integer" path key
+  in
+  let schema = int_of doc "schema_version" in
+  if schema <> Dts_obs.Stats.schema_version then
+    fail "schema_version %d, expected %d" schema Dts_obs.Stats.schema_version;
+  let cycles = int_of doc "cycles" in
+  let vliw_cycles = int_of doc "vliw_cycles" in
+  ignore (int_of doc "instructions");
+  List.iter
+    (fun section -> ignore (get doc section))
+    [ "attribution"; "machine"; "engine"; "caches"; "trace" ];
+  let attribution = get doc "attribution" in
+  let attributed =
+    List.fold_left
+      (fun acc cat -> acc + int_of attribution (Dts_obs.Attribution.name cat))
+      0 Dts_obs.Attribution.all
+  in
+  if attributed <> cycles then
+    fail "attribution sums to %d but cycles = %d" attributed cycles;
+  let attributed_vliw =
+    List.fold_left
+      (fun acc cat -> acc + int_of attribution (Dts_obs.Attribution.name cat))
+      0 Dts_obs.Attribution.vliw_categories
+  in
+  if attributed_vliw <> vliw_cycles then
+    fail "VLIW attribution sums to %d but vliw_cycles = %d" attributed_vliw
+      vliw_cycles;
+  Printf.printf "stats_check: %s ok (%d cycles fully attributed)\n" path cycles

@@ -19,6 +19,6 @@ let () =
         (Printf.sprintf "%dx%d" width height)
         (float_of_int n /. float_of_int m.cycles)
         (100. *. Dts_core.Machine.slot_utilisation m)
-        m.blocks_flushed
+        (Dts_core.Machine.stats m).blocks_flushed
         (100. *. Dts_core.Machine.vliw_cycle_fraction m))
     [ (2, 2); (4, 4); (8, 4); (4, 8); (8, 8); (16, 8); (8, 16); (16, 16) ]

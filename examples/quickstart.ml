@@ -45,4 +45,4 @@ let () =
   Printf.printf "cycles spent in the VLIW Engine: %.0f%%\n"
     (100. *. Dts_core.Machine.vliw_cycle_fraction machine);
   Printf.printf "blocks scheduled into the VLIW Cache: %d\n"
-    machine.blocks_flushed
+    (Dts_core.Machine.stats machine).blocks_flushed

@@ -18,6 +18,8 @@ let ret ?(cwp = 0) ?(taken = false) ?(next = -1) ?mem ~addr instr =
     mem;
     trapped = false;
     cycles = 1;
+    icache_stall = 0;
+    dcache_stall = 0;
   }
 
 (* Figure 2b: the assembly version of `for (sum=0,i=0; i<x; i++) sum += a[i]` *)

@@ -9,6 +9,8 @@
     instructions-per-cycle metric. *)
 
 open Dts_sched.Schedtypes
+module Attr = Dts_obs.Attribution
+module Trace = Dts_obs.Trace
 
 exception
   Test_mode_mismatch of { cycle : int; pc : int; detail : string }
@@ -40,17 +42,11 @@ type t = {
   pending_blocks : (int * block) Queue.t;  (** (ready cycle, block) *)
   next_li_predictor : (int, int) Hashtbl.t;
       (** block tag -> last observed exit target (when enabled) *)
-  mutable nlp_hits : int;
-  mutable nlp_misses : int;
   mutable halted : bool;
   mutable syncs : int;
-  (* aggregated statistics *)
-  rr_max : int array;  (** max renaming registers per kind over all blocks *)
-  mutable blocks_flushed : int;
-  mutable slots_filled : int;
-  mutable slots_total : int;
-  mutable block_lis : int;
-  mutable engine_switches : int;
+  obs : Dts_obs.Stats.collector;
+      (** aggregated statistics, cycle attribution and the event tracer;
+          read through {!stats} snapshots *)
 }
 
 let default_scheduler cfg =
@@ -61,7 +57,7 @@ let default_scheduler cfg =
     s_finish = (fun ~nba_addr -> Dts_sched.Sched_unit.finish_block u ~nba_addr);
   }
 
-let create ?scheduler cfg program =
+let create ?scheduler ?tracer cfg program =
   let st = Dts_asm.Program.boot ~nwindows:cfg.Config.sched.nwindows program in
   let golden_st = Dts_isa.State.copy st in
   let icache = Config.make_cache cfg.icache in
@@ -69,13 +65,16 @@ let create ?scheduler cfg program =
   let sched =
     match scheduler with Some f -> f () | None -> default_scheduler cfg
   in
+  let obs = Dts_obs.Stats.collector ?tracer () in
   {
     cfg;
     st;
     golden = Dts_golden.Golden.of_state golden_st;
     primary = Dts_primary.Primary.create ~timing:cfg.primary_timing ~icache ~dcache st;
     sched;
-    engine = Dts_vliw.Engine.create ~scheme:cfg.store_scheme ~dcache st;
+    engine =
+      Dts_vliw.Engine.create ~scheme:cfg.store_scheme ~tracer:obs.tracer
+        ~dcache st;
     vcache =
       Dts_mem.Blockcache.create ~n_sets:(Config.vliw_cache_sets cfg)
         ~assoc:cfg.vliw_cache.assoc;
@@ -87,17 +86,18 @@ let create ?scheduler cfg program =
     exception_mode = false;
     pending_blocks = Queue.create ();
     next_li_predictor = Hashtbl.create 256;
-    nlp_hits = 0;
-    nlp_misses = 0;
     halted = false;
     syncs = 0;
-    rr_max = Array.make 4 0;
-    blocks_flushed = 0;
-    slots_filled = 0;
-    slots_total = 0;
-    block_lis = 0;
-    engine_switches = 0;
+    obs;
   }
+
+(* Cycle attribution: every [t.cycles] increment below is paired with a
+   charge to exactly one category, so the categories sum to the total
+   cycle count (test-enforced invariant). *)
+let charge t cat n = if n <> 0 then Attr.charge t.obs.attr cat n
+
+let tracing t = Trace.enabled t.obs.tracer
+let trace t ev = Trace.emit t.obs.tracer ev
 
 (* ------------------------------------------------------------------ *)
 (* Test-mode synchronisation                                            *)
@@ -169,20 +169,45 @@ let install_ready_blocks t =
     let waiting = Queue.create () in
     Queue.iter
       (fun ((c, b) as pending) ->
-        if c <= t.cycles then
-          ignore (Dts_mem.Blockcache.insert t.vcache b.tag_addr b)
+        if c <= t.cycles then begin
+          (match Dts_mem.Blockcache.insert t.vcache b.tag_addr b with
+          | Some evicted when tracing t ->
+            trace t (Trace.Block_evict { tag = evicted.tag_addr })
+          | Some _ | None -> ());
+          if tracing t then trace t (Trace.Block_install { tag = b.tag_addr })
+        end
         else Queue.add pending waiting)
       t.pending_blocks;
     Queue.clear t.pending_blocks;
     Queue.transfer waiting t.pending_blocks
   end
 
+(* Table 3's slot-occupancy rows, refined per functional-unit class; copies
+   (the scheduler's own instructions) get their own bucket. *)
+let slot_class_index : Dts_sched.Schedtypes.slot_op -> int = function
+  | Op s -> (
+    match s.fu with
+    | Dts_isa.Instr.Fu_int -> 0
+    | Fu_mem -> 1
+    | Fu_fp -> 2
+    | Fu_br -> 3)
+  | Copy _ -> 4
+
 let note_block_stats t (b : block) =
-  t.blocks_flushed <- t.blocks_flushed + 1;
-  t.slots_filled <- t.slots_filled + b.n_slots_filled;
-  t.slots_total <- t.slots_total + (Array.length b.lis * t.cfg.sched.width);
-  t.block_lis <- t.block_lis + Array.length b.lis;
-  Array.iteri (fun k v -> t.rr_max.(k) <- max t.rr_max.(k) v) b.rr_counts
+  let o = t.obs in
+  o.blocks_flushed <- o.blocks_flushed + 1;
+  o.slots_filled <- o.slots_filled + b.n_slots_filled;
+  o.slots_total <- o.slots_total + (Array.length b.lis * t.cfg.sched.width);
+  o.block_lis <- o.block_lis + Array.length b.lis;
+  Array.iter
+    (fun li ->
+      li_iter
+        (fun _ op _ ->
+          let k = slot_class_index op in
+          o.slots_by_class.(k) <- o.slots_by_class.(k) + 1)
+        li)
+    b.lis;
+  Array.iteri (fun k v -> o.rr_max.(k) <- max o.rr_max.(k) v) b.rr_counts
 
 (** Freeze the block under construction; it drains to the VLIW Cache at one
     long instruction per cycle (§3.2) and becomes visible when done. *)
@@ -191,7 +216,17 @@ let flush_current t ~nba_addr =
   | None -> ()
   | Some b ->
     note_block_stats t b;
-    Queue.add (t.cycles + Array.length b.lis, b) t.pending_blocks
+    if tracing t then
+      trace t
+        (Trace.Block_flush
+           {
+             tag = b.tag_addr;
+             lis = Array.length b.lis;
+             slots = b.n_slots_filled;
+           });
+    Queue.add (t.cycles + Array.length b.lis, b) t.pending_blocks;
+    t.obs.pending_high_water <-
+      max t.obs.pending_high_water (Queue.length t.pending_blocks)
 
 let probe t addr =
   install_ready_blocks t;
@@ -202,7 +237,11 @@ let probe t addr =
 (* ------------------------------------------------------------------ *)
 
 let enter_vliw t block =
-  t.engine_switches <- t.engine_switches + 1;
+  t.obs.engine_switches <- t.obs.engine_switches + 1;
+  if tracing t then begin
+    trace t (Trace.Block_fetch { tag = block.tag_addr });
+    trace t (Trace.Engine_switch { to_vliw = true; pc = block.tag_addr })
+  end;
   Dts_vliw.Engine.enter_block t.engine block;
   t.mode <- M_vliw { block; idx = 0 }
 
@@ -215,17 +254,22 @@ let predicted_transition t ~tag ~actual ~penalty =
     let hit = Hashtbl.find_opt t.next_li_predictor tag = Some actual in
     Hashtbl.replace t.next_li_predictor tag actual;
     if hit then begin
-      t.nlp_hits <- t.nlp_hits + 1;
+      t.obs.nlp_hits <- t.obs.nlp_hits + 1;
       0
     end
     else begin
-      t.nlp_misses <- t.nlp_misses + 1;
+      t.obs.nlp_misses <- t.obs.nlp_misses + 1;
       penalty
     end
   end
 
-let to_primary t =
+(** [cat] attributes the swap bubble: {!Attr.Switch_to_primary} on a clean
+    block exit, {!Attr.Recovery_switch} after a rollback. *)
+let to_primary t cat =
   t.cycles <- t.cycles + t.cfg.swap_to_primary;
+  charge t cat t.cfg.swap_to_primary;
+  if tracing t then
+    trace t (Trace.Engine_switch { to_vliw = false; pc = t.st.pc });
   Dts_primary.Primary.reset_hazards t.primary;
   t.mode <- M_primary
 
@@ -241,6 +285,7 @@ let step_primary t =
     (* flush the block under construction, pointing it at the hit block *)
     flush_current t ~nba_addr:t.st.pc;
     t.cycles <- t.cycles + t.cfg.swap_to_vliw;
+    charge t Attr.Switch_to_vliw t.cfg.swap_to_vliw;
     sync t;
     enter_vliw t block
   | None -> (
@@ -250,6 +295,9 @@ let step_primary t =
       t.halted <- true
     | r ->
       t.cycles <- t.cycles + r.cycles;
+      charge t Attr.Primary_icache_stall r.icache_stall;
+      charge t Attr.Primary_dcache_stall r.dcache_stall;
+      charge t Attr.Primary_execute (r.cycles - r.icache_stall - r.dcache_stall);
       if t.exception_mode then begin
         if r.trapped then t.exception_mode <- false
       end
@@ -266,6 +314,7 @@ let step_primary t =
         | `Ok -> ()
         | `Full -> (
           (* flush on full, then the instruction starts the next block *)
+          t.obs.insert_full <- t.obs.insert_full + 1;
           flush_current t ~nba_addr:r.addr;
           match t.sched.s_insert r with
           | `Ok -> ()
@@ -275,6 +324,7 @@ let step_primary t =
 open Dts_vliw.Engine
 
 let step t =
+  Trace.stamp t.obs.tracer t.cycles;
   match t.mode with
   | M_primary -> step_primary t
   | M_vliw ({ block; _ } as v) -> (
@@ -282,6 +332,8 @@ let step t =
     let c = 1 + penalty in
     t.cycles <- t.cycles + c;
     t.vliw_cycles <- t.vliw_cycles + c;
+    charge t Attr.Vliw_execute 1;
+    charge t Attr.Vliw_dcache_stall penalty;
     match res with
     | R_next -> v.idx <- v.idx + 1
     | R_block_end { next_addr } -> (
@@ -289,6 +341,7 @@ let step t =
       let drain = Dts_vliw.Engine.commit_block t.engine in
       t.cycles <- t.cycles + drain;
       t.vliw_cycles <- t.vliw_cycles + drain;
+      charge t Attr.Vliw_dcache_stall drain;
       sync t;
       let penalty =
         predicted_transition t ~tag:block.tag_addr ~actual:next_addr
@@ -298,13 +351,15 @@ let step t =
       | Some b2 ->
         t.cycles <- t.cycles + penalty;
         t.vliw_cycles <- t.vliw_cycles + penalty;
+        charge t Attr.Next_li_penalty penalty;
         enter_vliw t b2
-      | None -> to_primary t)
+      | None -> to_primary t Attr.Switch_to_primary)
     | R_redirect { target } -> (
       t.st.pc <- target;
       let drain = Dts_vliw.Engine.commit_block t.engine in
       t.cycles <- t.cycles + drain;
       t.vliw_cycles <- t.vliw_cycles + drain;
+      charge t Attr.Vliw_dcache_stall drain;
       (* annulled fetch: one-cycle bubble (§3.5), hidden by a correct
          next-block prediction *)
       let penalty =
@@ -312,10 +367,11 @@ let step t =
       in
       t.cycles <- t.cycles + penalty;
       t.vliw_cycles <- t.vliw_cycles + penalty;
+      charge t Attr.Mispredict_redirect penalty;
       sync t;
       match probe t target with
       | Some b2 -> enter_vliw t b2
-      | None -> to_primary t)
+      | None -> to_primary t Attr.Switch_to_primary)
     | R_exn kind ->
       (* rollback already happened; PC is back at the block start and the
          golden machine is already there, so compare directly *)
@@ -328,7 +384,7 @@ let step t =
       | Dts_vliw.Engine.E_aliasing ->
         ignore (Dts_mem.Blockcache.invalidate t.vcache block.tag_addr)
       | E_trap _ -> t.exception_mode <- true);
-      to_primary t)
+      to_primary t Attr.Recovery_switch)
 
 (** Run until the program halts or the golden machine has retired at least
     [max_instructions]. Returns the sequential instruction count. *)
@@ -355,14 +411,54 @@ let run ?(max_instructions = max_int) t =
   then mismatch t "final memory differs";
   (Dts_golden.Golden.state t.golden).instret
 
+(** Consolidated snapshot of every counter the machine and its components
+    maintain — the one read surface for telemetry. *)
+let stats t : Dts_obs.Stats.t =
+  let o = t.obs in
+  let e = t.engine.Dts_vliw.Engine.stats in
+  {
+    cycles = t.cycles;
+    vliw_cycles = t.vliw_cycles;
+    instructions = (Dts_golden.Golden.state t.golden).instret;
+    attribution = Attr.snapshot o.attr;
+    engine_switches = o.engine_switches;
+    blocks_flushed = o.blocks_flushed;
+    block_lis = o.block_lis;
+    slots_filled = o.slots_filled;
+    slots_total = o.slots_total;
+    slots_by_class = Array.copy o.slots_by_class;
+    rr_max = Array.copy o.rr_max;
+    nlp_hits = o.nlp_hits;
+    nlp_misses = o.nlp_misses;
+    insert_full = o.insert_full;
+    pending_high_water = o.pending_high_water;
+    syncs = t.syncs;
+    max_load_list = e.max_load_list;
+    max_store_list = e.max_store_list;
+    max_recovery_list = e.max_recovery_list;
+    max_data_store_list = e.max_data_store_list;
+    aliasing_exceptions = e.aliasing_exceptions;
+    deferred_exceptions = e.deferred_exceptions;
+    block_exceptions = e.block_exceptions;
+    mispredicts = e.mispredicts;
+    lis_executed = e.lis_executed;
+    ops_committed = e.ops_committed;
+    copies_committed = e.copies_committed;
+    icache_hits = Dts_mem.Cache.hits t.icache;
+    icache_misses = Dts_mem.Cache.misses t.icache;
+    dcache_hits = Dts_mem.Cache.hits t.dcache;
+    dcache_misses = Dts_mem.Cache.misses t.dcache;
+    vcache_hits = Dts_mem.Blockcache.hits t.vcache;
+    vcache_misses = Dts_mem.Blockcache.misses t.vcache;
+    vcache_insertions = Dts_mem.Blockcache.insertions t.vcache;
+    vcache_evictions = Dts_mem.Blockcache.evictions t.vcache;
+    trace_emitted = Trace.emitted o.tracer;
+    trace_dropped = Trace.dropped o.tracer;
+  }
+
 (** Instructions per cycle, measured the paper's way: sequential
-    instructions (golden count) over DTSVLIW cycles. *)
-let ipc t =
-  float_of_int (Dts_golden.Golden.state t.golden).instret
-  /. float_of_int (max 1 t.cycles)
-
-let vliw_cycle_fraction t =
-  float_of_int t.vliw_cycles /. float_of_int (max 1 t.cycles)
-
-let slot_utilisation t =
-  float_of_int t.slots_filled /. float_of_int (max 1 t.slots_total)
+    instructions (golden count) over DTSVLIW cycles. Derived from the
+    {!stats} snapshot, as are the two fractions below. *)
+let ipc t = Dts_obs.Stats.ipc (stats t)
+let vliw_cycle_fraction t = Dts_obs.Stats.vliw_cycle_fraction (stats t)
+let slot_utilisation t = Dts_obs.Stats.slot_utilisation (stats t)

@@ -43,22 +43,23 @@ type t = {
       (** blocks draining to the VLIW Cache: (ready cycle, block) *)
   next_li_predictor : (int, int) Hashtbl.t;
       (** §5 extension: block tag -> last observed exit target *)
-  mutable nlp_hits : int;
-  mutable nlp_misses : int;
   mutable halted : bool;
   mutable syncs : int;
-  rr_max : int array;
-      (** max renaming registers used by any block, per {!Dts_sched.Schedtypes.rr_kind} *)
-  mutable blocks_flushed : int;
-  mutable slots_filled : int;
-  mutable slots_total : int;
-  mutable block_lis : int;
-  mutable engine_switches : int;
+  obs : Dts_obs.Stats.collector;
+      (** aggregated statistics, cycle attribution and the event tracer;
+          treat as internal — read telemetry through {!stats} *)
 }
 
-val create : ?scheduler:(unit -> scheduler_iface) -> Config.t -> Dts_asm.Program.t -> t
+val create :
+  ?scheduler:(unit -> scheduler_iface) ->
+  ?tracer:Dts_obs.Trace.t ->
+  Config.t ->
+  Dts_asm.Program.t ->
+  t
 (** Boot [program] into a fresh machine. [scheduler] overrides the default
-    DTSVLIW Scheduler Unit (used by the DIF baseline). *)
+    DTSVLIW Scheduler Unit (used by the DIF baseline); [tracer] (default
+    {!Dts_obs.Trace.null}, i.e. disabled) receives the structural events of
+    the run as JSONL. *)
 
 val step : t -> unit
 (** One simulation step: one Primary instruction or one long instruction.
@@ -69,13 +70,20 @@ val run : ?max_instructions:int -> t -> int
     [max_instructions]; returns the sequential instruction count. Performs
     a final full-state (including memory) comparison. *)
 
+val stats : t -> Dts_obs.Stats.t
+(** Consolidated snapshot of every counter the machine and its components
+    (scheduler, VLIW engine, caches, tracer) maintain, including the
+    per-category cycle attribution. The one read surface for telemetry. *)
+
 val ipc : t -> float
-(** Sequential instructions / DTSVLIW cycles — the paper's metric. *)
+(** Sequential instructions / DTSVLIW cycles — the paper's metric.
+    Derived from the {!stats} snapshot. *)
 
 val vliw_cycle_fraction : t -> float
 (** Fraction of cycles spent executing long instructions (Table 3's "VLIW
-    Engine Execution Cycles"). *)
+    Engine Execution Cycles"). Derived from the {!stats} snapshot. *)
 
 val slot_utilisation : t -> float
 (** Fraction of long-instruction slots filled in flushed blocks (§4.4
-    reports 33% for the paper's machine). *)
+    reports 33% for the paper's machine). Derived from the {!stats}
+    snapshot. *)

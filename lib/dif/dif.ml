@@ -363,10 +363,10 @@ let finish_block t ~nba_addr =
     and test-mode machinery of {!Dts_core.Machine}, driven by the greedy DIF
     scheduler. Returns the machine and an accessor for DIF-specific
     statistics. *)
-let machine ?(cfg = default_config) ~machine_cfg program =
+let machine ?(cfg = default_config) ?tracer ~machine_cfg program =
   let sched = ref None in
   let m =
-    Dts_core.Machine.create
+    Dts_core.Machine.create ?tracer
       ~scheduler:(fun () ->
         let u = create cfg in
         sched := Some u;

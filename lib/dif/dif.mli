@@ -59,12 +59,14 @@ val finish_block :
 
 val machine :
   ?cfg:config ->
+  ?tracer:Dts_obs.Trace.t ->
   machine_cfg:Dts_core.Config.t ->
   Dts_asm.Program.t ->
   Dts_core.Machine.t * t
 (** A complete DIF machine (shared Primary Processor, VLIW Engine, block
     cache and test-mode machinery) driven by the greedy scheduler; returns
-    the machine and the scheduler for its statistics. *)
+    the machine and the scheduler for its statistics. [tracer] is forwarded
+    to {!Dts_core.Machine.create}. *)
 
 val fig9_machine_cfg : unit -> Dts_core.Config.t
 (** Figure 9's comparison parameters: 6x6 blocks, 4KB instruction and data

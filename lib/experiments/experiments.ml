@@ -4,7 +4,12 @@
     Every run executes in test mode (golden co-simulation), so a reported
     number is also a proof that the simulated machine computed the same
     architectural states as a sequential SRISC machine. IPC is the paper's
-    metric: sequential instructions (test-machine count) / DTSVLIW cycles. *)
+    metric: sequential instructions (test-machine count) / DTSVLIW cycles.
+
+    Entry points return a structured {!figure} — the raw {!run} records and
+    the table cells — with the exact text rendering available through
+    [figure.render]; consumers (the bench harness, tests, tooling) read
+    data instead of parsing strings. *)
 
 type run = {
   workload : string;
@@ -19,6 +24,16 @@ type run = {
   max_recovery_list : int;
   aliasing_exceptions : int;
   blocks : int;
+  stats : Dts_obs.Stats.t;  (** the full machine snapshot of the run *)
+}
+
+type figure = {
+  name : string;
+  rows : run list;  (** every simulation performed, in execution order *)
+  tables : (string * string list list) list;
+      (** (title, header row :: data rows) for each rendered table *)
+  render : unit -> string;
+      (** the ready-to-print text output (no re-simulation) *)
 }
 
 let budget_default = 150_000
@@ -31,35 +46,53 @@ let simulated_instructions () = !sim_ctr
 
 let collect (m : Dts_core.Machine.t) workload instructions =
   sim_ctr := !sim_ctr + instructions;
-  let e = m.engine.stats in
+  let s = Dts_core.Machine.stats m in
   {
     workload;
-    ipc = float_of_int instructions /. float_of_int (max 1 m.cycles);
-    cycles = m.cycles;
+    ipc = float_of_int instructions /. float_of_int (max 1 s.cycles);
+    cycles = s.cycles;
     instructions;
-    vliw_fraction = Dts_core.Machine.vliw_cycle_fraction m;
-    slot_utilisation = Dts_core.Machine.slot_utilisation m;
-    rr_max = Array.copy m.rr_max;
-    max_load_list = e.max_load_list;
-    max_store_list = e.max_store_list;
-    max_recovery_list = e.max_recovery_list;
-    aliasing_exceptions = e.aliasing_exceptions;
-    blocks = m.blocks_flushed;
+    vliw_fraction = Dts_obs.Stats.vliw_cycle_fraction s;
+    slot_utilisation = Dts_obs.Stats.slot_utilisation s;
+    rr_max = s.rr_max;
+    max_load_list = s.max_load_list;
+    max_store_list = s.max_store_list;
+    max_recovery_list = s.max_recovery_list;
+    aliasing_exceptions = s.aliasing_exceptions;
+    blocks = s.blocks_flushed;
+    stats = s;
   }
 
+let validate_run_args ~fn ~scale ~budget =
+  if scale <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Experiments.%s: ?scale must be a positive workload multiplier \
+          (got %d)"
+         fn scale);
+  if budget <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Experiments.%s: ?budget must be a positive sequential-instruction \
+          count (got %d)"
+         fn budget)
+
 (** Run one workload on a DTSVLIW configuration. *)
-let run_dtsvliw ?(scale = 1) ?(budget = budget_default) cfg name =
+let run_dtsvliw ?(scale = 1) ?(budget = budget_default) ?tracer cfg name =
+  validate_run_args ~fn:"run_dtsvliw" ~scale ~budget;
   let w = Dts_workloads.Workloads.find name in
   let program = Dts_workloads.Workloads.program ~scale w in
-  let m = Dts_core.Machine.create cfg program in
+  let m = Dts_core.Machine.create ?tracer cfg program in
   let n = Dts_core.Machine.run ~max_instructions:budget m in
   collect m name n
 
 (** Run one workload on the DIF baseline. *)
-let run_dif ?(scale = 1) ?(budget = budget_default) ?dif_cfg machine_cfg name =
+let run_dif ?(scale = 1) ?(budget = budget_default) ?dif_cfg ?tracer machine_cfg
+    name =
+  validate_run_args ~fn:"run_dif" ~scale ~budget;
   let w = Dts_workloads.Workloads.find name in
   let program = Dts_workloads.Workloads.program ~scale w in
-  let m, dif = Dts_dif.Dif.machine ?cfg:dif_cfg ~machine_cfg program in
+  let m, dif = Dts_dif.Dif.machine ?cfg:dif_cfg ?tracer ~machine_cfg program in
   let n = Dts_core.Machine.run ~max_instructions:budget m in
   (collect m name n, dif)
 
@@ -68,12 +101,39 @@ let workload_names = List.map (fun w -> w.Dts_workloads.Workloads.name) Dts_work
 let avg xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 
 (* ------------------------------------------------------------------ *)
+(* Figure constructors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** A figure rendered by {!Dts_report.Report.table}. *)
+let table_figure ~name ~title ~headers ?(extra = "") ~runs rows =
+  {
+    name;
+    rows = runs;
+    tables = [ (title, headers :: rows) ];
+    render =
+      (fun () -> Dts_report.Report.table ~title ~headers rows ^ extra);
+  }
+
+(** A figure rendered by {!Dts_report.Report.series_table}: labelled series
+    over a shared x axis. *)
+let series_figure ~name ~title ~x_label ~x_values ~runs lines =
+  {
+    name;
+    rows = runs;
+    tables =
+      [ (title, (x_label :: x_values) :: List.map (fun (l, ys) -> l :: ys) lines) ];
+    render =
+      (fun () ->
+        Dts_report.Report.series_table ~title ~x_label ~x_values lines);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Table 1 and Table 2: fixed parameters and benchmarks                 *)
 (* ------------------------------------------------------------------ *)
 
 let table1 () =
-  Dts_report.Report.table ~title:"Table 1: fixed machine parameters"
-    ~headers:[ "parameter"; "value" ]
+  table_figure ~name:"table1" ~title:"Table 1: fixed machine parameters"
+    ~headers:[ "parameter"; "value" ] ~runs:[]
     [
       [ "Primary Processor"; "4-stage pipeline (fetch, decode, execute, write back)" ];
       [ "branch prediction"; "none; not-taken branches cost a 3-cycle bubble" ];
@@ -87,8 +147,9 @@ let table1 () =
     ]
 
 let table2 () =
-  Dts_report.Report.table ~title:"Table 2: benchmark programs (SPECint95 analogues)"
-    ~headers:[ "benchmark"; "mirrors"; "character" ]
+  table_figure ~name:"table2"
+    ~title:"Table 2: benchmark programs (SPECint95 analogues)"
+    ~headers:[ "benchmark"; "mirrors"; "character" ] ~runs:[]
     (List.map
        (fun (w : Dts_workloads.Workloads.t) -> [ w.name; w.mirrors; w.character ])
        Dts_workloads.Workloads.all)
@@ -106,37 +167,71 @@ let fig5_geometries =
 let fig5a_geometries =
   [ (96, 1); (384, 1); (96, 2); (384, 2); (96, 4); (384, 4); (96, 8); (384, 8) ]
 
-let geometry_sweep ~title ~geometries ?scale ?budget () =
-  let lines =
+let geometry_sweep ~name ~title ~geometries ?scale ?budget () =
+  let per_geometry =
     List.map
       (fun (w, h) ->
         let label = Printf.sprintf "%dx%d" w h in
-        let ipcs =
+        let runs =
           List.map
-            (fun name ->
-              (run_dtsvliw ?scale ?budget (Dts_core.Config.ideal ~width:w ~height:h ()) name).ipc)
+            (fun nm ->
+              run_dtsvliw ?scale ?budget (Dts_core.Config.ideal ~width:w ~height:h ()) nm)
             workload_names
         in
-        (label, List.map Dts_report.Report.f2 ipcs @ [ Dts_report.Report.f2 (avg ipcs) ]))
+        (label, runs))
       geometries
   in
-  Dts_report.Report.series_table ~title ~x_label:"benchmark"
+  let lines =
+    List.map
+      (fun (label, runs) ->
+        let ipcs = List.map (fun r -> r.ipc) runs in
+        (label, List.map Dts_report.Report.f2 ipcs @ [ Dts_report.Report.f2 (avg ipcs) ]))
+      per_geometry
+  in
+  series_figure ~name ~title ~x_label:"benchmark"
     ~x_values:(workload_names @ [ "average" ])
+    ~runs:(List.concat_map snd per_geometry)
     lines
 
 let fig5a ?scale ?budget () =
-  geometry_sweep
+  geometry_sweep ~name:"fig5a"
     ~title:
       "Figure 5a: IPC for very wide blocks (instructions/li x li/block); \
        perfect caches, 3072KB VLIW$"
     ~geometries:fig5a_geometries ?scale ?budget ()
 
 let fig5 ?scale ?budget () =
-  geometry_sweep
+  geometry_sweep ~name:"fig5"
     ~title:
       "Figure 5b: IPC vs block geometry (instructions/li x li/block); \
        perfect caches, 3072KB VLIW$, no next-li penalty"
     ~geometries:fig5_geometries ?scale ?budget ()
+
+(* ------------------------------------------------------------------ *)
+(* Shared shape: one series per configuration over all workloads        *)
+(* ------------------------------------------------------------------ *)
+
+(** Run every workload on each labelled configuration and render one IPC
+    series per configuration (the shape of Figures 6/7, the ablation and
+    the extensions tables). *)
+let config_sweep ~name ~title ?scale ?budget labelled_cfgs =
+  let per_cfg =
+    List.map
+      (fun (label, cfg) ->
+        (label, List.map (fun nm -> run_dtsvliw ?scale ?budget cfg nm) workload_names))
+      labelled_cfgs
+  in
+  let lines =
+    List.map
+      (fun (label, runs) ->
+        let ipcs = List.map (fun r -> r.ipc) runs in
+        (label, List.map Dts_report.Report.f2 ipcs @ [ Dts_report.Report.f2 (avg ipcs) ]))
+      per_cfg
+  in
+  series_figure ~name ~title ~x_label:"benchmark"
+    ~x_values:(workload_names @ [ "average" ])
+    ~runs:(List.concat_map snd per_cfg)
+    lines
 
 (* ------------------------------------------------------------------ *)
 (* Figure 6: VLIW Cache size (8x8 geometry, associativity 4)            *)
@@ -145,52 +240,31 @@ let fig5 ?scale ?budget () =
 let fig6_sizes_kb = [ 48; 96; 192; 384; 768; 1536; 3072 ]
 
 let fig6 ?scale ?budget () =
-  let lines =
-    List.map
-      (fun kb ->
-        let cfg =
-          { (Dts_core.Config.ideal ()) with vliw_cache = { kb; assoc = 4 } }
-        in
-        let ipcs =
-          List.map (fun name -> (run_dtsvliw ?scale ?budget cfg name).ipc) workload_names
-        in
-        (Printf.sprintf "%dKB" kb,
-         List.map Dts_report.Report.f2 ipcs @ [ Dts_report.Report.f2 (avg ipcs) ]))
-      fig6_sizes_kb
-  in
-  Dts_report.Report.series_table
-    ~title:"Figure 6: IPC vs VLIW Cache size (8x8 blocks, 4-way)"
-    ~x_label:"benchmark"
-    ~x_values:(workload_names @ [ "average" ])
-    lines
+  config_sweep ~name:"fig6"
+    ~title:"Figure 6: IPC vs VLIW Cache size (8x8 blocks, 4-way)" ?scale
+    ?budget
+    (List.map
+       (fun kb ->
+         ( Printf.sprintf "%dKB" kb,
+           { (Dts_core.Config.ideal ()) with vliw_cache = { kb; assoc = 4 } } ))
+       fig6_sizes_kb)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 7: VLIW Cache associativity (96KB and 384KB, 8x8)             *)
 (* ------------------------------------------------------------------ *)
 
 let fig7 ?scale ?budget () =
-  let lines =
-    List.concat_map
-      (fun kb ->
-        List.map
-          (fun assoc ->
-            let cfg =
-              { (Dts_core.Config.ideal ()) with vliw_cache = { kb; assoc } }
-            in
-            let ipcs =
-              List.map (fun name -> (run_dtsvliw ?scale ?budget cfg name).ipc) workload_names
-            in
-            (Printf.sprintf "%dKB/%d-way" kb assoc,
-             List.map Dts_report.Report.f2 ipcs
-             @ [ Dts_report.Report.f2 (avg ipcs) ]))
-          [ 1; 2; 4; 8 ])
-      [ 96; 384 ]
-  in
-  Dts_report.Report.series_table
-    ~title:"Figure 7: IPC vs VLIW Cache associativity (8x8 blocks)"
-    ~x_label:"benchmark"
-    ~x_values:(workload_names @ [ "average" ])
-    lines
+  config_sweep ~name:"fig7"
+    ~title:"Figure 7: IPC vs VLIW Cache associativity (8x8 blocks)" ?scale
+    ?budget
+    (List.concat_map
+       (fun kb ->
+         List.map
+           (fun assoc ->
+             ( Printf.sprintf "%dKB/%d-way" kb assoc,
+               { (Dts_core.Config.ideal ()) with vliw_cache = { kb; assoc } } ))
+           [ 1; 2; 4; 8 ])
+       [ 96; 384 ])
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8: feasible machine cost breakdown (differential ablation)    *)
@@ -230,10 +304,10 @@ let fig8 ?scale ?budget () =
   let per_wl =
     List.map
       (fun name ->
-        let ipcs =
-          List.map (fun (_, cfg) -> (run_dtsvliw ?scale ?budget cfg name).ipc) chain
+        let runs =
+          List.map (fun (_, cfg) -> run_dtsvliw ?scale ?budget cfg name) chain
         in
-        (name, ipcs))
+        (name, runs))
       workload_names
   in
   let headers =
@@ -241,8 +315,8 @@ let fig8 ?scale ?budget () =
   in
   let rows =
     List.map
-      (fun (name, ipcs) ->
-        match ipcs with
+      (fun (name, runs) ->
+        match List.map (fun r -> r.ipc) runs with
         | [ a; b; c; d; e ] ->
           [
             name;
@@ -256,11 +330,13 @@ let fig8 ?scale ?budget () =
         | _ -> assert false)
       per_wl
   in
-  Dts_report.Report.table
+  table_figure ~name:"fig8"
     ~title:
       "Figure 8: feasible machine cost breakdown (stacked: ILP + cost \
        components = ideal IPC)"
-    ~headers rows
+    ~headers
+    ~runs:(List.concat_map snd per_wl)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: performance and resources of the feasible machine           *)
@@ -299,9 +375,9 @@ let table3 ?scale ?budget () =
       metric "Slot Utilisation" (fun r -> r.slot_utilisation) Dts_report.Report.pct;
     ]
   in
-  Dts_report.Report.table
+  table_figure ~name:"table3"
     ~title:"Table 3: performance and resource consumption of the feasible machine"
-    ~headers rows
+    ~headers ~runs rows
 
 (* ------------------------------------------------------------------ *)
 (* Figure 9: DTSVLIW vs DIF                                             *)
@@ -318,11 +394,12 @@ let fig9_dtsvliw_cfg () =
   { base with sched = { base.sched with slot_classes = Some classes } }
 
 let fig9 ?scale ?budget () =
-  let dts =
+  let dts_runs =
     List.map
-      (fun name -> (run_dtsvliw ?scale ?budget (fig9_dtsvliw_cfg ()) name).ipc)
+      (fun name -> run_dtsvliw ?scale ?budget (fig9_dtsvliw_cfg ()) name)
       workload_names
   in
+  let dts = List.map (fun r -> r.ipc) dts_runs in
   let dif_runs =
     List.map
       (fun name -> run_dif ?scale ?budget (Dts_dif.Dif.fig9_machine_cfg ()) name)
@@ -343,23 +420,22 @@ let fig9 ?scale ?budget () =
         ];
       ]
   in
+  let resources_run =
+    run_dtsvliw ?scale ?budget (fig9_dtsvliw_cfg ()) "compress"
+  in
   let resources =
-    let dts_rr =
-      List.map
-        (fun name -> (run_dtsvliw ?scale ?budget (fig9_dtsvliw_cfg ()) name).rr_max)
-        [ "compress" ]
-      |> List.hd
-    in
+    let dts_rr = resources_run.rr_max in
     Printf.sprintf
       "Resources: DTSVLIW renaming registers (compress, max/block): %d int, \
        %d fp | DIF register instances: %d int + %d fp (4 per register)\n"
       dts_rr.(0) dts_rr.(1) (24 * 4) (24 * 4)
   in
-  Dts_report.Report.table
+  table_figure ~name:"fig9"
     ~title:"Figure 9: DTSVLIW vs DIF (6x6 blocks, 4KB I/D caches, 512x2-block code cache)"
     ~headers:[ "benchmark"; "DTSVLIW"; "DIF" ]
+    ~extra:resources
+    ~runs:(dts_runs @ List.map fst dif_runs @ [ resources_run ])
     rows
-  ^ resources
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (beyond the paper; design choices called out in DESIGN.md) *)
@@ -380,21 +456,10 @@ let ablations =
 
 let ablation ?scale ?budget () =
   let base = Dts_core.Config.ideal () in
-  let lines =
-    List.map
-      (fun (label, f) ->
-        let cfg = f base in
-        let ipcs =
-          List.map (fun name -> (run_dtsvliw ?scale ?budget cfg name).ipc) workload_names
-        in
-        (label, List.map Dts_report.Report.f2 ipcs @ [ Dts_report.Report.f2 (avg ipcs) ]))
-      ablations
-  in
-  Dts_report.Report.series_table
-    ~title:"Ablation: scheduler design choices (ideal 8x8 machine)"
-    ~x_label:"benchmark"
-    ~x_values:(workload_names @ [ "average" ])
-    lines
+  config_sweep ~name:"ablation"
+    ~title:"Ablation: scheduler design choices (ideal 8x8 machine)" ?scale
+    ?budget
+    (List.map (fun (label, f) -> (label, f base)) ablations)
 
 (* ------------------------------------------------------------------ *)
 (* Extensions: the paper's §5 future work and §3.11 alternative, measured  *)
@@ -405,7 +470,11 @@ let ablation ?scale ?budget () =
     functional units ([14]) — each against the feasible machine. *)
 let extensions ?scale ?budget () =
   let feasible = Dts_core.Config.feasible () in
-  let variants =
+  config_sweep ~name:"extensions"
+    ~title:
+      "Extensions (beyond the paper): next-li prediction (sec. 5), data store \
+       list (sec. 3.11), multicycle units ([14])"
+    ?scale ?budget
     [
       ("feasible baseline", feasible);
       ("+ next-li prediction", { feasible with next_li_prediction = true });
@@ -423,41 +492,78 @@ let extensions ?scale ?budget () =
             };
         } );
     ]
-  in
-  let lines =
+
+(* ------------------------------------------------------------------ *)
+(* Cycle breakdown: the observability layer's own table                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Where the cycles go: every machine cycle of the feasible machine
+    attributed to one category (see {!Dts_obs.Attribution}), per workload,
+    as a fraction of total cycles. The [TOTAL] row is the invariant check:
+    attributed cycles / machine cycles, always 100.0%. *)
+let breakdown ?scale ?budget () =
+  let runs =
     List.map
-      (fun (label, cfg) ->
-        let ipcs =
-          List.map (fun name -> (run_dtsvliw ?scale ?budget cfg name).ipc) workload_names
-        in
-        (label, List.map Dts_report.Report.f2 ipcs @ [ Dts_report.Report.f2 (avg ipcs) ]))
-      variants
+      (fun name -> run_dtsvliw ?scale ?budget (Dts_core.Config.feasible ()) name)
+      workload_names
   in
-  Dts_report.Report.series_table
+  let fraction_of r cat =
+    float_of_int (Dts_obs.Attribution.sum_of r.stats.Dts_obs.Stats.attribution [ cat ])
+    /. float_of_int (max 1 r.cycles)
+  in
+  let rows =
+    List.map
+      (fun cat ->
+        let fracs = List.map (fun r -> fraction_of r cat) runs in
+        (Dts_obs.Attribution.label cat
+         :: List.map Dts_report.Report.pct fracs)
+        @ [ Dts_report.Report.pct (avg fracs) ])
+      Dts_obs.Attribution.all
+    @ [
+        (let totals =
+           List.map
+             (fun r ->
+               float_of_int (Dts_obs.Attribution.total r.stats.Dts_obs.Stats.attribution)
+               /. float_of_int (max 1 r.cycles))
+             runs
+         in
+         ("TOTAL (attributed/machine)"
+          :: List.map Dts_report.Report.pct totals)
+         @ [ Dts_report.Report.pct (avg totals) ]);
+      ]
+  in
+  table_figure ~name:"breakdown"
     ~title:
-      "Extensions (beyond the paper): next-li prediction (sec. 5), data store \
-       list (sec. 3.11), multicycle units ([14])"
-    ~x_label:"benchmark"
-    ~x_values:(workload_names @ [ "average" ])
-    lines
+      "Cycle breakdown: attribution of every machine cycle (feasible machine)"
+    ~headers:([ "category" ] @ workload_names @ [ "average" ])
+    ~runs rows
 
 (* ------------------------------------------------------------------ *)
 
+let all_figures ?scale ?budget () =
+  [
+    table1 ();
+    table2 ();
+    fig5a ?scale ?budget ();
+    fig5 ?scale ?budget ();
+    fig6 ?scale ?budget ();
+    fig7 ?scale ?budget ();
+    fig8 ?scale ?budget ();
+    table3 ?scale ?budget ();
+    fig9 ?scale ?budget ();
+    ablation ?scale ?budget ();
+    extensions ?scale ?budget ();
+  ]
+
 let all ?scale ?budget () =
-  String.concat "\n"
-    [
-      table1 ();
-      table2 ();
-      fig5a ?scale ?budget ();
-      fig5 ?scale ?budget ();
-      fig6 ?scale ?budget ();
-      fig7 ?scale ?budget ();
-      fig8 ?scale ?budget ();
-      table3 ?scale ?budget ();
-      fig9 ?scale ?budget ();
-      ablation ?scale ?budget ();
-      extensions ?scale ?budget ();
-    ]
+  let figs = all_figures ?scale ?budget () in
+  let rendered = List.map (fun f -> f.render ()) figs in
+  {
+    name = "all";
+    rows = List.concat_map (fun f -> f.rows) figs;
+    tables = List.concat_map (fun f -> f.tables) figs;
+    render = (fun () -> String.concat "\n" rendered);
+  }
 
 let by_name =
   [
@@ -472,5 +578,6 @@ let by_name =
     ("fig9", fig9);
     ("ablation", ablation);
     ("extensions", extensions);
+    ("breakdown", breakdown);
     ("all", all);
   ]

@@ -5,7 +5,12 @@
     number is also a proof that the simulated machine computed the same
     architectural states as a sequential SRISC machine. IPC is the paper's
     metric: sequential instructions (test-machine count) over DTSVLIW
-    cycles. All entry points render a ready-to-print text table. *)
+    cycles.
+
+    Entry points return a structured {!figure}: the raw {!run} records, the
+    table cells, and a [render] closure producing the exact ready-to-print
+    text (no re-simulation). Consumers read data instead of parsing
+    strings. *)
 
 (** Everything measured in one simulation run. *)
 type run = {
@@ -21,6 +26,20 @@ type run = {
   max_recovery_list : int;
   aliasing_exceptions : int;
   blocks : int;
+  stats : Dts_obs.Stats.t;
+      (** the full machine snapshot, including the per-category cycle
+          attribution *)
+}
+
+(** One table or figure of the evaluation: structured data plus its exact
+    text rendering. *)
+type figure = {
+  name : string;  (** the registry key, e.g. ["fig6"] *)
+  rows : run list;  (** every simulation performed, in execution order *)
+  tables : (string * string list list) list;
+      (** (title, header row :: data rows) for each rendered table *)
+  render : unit -> string;
+      (** the ready-to-print text output; pure (no re-simulation) *)
 }
 
 val simulated_instructions : unit -> int
@@ -28,13 +47,26 @@ val simulated_instructions : unit -> int
     this process (monotone counter). The bench harness reads deltas around
     each figure to report simulated instructions/sec. *)
 
-val run_dtsvliw : ?scale:int -> ?budget:int -> Dts_core.Config.t -> string -> run
-(** Run one named workload on a DTSVLIW configuration. *)
+val run_dtsvliw :
+  ?scale:int ->
+  ?budget:int ->
+  ?tracer:Dts_obs.Trace.t ->
+  Dts_core.Config.t ->
+  string ->
+  run
+(** Run one named workload on a DTSVLIW configuration.
+    @raise Invalid_argument if [scale] or [budget] is not positive. *)
 
 val run_dif :
-  ?scale:int -> ?budget:int -> ?dif_cfg:Dts_dif.Dif.config ->
-  Dts_core.Config.t -> string -> run * Dts_dif.Dif.t
-(** Run one named workload on the DIF baseline. *)
+  ?scale:int ->
+  ?budget:int ->
+  ?dif_cfg:Dts_dif.Dif.config ->
+  ?tracer:Dts_obs.Trace.t ->
+  Dts_core.Config.t ->
+  string ->
+  run * Dts_dif.Dif.t
+(** Run one named workload on the DIF baseline.
+    @raise Invalid_argument if [scale] or [budget] is not positive. *)
 
 val workload_names : string list
 
@@ -42,18 +74,28 @@ val fig9_dtsvliw_cfg : unit -> Dts_core.Config.t
 (** The DTSVLIW side of Figure 9: 6x6 blocks, 4 universal + 2 branch units,
     4KB caches. *)
 
-val table1 : unit -> string
-val table2 : unit -> string
-val fig5a : ?scale:int -> ?budget:int -> unit -> string
-val fig5 : ?scale:int -> ?budget:int -> unit -> string
-val fig6 : ?scale:int -> ?budget:int -> unit -> string
-val fig7 : ?scale:int -> ?budget:int -> unit -> string
-val fig8 : ?scale:int -> ?budget:int -> unit -> string
-val table3 : ?scale:int -> ?budget:int -> unit -> string
-val fig9 : ?scale:int -> ?budget:int -> unit -> string
-val ablation : ?scale:int -> ?budget:int -> unit -> string
-val extensions : ?scale:int -> ?budget:int -> unit -> string
-val all : ?scale:int -> ?budget:int -> unit -> string
+val table1 : unit -> figure
+val table2 : unit -> figure
+val fig5a : ?scale:int -> ?budget:int -> unit -> figure
+val fig5 : ?scale:int -> ?budget:int -> unit -> figure
+val fig6 : ?scale:int -> ?budget:int -> unit -> figure
+val fig7 : ?scale:int -> ?budget:int -> unit -> figure
+val fig8 : ?scale:int -> ?budget:int -> unit -> figure
+val table3 : ?scale:int -> ?budget:int -> unit -> figure
+val fig9 : ?scale:int -> ?budget:int -> unit -> figure
+val ablation : ?scale:int -> ?budget:int -> unit -> figure
+val extensions : ?scale:int -> ?budget:int -> unit -> figure
 
-val by_name : (string * (?scale:int -> ?budget:int -> unit -> string)) list
+val breakdown : ?scale:int -> ?budget:int -> unit -> figure
+(** Cycle-attribution breakdown of the feasible machine: one row per
+    {!Dts_obs.Attribution.category}, one column per workload, cells as
+    percentages of total machine cycles; the TOTAL row is the sum of all
+    categories over machine cycles (the invariant: always 100.0%). Not part
+    of {!all} (it is an observability artefact, not a paper figure). *)
+
+val all : ?scale:int -> ?budget:int -> unit -> figure
+(** Every paper table/figure plus ablations and extensions, concatenated;
+    [rows]/[tables] are the concatenation of the sub-figures'. *)
+
+val by_name : (string * (?scale:int -> ?budget:int -> unit -> figure)) list
 (** Name → generator registry used by [bin/experiments] and the bench. *)

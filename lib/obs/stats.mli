@@ -1,0 +1,92 @@
+(** Run statistics: the machine-side mutable collector and the immutable
+    consolidated snapshot ([Machine.stats]) that consumers derive metrics
+    from instead of reading machine internals. *)
+
+val slot_class_names : string array
+(** ["int"; "mem"; "fp"; "br"; "copy"] — the four functional-unit classes
+    plus scheduler-generated copies. *)
+
+val n_slot_classes : int
+
+(** Mutable accumulator owned by [Dts_core.Machine]; treat as internal and
+    read it through [Machine.stats] snapshots. *)
+type collector = {
+  attr : Attribution.t;
+  tracer : Trace.t;
+  mutable nlp_hits : int;
+  mutable nlp_misses : int;
+  mutable engine_switches : int;
+  mutable blocks_flushed : int;
+  mutable slots_filled : int;
+  mutable slots_total : int;
+  mutable block_lis : int;
+  mutable insert_full : int;
+      (** scheduling-list-full events (flush-on-full rule) *)
+  mutable pending_high_water : int;
+      (** max blocks simultaneously draining to the VLIW Cache *)
+  rr_max : int array;  (** per-kind renaming-register high water *)
+  slots_by_class : int array;  (** indexed like {!slot_class_names} *)
+}
+
+val collector : ?tracer:Trace.t -> unit -> collector
+
+(** One immutable snapshot of everything measured in a run. *)
+type t = {
+  cycles : int;
+  vliw_cycles : int;
+  instructions : int;  (** sequential instructions (golden-machine count) *)
+  attribution : int array;  (** indexed by {!Attribution.index} *)
+  engine_switches : int;
+  blocks_flushed : int;
+  block_lis : int;
+  slots_filled : int;
+  slots_total : int;
+  slots_by_class : int array;
+  rr_max : int array;  (** int, fp, flag, mem *)
+  nlp_hits : int;
+  nlp_misses : int;
+  insert_full : int;
+  pending_high_water : int;
+  syncs : int;
+  max_load_list : int;
+  max_store_list : int;
+  max_recovery_list : int;
+  max_data_store_list : int;
+  aliasing_exceptions : int;
+  deferred_exceptions : int;
+  block_exceptions : int;
+  mispredicts : int;
+  lis_executed : int;
+  ops_committed : int;
+  copies_committed : int;
+  icache_hits : int;
+  icache_misses : int;
+  dcache_hits : int;
+  dcache_misses : int;
+  vcache_hits : int;
+  vcache_misses : int;
+  vcache_insertions : int;
+  vcache_evictions : int;
+  trace_emitted : int;
+  trace_dropped : int;
+}
+
+val ipc : t -> float
+(** Sequential instructions / machine cycles — the paper's metric. *)
+
+val vliw_cycle_fraction : t -> float
+val slot_utilisation : t -> float
+
+val attributed_total : t -> int
+(** Sum of all attribution categories; equals [cycles] by invariant. *)
+
+val attributed_vliw : t -> int
+(** Sum of the VLIW-side categories; equals [vliw_cycles] by invariant. *)
+
+val invariant_holds : t -> bool
+
+val schema_version : int
+
+val to_json : t -> Json.t
+val to_json_string : t -> string
+(** The [--stats-json] document (pretty-printed, newline-terminated). *)

@@ -42,6 +42,8 @@ type retired = {
   mem : (int * int) option;  (** observed effective address and size *)
   trapped : bool;  (** needed trap service — a non-schedulable occurrence *)
   cycles : int;  (** cycles this instruction consumed in the pipeline *)
+  icache_stall : int;  (** of [cycles]: instruction-cache miss penalty *)
+  dcache_stall : int;  (** of [cycles]: data-cache miss penalty *)
 }
 
 type t = {
@@ -68,7 +70,9 @@ let step t : retired =
   let pc = st.pc in
   let cwp = st.cwp in
   let cycles = ref 1 in
-  cycles := !cycles + Dts_mem.Cache.access t.icache pc;
+  let icache_stall = Dts_mem.Cache.access t.icache pc in
+  let dcache_stall = ref 0 in
+  cycles := !cycles + icache_stall;
   let instr = Dts_isa.Encode.fetch st.mem ~addr:pc in
   cycles := !cycles + Dts_isa.Instr.latency t.timing.latencies instr - 1;
   if instr = Dts_isa.Instr.Halt then begin
@@ -105,11 +109,13 @@ let step t : retired =
        cycles := !cycles + t.timing.load_use_bubble);
   (* data cache access *)
   (match out.load with
-  | Some (a, _) -> cycles := !cycles + Dts_mem.Cache.access t.dcache a
+  | Some (a, _) -> dcache_stall := !dcache_stall + Dts_mem.Cache.access t.dcache a
   | None -> ());
   (match out.store with
-  | Some (a, _, _) -> cycles := !cycles + Dts_mem.Cache.access t.dcache a
+  | Some (a, _, _) ->
+    dcache_stall := !dcache_stall + Dts_mem.Cache.access t.dcache a
   | None -> ());
+  cycles := !cycles + !dcache_stall;
   (* not-taken branch bubble (Table 1) *)
   (match instr with
   | Dts_isa.Instr.Branch { cond; _ }
@@ -137,6 +143,8 @@ let step t : retired =
     mem = observed_mem;
     trapped;
     cycles = !cycles;
+    icache_stall;
+    dcache_stall = !dcache_stall;
   }
 
 (** Invalidate pipeline-local hazard tracking (used when the machine swaps

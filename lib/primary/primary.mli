@@ -29,6 +29,8 @@ type retired = {
   mem : (int * int) option;  (** observed effective address and size *)
   trapped : bool;  (** needed trap service — a non-schedulable occurrence *)
   cycles : int;  (** cycles this instruction consumed in the pipeline *)
+  icache_stall : int;  (** of [cycles]: instruction-cache miss penalty *)
+  dcache_stall : int;  (** of [cycles]: data-cache miss penalty *)
 }
 
 type t

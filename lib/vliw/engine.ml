@@ -85,9 +85,13 @@ type t = {
           cwp (mod nwindows), applied to every baked cwp and physical
           register position *)
   stats : stats;
+  tracer : Dts_obs.Trace.t;
+      (** event sink for rollback/aliasing observability; the machine
+          stamps its cycle on it each step *)
 }
 
-let create ?(scheme = Checkpoint_recovery) ~dcache st =
+let create ?(scheme = Checkpoint_recovery) ?(tracer = Dts_obs.Trace.null)
+    ~dcache st =
   {
     st;
     dcache;
@@ -100,6 +104,7 @@ let create ?(scheme = Checkpoint_recovery) ~dcache st =
     dsl_ranges = [];
     mem_log = Aliaslog.create ();
     wdelta = 0;
+    tracer;
     stats =
       {
         max_data_store_list = 0;
@@ -148,6 +153,10 @@ let enter_block t (block : block) =
 (** Roll back to the checkpoint: restore registers and undo every store of
     the block in reverse order (§3.11). *)
 let rollback t =
+  if Dts_obs.Trace.enabled t.tracer then
+    Dts_obs.Trace.emit t.tracer
+      (Checkpoint_recovery
+         { undone = t.n_recovery + List.length t.dsl_ranges });
   let st = t.st in
   (match t.shadow with
   | None -> invalid_arg "Engine.rollback without checkpoint"
@@ -447,6 +456,9 @@ let exec_li t (block : block) idx : li_result * int =
    with
   | Alias_violation ->
     t.stats.aliasing_exceptions <- t.stats.aliasing_exceptions + 1;
+    if Dts_obs.Trace.enabled t.tracer then
+      Dts_obs.Trace.emit t.tracer
+        (Aliasing_violation { tag = block.tag_addr; li = idx });
     rollback t;
     (R_exn E_aliasing, !penalty)
   | Block_trap tr ->

@@ -16,6 +16,8 @@ let ret ?(cwp = 0) ?(taken = false) ?(next = -1) ?mem ~addr instr =
     mem;
     trapped = false;
     cycles = 1;
+    icache_stall = 0;
+    dcache_stall = 0;
   }
 
 let alu ?(cc = false) rs1 op2 rd =

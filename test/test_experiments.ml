@@ -13,12 +13,29 @@ let budget = 4_000
 
 let renders name =
   let f = List.assoc name Dts_experiments.Experiments.by_name in
-  let out = f ~scale:1 ~budget () in
+  let fig = f ~scale:1 ~budget () in
+  let out = fig.Dts_experiments.Experiments.render () in
   check_bool (name ^ " non-empty") true (String.length out > 100);
   check_bool (name ^ " lists workloads") true
     (List.for_all
        (fun (w : Dts_workloads.Workloads.t) -> contains out w.name)
-       Dts_workloads.Workloads.all)
+       Dts_workloads.Workloads.all);
+  check_bool (name ^ " names itself") true
+    (fig.Dts_experiments.Experiments.name = name);
+  (* structured tables carry the same cells the rendering prints: every
+     header and every first-column label must appear in the text *)
+  check_bool (name ^ " tables non-empty") true
+    (fig.Dts_experiments.Experiments.tables <> []);
+  List.iter
+    (fun (title, rows) ->
+      check_bool (name ^ " title rendered") true (contains out title);
+      List.iter
+        (fun row ->
+          match row with
+          | cell :: _ -> check_bool (name ^ " cell rendered") true (contains out cell)
+          | [] -> ())
+        rows)
+    fig.Dts_experiments.Experiments.tables
 
 let test_run_record () =
   let r =
@@ -46,9 +63,27 @@ let test_dif_run_record () =
 let test_fig8_components_nonnegative_sum () =
   (* the stacked decomposition must add back up to the ideal IPC *)
   let out =
-    (List.assoc "fig8" Dts_experiments.Experiments.by_name) ~scale:1 ~budget ()
+    ((List.assoc "fig8" Dts_experiments.Experiments.by_name) ~scale:1 ~budget ())
+      .Dts_experiments.Experiments.render ()
   in
   check_bool "has ILP column" true (contains out "ILP")
+
+let test_bad_args_rejected () =
+  let expect_invalid label f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+  in
+  expect_invalid "scale 0" (fun () ->
+      Dts_experiments.Experiments.run_dtsvliw ~scale:0
+        (Dts_core.Config.ideal ()) "compress");
+  expect_invalid "budget negative" (fun () ->
+      Dts_experiments.Experiments.run_dtsvliw ~budget:(-1)
+        (Dts_core.Config.ideal ()) "compress");
+  expect_invalid "dif budget 0" (fun () ->
+      Dts_experiments.Experiments.run_dif ~budget:0
+        (Dts_dif.Dif.fig9_machine_cfg ())
+        "compress")
 
 let suite =
   List.map
@@ -58,4 +93,5 @@ let suite =
       Alcotest.test_case "run record" `Quick test_run_record;
       Alcotest.test_case "dif run record" `Quick test_dif_run_record;
       Alcotest.test_case "fig8 renders" `Quick test_fig8_components_nonnegative_sum;
+      Alcotest.test_case "bad args rejected" `Quick test_bad_args_rejected;
     ]

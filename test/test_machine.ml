@@ -56,7 +56,7 @@ let test_vector_sum () =
   check_int "sum" (Array.init 100 (fun i -> 4 * i) |> Array.fold_left ( + ) 0)
     (Dts_isa.State.get_reg m.st ~cwp:m.st.cwp 8);
   check_bool "used the VLIW engine" true (m.vliw_cycles > 0);
-  check_bool "built blocks" true (m.blocks_flushed > 0)
+  check_bool "built blocks" true ((Dts_core.Machine.stats m).blocks_flushed > 0)
 
 let test_vector_sum_beats_primary_alone () =
   (* IPC with scheduling must exceed 1/primary-cycles; for this loop the
@@ -322,7 +322,7 @@ let test_next_li_prediction_helps () =
       }
     in
     let m, _, n = run_asm ~cfg src in
-    (float_of_int n /. float_of_int m.cycles, m.nlp_hits)
+    (float_of_int n /. float_of_int m.cycles, (Dts_core.Machine.stats m).nlp_hits)
   in
   let base, _ = run false in
   let with_pred, hits = run true in
@@ -363,7 +363,7 @@ let test_stats_collected () =
     (Dts_core.Machine.slot_utilisation m > 0.0
     && Dts_core.Machine.slot_utilisation m <= 1.0);
   check_bool "renaming registers tracked" true
-    (Array.exists (fun v -> v > 0) m.rr_max)
+    (Array.exists (fun v -> v > 0) (Dts_core.Machine.stats m).rr_max)
 
 (* property: ANY configuration must simulate correctly — the co-simulation
    raises on divergence, so surviving the run is the assertion *)

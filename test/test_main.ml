@@ -15,4 +15,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("report", Test_report.suite);
       ("experiments", Test_experiments.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -72,8 +72,8 @@ let test_experiments_registry () =
          "table3"; "fig9"; "ablation"; "all" ])
 
 let test_static_tables_render () =
-  let t1 = Dts_experiments.Experiments.table1 () in
-  let t2 = Dts_experiments.Experiments.table2 () in
+  let t1 = (Dts_experiments.Experiments.table1 ()).render () in
+  let t2 = (Dts_experiments.Experiments.table2 ()).render () in
   check_bool "table1 mentions the pipeline" true (contains t1 "4-stage");
   check_bool "table2 lists all benchmarks" true
     (List.for_all (fun (w : Dts_workloads.Workloads.t) -> contains t2 w.name)

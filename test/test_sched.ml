@@ -21,6 +21,8 @@ let ret ?(cwp = 0) ?(taken = false) ?(next = -1) ?mem ~addr instr =
     mem;
     trapped = false;
     cycles = 1;
+    icache_stall = 0;
+    dcache_stall = 0;
   }
 
 let cfg ?(width = 3) ?(height = 4) ?(renaming = true) () =
