@@ -4,28 +4,40 @@
    (§4): Table 1, Table 2, Figure 5a/5b, Figure 6, Figure 7, Figure 8,
    Table 3, Figure 9, plus the ablation study. The instruction budget per
    simulation comes from BENCH_BUDGET (default 100000); raise it for
-   tighter numbers (the paper used 50M+ per run). Each figure is timed,
-   and the machine-readable baseline — per-figure wall-clock, simulated
-   instructions/sec, budget, git revision — is written to
+   tighter numbers (the paper used 50M+ per run). BENCH_JOBS sets the
+   worker-domain count for each figure's simulations (default 1 =
+   sequential; 0 = one per host core); with BENCH_JOBS > 1 every figure is
+   measured twice — sequentially (seq_wall_s) and on the pool (wall_s) —
+   and the rendered output of the two passes is asserted identical. Each
+   figure is timed, compared against the checked-in baseline's sequential
+   wall-clock, and the machine-readable baseline — per-figure wall-clock,
+   simulated instructions/sec, budget, jobs, git revision — is written to
    BENCH_RESULTS.json next to the stdout report so every run leaves a
    perf trajectory to compare against (see EXPERIMENTS.md "Benchmarking").
+   When a figure's sequential wall regresses more than 25% against a
+   baseline recorded at the same budget, the harness exits with code 3.
 
    Part 2 runs Bechamel micro/meso benchmarks: one Test.make per paper
    table/figure (measuring the wall-clock cost of regenerating it at a
    small budget) plus component microbenchmarks of the simulator itself. *)
 
-let budget =
-  match Sys.getenv_opt "BENCH_BUDGET" with
-  | None -> 100_000
+let env_int ~name ~default ~min =
+  match Sys.getenv_opt name with
+  | None -> default
   | Some s -> (
     match int_of_string_opt (String.trim s) with
-    | Some n when n > 0 -> n
+    | Some n when n >= min -> n
     | Some _ | None ->
-      Printf.eprintf
-        "bench: invalid BENCH_BUDGET %S — expected a positive integer \
-         (sequential instructions per simulation)\n"
-        s;
+      Printf.eprintf "bench: invalid %s %S — expected an integer >= %d\n" name
+        s min;
       exit 2)
+
+let budget =
+  env_int ~name:"BENCH_BUDGET" ~default:100_000 ~min:1
+(* sequential instructions per simulation *)
+
+let jobs = Dts_parallel.Pool.resolve_jobs (env_int ~name:"BENCH_JOBS" ~default:1 ~min:0)
+let host_cores = Dts_parallel.Pool.recommended ()
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's figures, timed, with a JSON baseline             *)
@@ -33,8 +45,9 @@ let budget =
 
 type figure_result = {
   fr_name : string;
-  fr_wall_s : float;
-  fr_instructions : int;  (** sequential instructions simulated *)
+  fr_wall_s : float;  (** wall at BENCH_JOBS workers (= seq when jobs=1) *)
+  fr_seq_wall_s : float;  (** wall of the sequential (jobs=1) pass *)
+  fr_instructions : int;  (** sequential instructions simulated (one pass) *)
   fr_runs : int;  (** simulation runs performed by the figure *)
   fr_mean_ipc : float;  (** mean IPC over those runs (0 if none) *)
   fr_cycles : int;  (** total machine cycles across the runs *)
@@ -78,39 +91,79 @@ let instr_per_sec instructions wall_s =
     float_of_int instructions /. wall_s
   else 0.
 
+(* The checked-in baseline (the previous run's BENCH_RESULTS.json), read
+   before it is overwritten: its budget and the per-figure sequential wall
+   seconds. Schema v2 recorded only sequential runs as "wall_s"; v3 carries
+   the sequential pass explicitly as "seq_wall_s". *)
+type baseline = { base_budget : int; base_walls : (string * float) list }
+
+let read_baseline () =
+  match
+    try
+      let ic = open_in_bin results_path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Some (Dts_obs.Json.of_string s)
+    with Sys_error _ | Dts_obs.Json.Parse_error _ -> None
+  with
+  | None -> None
+  | Some j -> (
+    let open Dts_obs.Json in
+    match (Option.bind (member "budget" j) to_int, member "figures" j) with
+    | Some base_budget, Some (List figs) ->
+      let wall_of fig =
+        match
+          ( Option.bind (member "name" fig) to_str,
+            Option.bind
+              (match member "seq_wall_s" fig with
+              | Some _ as s -> s
+              | None -> member "wall_s" fig)
+              to_float )
+        with
+        | Some name, Some w when w > 0. -> Some (name, w)
+        | _ -> None
+      in
+      Some { base_budget; base_walls = List.filter_map wall_of figs }
+    | _ -> None)
+
 let write_results ~started figures =
   let total_wall = List.fold_left (fun a f -> a +. f.fr_wall_s) 0. figures in
+  let total_seq_wall =
+    List.fold_left (fun a f -> a +. f.fr_seq_wall_s) 0. figures
+  in
   let total_instr =
     List.fold_left (fun a f -> a + f.fr_instructions) 0 figures
   in
   let oc = open_out results_path in
   let figure_json f =
     Printf.sprintf
-      "    {\"name\": %S, \"wall_s\": %.6f, \"instructions\": %d, \
-       \"instr_per_sec\": %.1f, \"runs\": %d, \"mean_ipc\": %.4f, \
-       \"cycles\": %d, \"attributed_cycles\": %d}"
-      f.fr_name f.fr_wall_s f.fr_instructions
-      (instr_per_sec f.fr_instructions f.fr_wall_s)
+      "    {\"name\": %S, \"wall_s\": %.6f, \"seq_wall_s\": %.6f, \
+       \"instructions\": %d, \"instr_per_sec\": %.1f, \"runs\": %d, \
+       \"mean_ipc\": %.4f, \"cycles\": %d, \"attributed_cycles\": %d}"
+      f.fr_name f.fr_wall_s f.fr_seq_wall_s f.fr_instructions
+      (instr_per_sec f.fr_instructions f.fr_seq_wall_s)
       f.fr_runs f.fr_mean_ipc f.fr_cycles f.fr_attributed
   in
   Printf.fprintf oc
     "{\n\
-    \  \"schema_version\": 2,\n\
+    \  \"schema_version\": 3,\n\
     \  \"generated_at\": \"%s\",\n\
     \  \"git_rev\": \"%s\",\n\
     \  \"budget\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"host_cores\": %d,\n\
     \  \"figures\": [\n\
      %s\n\
     \  ],\n\
-    \  \"total\": {\"wall_s\": %.6f, \"instructions\": %d, \
-     \"instr_per_sec\": %.1f}\n\
+    \  \"total\": {\"wall_s\": %.6f, \"seq_wall_s\": %.6f, \
+     \"instructions\": %d, \"instr_per_sec\": %.1f}\n\
      }\n"
     (iso8601 started)
     (json_escape (git_rev ()))
-    budget
+    budget jobs host_cores
     (String.concat ",\n" (List.map figure_json figures))
-    total_wall total_instr
-    (instr_per_sec total_instr total_wall);
+    total_wall total_seq_wall total_instr
+    (instr_per_sec total_instr total_seq_wall);
   close_out oc
 
 let figure_names =
@@ -123,10 +176,15 @@ let part1 () =
   Printf.printf
     "==============================================================\n\
      Reproduction of the paper's evaluation (budget %d instructions\n\
-     per run; set BENCH_BUDGET to change)\n\
+     per run, %d worker domain(s) of %d host cores; set BENCH_BUDGET\n\
+     and BENCH_JOBS to change)\n\
      ==============================================================\n\n"
-    budget;
+    budget jobs host_cores;
+  let baseline = read_baseline () in
   let started = Unix.gettimeofday () in
+  let pool =
+    if jobs > 1 then Some (Dts_parallel.Pool.create ~jobs) else None
+  in
   let figures =
     List.map
       (fun name ->
@@ -134,11 +192,30 @@ let part1 () =
         let instr0 = Dts_experiments.Experiments.simulated_instructions () in
         let t0 = Unix.gettimeofday () in
         let fig = f ~scale:1 ~budget () in
-        let wall = Unix.gettimeofday () -. t0 in
+        let seq_wall = Unix.gettimeofday () -. t0 in
         let instructions =
           Dts_experiments.Experiments.simulated_instructions () - instr0
         in
-        print_string (fig.Dts_experiments.Experiments.render ());
+        let rendered = fig.Dts_experiments.Experiments.render () in
+        (* with a pool, a second, parallel pass: timed and — the whole point
+           of deterministic fan-out — asserted to render identically *)
+        let fig, wall =
+          match pool with
+          | None -> (fig, seq_wall)
+          | Some p ->
+            let t0 = Unix.gettimeofday () in
+            let figp = f ~pool:p ~scale:1 ~budget () in
+            let wall = Unix.gettimeofday () -. t0 in
+            if figp.Dts_experiments.Experiments.render () <> rendered then begin
+              Printf.eprintf
+                "bench: figure %s renders differently at jobs=%d than \
+                 sequentially — parallel determinism violated\n"
+                name jobs;
+              exit 4
+            end;
+            (figp, wall)
+        in
+        print_string rendered;
         print_newline ();
         let rows = fig.Dts_experiments.Experiments.rows in
         let n_runs = List.length rows in
@@ -164,6 +241,7 @@ let part1 () =
         {
           fr_name = name;
           fr_wall_s = wall;
+          fr_seq_wall_s = seq_wall;
           fr_instructions = instructions;
           fr_runs = n_runs;
           fr_mean_ipc = mean_ipc;
@@ -172,14 +250,50 @@ let part1 () =
         })
       figure_names
   in
+  (match pool with Some p -> Dts_parallel.Pool.shutdown p | None -> ());
   write_results ~started figures;
+  (* summary: the speedup column compares this run's sequential wall with
+     the checked-in baseline's sequential wall (seq-to-seq; jobs never
+     flatter the trend line), and only at the same budget *)
+  let base_wall f =
+    match baseline with
+    | Some b when b.base_budget = budget ->
+      List.assoc_opt f.fr_name b.base_walls
+    | _ -> None
+  in
+  Printf.printf "  %-12s %10s %10s %10s  %12s  %s\n" "figure" "seq wall"
+    (Printf.sprintf "wall(j%d)" jobs)
+    "instr" "instr/s(seq)" "speedup vs baseline";
   List.iter
     (fun f ->
-      Printf.printf "  %-12s %8.2f s  %10d instr  %12.0f instr/s\n" f.fr_name
-        f.fr_wall_s f.fr_instructions
-        (instr_per_sec f.fr_instructions f.fr_wall_s))
+      let speedup =
+        match base_wall f with
+        | Some bw -> Printf.sprintf "%.2fx" (bw /. f.fr_seq_wall_s)
+        | None -> "-"
+      in
+      Printf.printf "  %-12s %9.2fs %9.2fs %10d  %12.0f  %s\n" f.fr_name
+        f.fr_seq_wall_s f.fr_wall_s f.fr_instructions
+        (instr_per_sec f.fr_instructions f.fr_seq_wall_s)
+        speedup)
     figures;
-  Printf.printf "\nMachine-readable baseline written to %s\n\n" results_path
+  Printf.printf "\nMachine-readable baseline written to %s\n\n" results_path;
+  (* the regression gate: >25% slower than a baseline at the same budget *)
+  let regressions =
+    List.filter_map
+      (fun f ->
+        match base_wall f with
+        | Some bw when f.fr_seq_wall_s > 1.25 *. bw ->
+          Some (f.fr_name, bw, f.fr_seq_wall_s)
+        | _ -> None)
+      figures
+  in
+  List.iter
+    (fun (name, bw, w) ->
+      Printf.eprintf
+        "bench: REGRESSION %s: %.2fs sequential vs %.2fs baseline (>25%%)\n"
+        name w bw)
+    regressions;
+  regressions <> []
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel benchmarks                                          *)
@@ -192,8 +306,12 @@ let small = 15_000 (* instruction budget inside timed benchmarks *)
 
 (* one Test.make per paper artifact: time-to-regenerate at a small budget *)
 let bench_figure name
-    (f : ?scale:int -> ?budget:int -> unit -> Dts_experiments.Experiments.figure)
-    =
+    (f :
+      ?pool:Dts_parallel.Pool.t ->
+      ?scale:int ->
+      ?budget:int ->
+      unit ->
+      Dts_experiments.Experiments.figure) =
   Test.make ~name
     (Staged.stage (fun () ->
          ignore ((f ~scale:1 ~budget:small ()).Dts_experiments.Experiments.render ())))
@@ -316,6 +434,12 @@ let benchmark () =
     results
 
 let () =
-  part1 ();
+  let regressed = part1 () in
+  if regressed then begin
+    (* fail fast for CI: the component benchmarks can't rescue a figure
+       regression *)
+    prerr_endline "bench: exiting 3 (figure wall-clock regression)";
+    exit 3
+  end;
   print_endline "=== Bechamel component benchmarks ===";
   benchmark ()

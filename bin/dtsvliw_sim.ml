@@ -7,8 +7,12 @@
    Examples:
      dtsvliw_sim --workload compress
      dtsvliw_sim --workload ijpeg --width 16 --height 16
+     dtsvliw_sim -w compress -w go -w ijpeg --jobs 3
      dtsvliw_sim prog.s --feasible
-     dtsvliw_sim prog.c --dif *)
+     dtsvliw_sim prog.c --dif
+
+   --workload repeats; several workloads run concurrently over --jobs
+   domains, with the reports printed in the order given. *)
 
 open Cmdliner
 
@@ -124,9 +128,8 @@ let write_stats_json path (m : Dts_core.Machine.t) =
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc (Dts_obs.Stats.to_json_string s))
 
-let run workload file scale budget feasible dif width height vcache_kb
-    vcache_assoc no_renaming store_list predict_next multicycle show_blocks
-    trace_file trace_limit stats_json =
+let run_single ~workload ~file ~scale ~budget ~dif ~cfg ~show_blocks
+    ~trace_file ~trace_limit ~stats_json =
   let program = load_program ~workload ~file ~scale in
   let trace_oc = Option.map open_out trace_file in
   let tracer =
@@ -151,10 +154,6 @@ let run workload file scale budget feasible dif width height vcache_kb
     finish m
   end
   else begin
-    let cfg =
-      build_config ~feasible ~width ~height ~vcache_kb ~vcache_assoc
-        ~no_renaming ~store_list ~predict_next ~multicycle
-    in
     Printf.printf "[DTSVLIW: %s]\n" (Dts_core.Config.describe cfg);
     let m = Dts_core.Machine.create ~tracer cfg program in
     let n = Dts_core.Machine.run ~max_instructions:budget m in
@@ -163,16 +162,90 @@ let run workload file scale budget feasible dif width height vcache_kb
     finish m
   end
 
+(* Several workloads: simulate concurrently on the pool, print the reports
+   sequentially in the order the workloads were given. *)
+let run_many ~workloads ~scale ~budget ~jobs ~dif ~cfg ~show_blocks =
+  let simulate name =
+    let program =
+      Dts_workloads.Workloads.program ~scale (Dts_workloads.Workloads.find name)
+    in
+    if dif then
+      let machine_cfg = Dts_dif.Dif.fig9_machine_cfg () in
+      let m, d = Dts_dif.Dif.machine ~machine_cfg program in
+      let n = Dts_core.Machine.run ~max_instructions:budget m in
+      (name, m, n, Some d)
+    else
+      let m = Dts_core.Machine.create cfg program in
+      let n = Dts_core.Machine.run ~max_instructions:budget m in
+      (name, m, n, None)
+  in
+  let results =
+    Dts_parallel.Pool.with_pool ~jobs (fun pool ->
+        Dts_parallel.Pool.map pool simulate workloads)
+  in
+  List.iteri
+    (fun i (name, m, n, d) ->
+      if i > 0 then print_newline ();
+      Printf.printf "=== %s ===\n" name;
+      (match d with
+      | Some _ -> print_endline "[DIF machine]"
+      | None -> Printf.printf "[DTSVLIW: %s]\n" (Dts_core.Config.describe cfg));
+      print_stats m n;
+      (match d with
+      | Some (d : Dts_dif.Dif.t) ->
+        Printf.printf "DIF exit points:           %d\n" d.total_exits;
+        Printf.printf "DIF cache bytes built:     %d\n" d.cache_bytes
+      | None -> ());
+      if show_blocks > 0 then dump_blocks m show_blocks)
+    results
+
+let run workloads file scale budget jobs feasible dif width height vcache_kb
+    vcache_assoc no_renaming store_list predict_next multicycle show_blocks
+    trace_file trace_limit stats_json =
+  let cfg =
+    build_config ~feasible ~width ~height ~vcache_kb ~vcache_assoc ~no_renaming
+      ~store_list ~predict_next ~multicycle
+  in
+  match (workloads, file) with
+  | ([] | [ _ ]), _ ->
+    let workload = match workloads with [ w ] -> Some w | _ -> None in
+    run_single ~workload ~file ~scale ~budget ~dif ~cfg ~show_blocks
+      ~trace_file ~trace_limit ~stats_json
+  | _ :: _ :: _, Some _ ->
+    prerr_endline "specify exactly one of --workload NAME or a program file";
+    exit 1
+  | (_ :: _ :: _ as workloads), None ->
+    if trace_file <> None || stats_json <> None then begin
+      prerr_endline
+        "--trace/--stats-json write one file: combine them with a single \
+         --workload only";
+      exit 1
+    end;
+    run_many ~workloads ~scale ~budget
+      ~jobs:(Dts_parallel.Pool.resolve_jobs jobs)
+      ~dif ~cfg ~show_blocks
+
 let workload_arg =
   let names = String.concat ", " (List.map (fun (w : Dts_workloads.Workloads.t) -> w.name) Dts_workloads.Workloads.all) in
-  Arg.(value & opt (some string) None
-       & info [ "w"; "workload" ] ~doc:("Built-in workload: " ^ names))
+  Arg.(value & opt_all string []
+       & info [ "w"; "workload" ]
+           ~doc:
+             ("Built-in workload (repeatable; several run concurrently over \
+               --jobs domains): " ^ names))
 
 let file_arg =
   Arg.(value & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Program file (.s assembly or .c tinyc)")
 
 let scale_arg = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Workload scale")
 let budget_arg = Arg.(value & opt int 500_000 & info [ "budget" ] ~doc:"Instruction budget")
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains when several workloads are given (0 = one per host \
+           core). Reports are printed in the order the workloads were named, \
+           whatever the value.")
 let feasible_arg = Arg.(value & flag & info [ "feasible" ] ~doc:"Use the feasible machine of section 4.4")
 let dif_arg = Arg.(value & flag & info [ "dif" ] ~doc:"Simulate the DIF baseline instead")
 let width_arg = Arg.(value & opt (some int) None & info [ "width" ] ~doc:"Instructions per long instruction")
@@ -193,7 +266,7 @@ let cmd =
   Cmd.v
     (Cmd.info "dtsvliw_sim" ~doc)
     Term.(
-      const run $ workload_arg $ file_arg $ scale_arg $ budget_arg
+      const run $ workload_arg $ file_arg $ scale_arg $ budget_arg $ jobs_arg
       $ feasible_arg $ dif_arg $ width_arg $ height_arg $ vkb_arg $ vassoc_arg
       $ noren_arg $ storelist_arg $ predict_arg $ multicycle_arg $ blocks_arg
       $ trace_arg $ trace_limit_arg $ stats_json_arg)

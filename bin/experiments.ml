@@ -3,24 +3,34 @@
    Usage:
      experiments all --budget 150000 --scale 1
      experiments fig5
-     experiments table3 fig9 *)
+     experiments table3 fig9 --jobs 4
+
+   --jobs fans each figure's simulations out over that many domains; the
+   rendered output is bit-identical to a sequential run. *)
 
 open Cmdliner
 
-let run_experiments names scale budget =
+let run_experiments names scale budget jobs =
   let names = if names = [] then [ "all" ] else names in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name Dts_experiments.Experiments.by_name with
-      | Some f ->
-        print_string ((f ~scale ~budget ()).Dts_experiments.Experiments.render ());
-        print_newline ()
-      | None ->
-        Printf.eprintf "unknown experiment %s; available: %s\n" name
-          (String.concat ", "
-             (List.map fst Dts_experiments.Experiments.by_name));
-        exit 1)
-    names
+  let render pool =
+    List.iter
+      (fun name ->
+        match List.assoc_opt name Dts_experiments.Experiments.by_name with
+        | Some f ->
+          print_string
+            ((f ?pool ~scale ~budget ()).Dts_experiments.Experiments.render ());
+          print_newline ()
+        | None ->
+          Printf.eprintf "unknown experiment %s; available: %s\n" name
+            (String.concat ", "
+               (List.map fst Dts_experiments.Experiments.by_name));
+          exit 1)
+      names
+  in
+  let jobs = Dts_parallel.Pool.resolve_jobs jobs in
+  if jobs > 1 then
+    Dts_parallel.Pool.with_pool ~jobs (fun pool -> render (Some pool))
+  else render None
 
 let names_arg =
   let doc =
@@ -37,10 +47,18 @@ let budget_arg =
   let doc = "Sequential-instruction budget per run (test-machine count)." in
   Arg.(value & opt int 150_000 & info [ "budget" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for each figure's simulations (default 1 = sequential; \
+     0 = one per host core). The rendered output is bit-identical for any \
+     value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
+
 let cmd =
   let doc = "regenerate the DTSVLIW paper's tables and figures" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const run_experiments $ names_arg $ scale_arg $ budget_arg)
+    Term.(const run_experiments $ names_arg $ scale_arg $ budget_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

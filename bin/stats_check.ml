@@ -1,35 +1,49 @@
-(* CI validator for the --stats-json document.
+(* CI validator for the simulator's machine-readable JSON surfaces.
 
-   Reads a stats JSON file produced by `dtsvliw_sim --stats-json`, checks
-   that it parses, that the required sections and keys are present, and
-   that the cycle-attribution invariant holds: the attribution categories
-   sum to the machine cycle count (and the VLIW-side categories to the
-   VLIW cycle count). Exits non-zero with a diagnostic on any failure —
-   wired into `dune runtest` as a smoke test of the observability path. *)
+   Default mode reads a stats JSON file produced by `dtsvliw_sim
+   --stats-json`, checks that it parses, that the required sections and
+   keys are present, and that the cycle-attribution invariant holds: the
+   attribution categories sum to the machine cycle count (and the
+   VLIW-side categories to the VLIW cycle count).
+
+   `--bench` mode validates a BENCH_RESULTS.json baseline instead
+   (schema v3): top-level budget/jobs/host_cores, one entry per figure
+   with both wall clocks (parallel wall and the sequential pass), and
+   per-figure consistency (positive walls, attributed = cycles).
+
+   Exits non-zero with a diagnostic on any failure — wired into
+   `dune runtest` as a smoke test of the observability path. *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("stats_check: " ^ s); exit 1) fmt
 
-let () =
-  let path =
-    match Sys.argv with
-    | [| _; path |] -> path
-    | _ -> fail "usage: stats_check STATS.json"
-  in
-  let doc =
-    let text = In_channel.with_open_text path In_channel.input_all in
-    try Dts_obs.Json.of_string text
-    with Dts_obs.Json.Parse_error msg -> fail "%s does not parse: %s" path msg
-  in
-  let get obj key =
-    match Dts_obs.Json.member key obj with
-    | Some v -> v
-    | None -> fail "%s: missing key %S" path key
-  in
-  let int_of obj key =
-    match Dts_obs.Json.to_int (get obj key) with
-    | Some n -> n
-    | None -> fail "%s: key %S is not an integer" path key
-  in
+let parse path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  try Dts_obs.Json.of_string text
+  with Dts_obs.Json.Parse_error msg -> fail "%s does not parse: %s" path msg
+
+let get ~path obj key =
+  match Dts_obs.Json.member key obj with
+  | Some v -> v
+  | None -> fail "%s: missing key %S" path key
+
+let int_of ~path obj key =
+  match Dts_obs.Json.to_int (get ~path obj key) with
+  | Some n -> n
+  | None -> fail "%s: key %S is not an integer" path key
+
+let float_of ~path obj key =
+  match Dts_obs.Json.to_float (get ~path obj key) with
+  | Some f -> f
+  | None -> fail "%s: key %S is not a number" path key
+
+let str_of ~path obj key =
+  match Dts_obs.Json.to_str (get ~path obj key) with
+  | Some s -> s
+  | None -> fail "%s: key %S is not a string" path key
+
+let check_stats path =
+  let doc = parse path in
+  let get = get ~path and int_of = int_of ~path in
   let schema = int_of doc "schema_version" in
   if schema <> Dts_obs.Stats.schema_version then
     fail "schema_version %d, expected %d" schema Dts_obs.Stats.schema_version;
@@ -56,3 +70,60 @@ let () =
     fail "VLIW attribution sums to %d but vliw_cycles = %d" attributed_vliw
       vliw_cycles;
   Printf.printf "stats_check: %s ok (%d cycles fully attributed)\n" path cycles
+
+let bench_schema_version = 3
+
+let check_bench path =
+  let doc = parse path in
+  let get = get ~path
+  and int_of = int_of ~path
+  and float_of = float_of ~path
+  and str_of = str_of ~path in
+  let schema = int_of doc "schema_version" in
+  if schema <> bench_schema_version then
+    fail "schema_version %d, expected %d" schema bench_schema_version;
+  ignore (str_of doc "generated_at");
+  ignore (str_of doc "git_rev");
+  if int_of doc "budget" <= 0 then fail "budget must be positive";
+  let jobs = int_of doc "jobs" in
+  if jobs < 1 then fail "jobs must be >= 1 (got %d)" jobs;
+  if int_of doc "host_cores" < 1 then fail "host_cores must be >= 1";
+  let figures =
+    match get doc "figures" with
+    | Dts_obs.Json.List l -> l
+    | _ -> fail "%s: \"figures\" is not an array" path
+  in
+  if figures = [] then fail "no figures recorded";
+  let check_figure fig =
+    let name = str_of fig "name" in
+    let wall = float_of fig "wall_s" in
+    let seq_wall = float_of fig "seq_wall_s" in
+    if wall < 0. || seq_wall < 0. then
+      fail "figure %s: negative wall clock" name;
+    ignore (float_of fig "instr_per_sec");
+    ignore (float_of fig "mean_ipc");
+    let runs = int_of fig "runs" in
+    let instructions = int_of fig "instructions" in
+    if runs > 0 && instructions <= 0 then
+      fail "figure %s: %d runs but %d instructions" name runs instructions;
+    let cycles = int_of fig "cycles" in
+    let attributed = int_of fig "attributed_cycles" in
+    if attributed <> cycles then
+      fail "figure %s: attributed %d but cycles %d" name attributed cycles;
+    name
+  in
+  let names = List.map check_figure figures in
+  let total = get doc "total" in
+  ignore (float_of total "wall_s");
+  ignore (float_of total "seq_wall_s");
+  ignore (int_of total "instructions");
+  ignore (float_of total "instr_per_sec");
+  Printf.printf "stats_check: %s ok (bench schema v%d, %d figures: %s)\n" path
+    bench_schema_version (List.length names)
+    (String.concat " " names)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> check_stats path
+  | [| _; "--bench"; path |] -> check_bench path
+  | _ -> fail "usage: stats_check [--bench] FILE.json"

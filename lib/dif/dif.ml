@@ -178,9 +178,8 @@ let insert t (r : Dts_primary.Primary.retired) =
     t.first_addr <- Some r.addr;
     t.entry_cwp <- r.cwp
   end;
-  let arch_reads, arch_writes =
-    Dts_isa.Rwsets.of_instr ~nwindows:cfg.nwindows ~cwp:r.cwp ?mem:r.mem r.instr
-  in
+  (* read/write sets decoded once by the Primary at retirement *)
+  let arch_reads, arch_writes = r.rwsets in
   (* instance exhaustion ends the block (2 extra specifier bits in [9]) *)
   if
     List.exists

@@ -40,12 +40,15 @@ let budget_default = 150_000
 
 (* Cumulative sequential instructions simulated by every run this process
    performed — the denominator data for the bench harness's simulated
-   instructions/sec. Monotone; callers read deltas around a figure. *)
-let sim_ctr = ref 0
-let simulated_instructions () = !sim_ctr
+   instructions/sec. Monotone; callers read deltas around a figure. Atomic
+   because runs may retire on pool worker domains; addition commutes, so
+   the delta observed after a figure completes is independent of the
+   execution order of its runs. *)
+let sim_ctr = Atomic.make 0
+let simulated_instructions () = Atomic.get sim_ctr
 
 let collect (m : Dts_core.Machine.t) workload instructions =
-  sim_ctr := !sim_ctr + instructions;
+  ignore (Atomic.fetch_and_add sim_ctr instructions);
   let s = Dts_core.Machine.stats m in
   {
     workload;
@@ -99,6 +102,39 @@ let run_dif ?(scale = 1) ?(budget = budget_default) ?dif_cfg ?tracer machine_cfg
 let workload_names = List.map (fun w -> w.Dts_workloads.Workloads.name) Dts_workloads.Workloads.all
 
 let avg xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Run descriptors                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every figure flattens the simulations it needs into a list of these
+   descriptors and evaluates them through [run_jobs]; with a pool the runs
+   fan out over its domains. Results come back in submission order either
+   way, so a figure's rendering is bit-identical with and without a pool. *)
+type job =
+  | J_dtsvliw of Dts_core.Config.t * string
+  | J_dif of Dts_core.Config.t * string
+
+let run_job ?scale ?budget = function
+  | J_dtsvliw (cfg, name) -> run_dtsvliw ?scale ?budget cfg name
+  | J_dif (cfg, name) -> fst (run_dif ?scale ?budget cfg name)
+
+let run_jobs ?pool ?scale ?budget jobs =
+  match pool with
+  | None -> List.map (run_job ?scale ?budget) jobs
+  | Some p -> Dts_parallel.Pool.map p (run_job ?scale ?budget) jobs
+
+(* Split into consecutive [n]-sized chunks — the inverse of the flattening
+   each figure performs before [run_jobs]. *)
+let chunk n xs =
+  if n <= 0 then invalid_arg "Experiments.chunk";
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: tl ->
+      if k = n then go (List.rev cur :: acc) [ x ] 1 tl
+      else go acc (x :: cur) (k + 1) tl
+  in
+  go [] [] 0 xs
 
 (* ------------------------------------------------------------------ *)
 (* Figure constructors                                                  *)
@@ -167,19 +203,22 @@ let fig5_geometries =
 let fig5a_geometries =
   [ (96, 1); (384, 1); (96, 2); (384, 2); (96, 4); (384, 4); (96, 8); (384, 8) ]
 
-let geometry_sweep ~name ~title ~geometries ?scale ?budget () =
-  let per_geometry =
-    List.map
+let geometry_sweep ~name ~title ~geometries ?pool ?scale ?budget () =
+  let jobs =
+    List.concat_map
       (fun (w, h) ->
-        let label = Printf.sprintf "%dx%d" w h in
-        let runs =
-          List.map
-            (fun nm ->
-              run_dtsvliw ?scale ?budget (Dts_core.Config.ideal ~width:w ~height:h ()) nm)
-            workload_names
-        in
-        (label, runs))
+        List.map
+          (fun nm ->
+            J_dtsvliw (Dts_core.Config.ideal ~width:w ~height:h (), nm))
+          workload_names)
       geometries
+  in
+  let per_geometry =
+    List.map2
+      (fun (w, h) runs -> (Printf.sprintf "%dx%d" w h, runs))
+      geometries
+      (chunk (List.length workload_names)
+         (run_jobs ?pool ?scale ?budget jobs))
   in
   let lines =
     List.map
@@ -193,19 +232,19 @@ let geometry_sweep ~name ~title ~geometries ?scale ?budget () =
     ~runs:(List.concat_map snd per_geometry)
     lines
 
-let fig5a ?scale ?budget () =
+let fig5a ?pool ?scale ?budget () =
   geometry_sweep ~name:"fig5a"
     ~title:
       "Figure 5a: IPC for very wide blocks (instructions/li x li/block); \
        perfect caches, 3072KB VLIW$"
-    ~geometries:fig5a_geometries ?scale ?budget ()
+    ~geometries:fig5a_geometries ?pool ?scale ?budget ()
 
-let fig5 ?scale ?budget () =
+let fig5 ?pool ?scale ?budget () =
   geometry_sweep ~name:"fig5"
     ~title:
       "Figure 5b: IPC vs block geometry (instructions/li x li/block); \
        perfect caches, 3072KB VLIW$, no next-li penalty"
-    ~geometries:fig5_geometries ?scale ?budget ()
+    ~geometries:fig5_geometries ?pool ?scale ?budget ()
 
 (* ------------------------------------------------------------------ *)
 (* Shared shape: one series per configuration over all workloads        *)
@@ -214,12 +253,18 @@ let fig5 ?scale ?budget () =
 (** Run every workload on each labelled configuration and render one IPC
     series per configuration (the shape of Figures 6/7, the ablation and
     the extensions tables). *)
-let config_sweep ~name ~title ?scale ?budget labelled_cfgs =
-  let per_cfg =
-    List.map
-      (fun (label, cfg) ->
-        (label, List.map (fun nm -> run_dtsvliw ?scale ?budget cfg nm) workload_names))
+let config_sweep ~name ~title ?pool ?scale ?budget labelled_cfgs =
+  let jobs =
+    List.concat_map
+      (fun (_, cfg) -> List.map (fun nm -> J_dtsvliw (cfg, nm)) workload_names)
       labelled_cfgs
+  in
+  let per_cfg =
+    List.map2
+      (fun (label, _) runs -> (label, runs))
+      labelled_cfgs
+      (chunk (List.length workload_names)
+         (run_jobs ?pool ?scale ?budget jobs))
   in
   let lines =
     List.map
@@ -239,9 +284,9 @@ let config_sweep ~name ~title ?scale ?budget labelled_cfgs =
 
 let fig6_sizes_kb = [ 48; 96; 192; 384; 768; 1536; 3072 ]
 
-let fig6 ?scale ?budget () =
+let fig6 ?pool ?scale ?budget () =
   config_sweep ~name:"fig6"
-    ~title:"Figure 6: IPC vs VLIW Cache size (8x8 blocks, 4-way)" ?scale
+    ~title:"Figure 6: IPC vs VLIW Cache size (8x8 blocks, 4-way)" ?pool ?scale
     ?budget
     (List.map
        (fun kb ->
@@ -253,10 +298,10 @@ let fig6 ?scale ?budget () =
 (* Figure 7: VLIW Cache associativity (96KB and 384KB, 8x8)             *)
 (* ------------------------------------------------------------------ *)
 
-let fig7 ?scale ?budget () =
+let fig7 ?pool ?scale ?budget () =
   config_sweep ~name:"fig7"
-    ~title:"Figure 7: IPC vs VLIW Cache associativity (8x8 blocks)" ?scale
-    ?budget
+    ~title:"Figure 7: IPC vs VLIW Cache associativity (8x8 blocks)" ?pool
+    ?scale ?budget
     (List.concat_map
        (fun kb ->
          List.map
@@ -299,16 +344,18 @@ let fig8_chain () =
     ("feasible (+next-li)", feasible);
   ]
 
-let fig8 ?scale ?budget () =
+let fig8 ?pool ?scale ?budget () =
   let chain = fig8_chain () in
-  let per_wl =
-    List.map
-      (fun name ->
-        let runs =
-          List.map (fun (_, cfg) -> run_dtsvliw ?scale ?budget cfg name) chain
-        in
-        (name, runs))
+  let jobs =
+    List.concat_map
+      (fun name -> List.map (fun (_, cfg) -> J_dtsvliw (cfg, name)) chain)
       workload_names
+  in
+  let per_wl =
+    List.map2
+      (fun name runs -> (name, runs))
+      workload_names
+      (chunk (List.length chain) (run_jobs ?pool ?scale ?budget jobs))
   in
   let headers =
     [ "benchmark"; "ILP"; "NextLI cost"; "D$ cost"; "I$ cost"; "FU cost"; "ideal" ]
@@ -342,9 +389,11 @@ let fig8 ?scale ?budget () =
 (* Table 3: performance and resources of the feasible machine           *)
 (* ------------------------------------------------------------------ *)
 
-let table3 ?scale ?budget () =
+let table3 ?pool ?scale ?budget () =
+  let feasible = Dts_core.Config.feasible () in
   let runs =
-    List.map (fun name -> run_dtsvliw ?scale ?budget (Dts_core.Config.feasible ()) name) workload_names
+    run_jobs ?pool ?scale ?budget
+      (List.map (fun name -> J_dtsvliw (feasible, name)) workload_names)
   in
   let headers =
     [
@@ -393,19 +442,23 @@ let fig9_dtsvliw_cfg () =
   in
   { base with sched = { base.sched with slot_classes = Some classes } }
 
-let fig9 ?scale ?budget () =
-  let dts_runs =
-    List.map
-      (fun name -> run_dtsvliw ?scale ?budget (fig9_dtsvliw_cfg ()) name)
-      workload_names
+let fig9 ?pool ?scale ?budget () =
+  let dts_cfg = fig9_dtsvliw_cfg () in
+  let dif_cfg = Dts_dif.Dif.fig9_machine_cfg () in
+  let nw = List.length workload_names in
+  (* one flat batch: the DTSVLIW side, the DIF side, and the resources run *)
+  let jobs =
+    List.map (fun name -> J_dtsvliw (dts_cfg, name)) workload_names
+    @ List.map (fun name -> J_dif (dif_cfg, name)) workload_names
+    @ [ J_dtsvliw (dts_cfg, "compress") ]
+  in
+  let dts_runs, dif_runs, resources_run =
+    match chunk nw (run_jobs ?pool ?scale ?budget jobs) with
+    | [ a; b; [ r ] ] -> (a, b, r)
+    | _ -> assert false
   in
   let dts = List.map (fun r -> r.ipc) dts_runs in
-  let dif_runs =
-    List.map
-      (fun name -> run_dif ?scale ?budget (Dts_dif.Dif.fig9_machine_cfg ()) name)
-      workload_names
-  in
-  let dif = List.map (fun (r, _) -> r.ipc) dif_runs in
+  let dif = List.map (fun r -> r.ipc) dif_runs in
   let rows =
     List.map2
       (fun name (a, b) ->
@@ -420,9 +473,6 @@ let fig9 ?scale ?budget () =
         ];
       ]
   in
-  let resources_run =
-    run_dtsvliw ?scale ?budget (fig9_dtsvliw_cfg ()) "compress"
-  in
   let resources =
     let dts_rr = resources_run.rr_max in
     Printf.sprintf
@@ -434,7 +484,7 @@ let fig9 ?scale ?budget () =
     ~title:"Figure 9: DTSVLIW vs DIF (6x6 blocks, 4KB I/D caches, 512x2-block code cache)"
     ~headers:[ "benchmark"; "DTSVLIW"; "DIF" ]
     ~extra:resources
-    ~runs:(dts_runs @ List.map fst dif_runs @ [ resources_run ])
+    ~runs:(dts_runs @ dif_runs @ [ resources_run ])
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -454,11 +504,11 @@ let ablations =
       fun c -> { c with sched = { c.sched with strict_control_insert = true } } );
   ]
 
-let ablation ?scale ?budget () =
+let ablation ?pool ?scale ?budget () =
   let base = Dts_core.Config.ideal () in
   config_sweep ~name:"ablation"
-    ~title:"Ablation: scheduler design choices (ideal 8x8 machine)" ?scale
-    ?budget
+    ~title:"Ablation: scheduler design choices (ideal 8x8 machine)" ?pool
+    ?scale ?budget
     (List.map (fun (label, f) -> (label, f base)) ablations)
 
 (* ------------------------------------------------------------------ *)
@@ -468,13 +518,13 @@ let ablation ?scale ?budget () =
 (** Next-long-instruction prediction (§5), the data-store-list exception
     scheme (§3.11's "has not been used" alternative), and multicycle
     functional units ([14]) — each against the feasible machine. *)
-let extensions ?scale ?budget () =
+let extensions ?pool ?scale ?budget () =
   let feasible = Dts_core.Config.feasible () in
   config_sweep ~name:"extensions"
     ~title:
       "Extensions (beyond the paper): next-li prediction (sec. 5), data store \
        list (sec. 3.11), multicycle units ([14])"
-    ?scale ?budget
+    ?pool ?scale ?budget
     [
       ("feasible baseline", feasible);
       ("+ next-li prediction", { feasible with next_li_prediction = true });
@@ -501,11 +551,11 @@ let extensions ?scale ?budget () =
     attributed to one category (see {!Dts_obs.Attribution}), per workload,
     as a fraction of total cycles. The [TOTAL] row is the invariant check:
     attributed cycles / machine cycles, always 100.0%. *)
-let breakdown ?scale ?budget () =
+let breakdown ?pool ?scale ?budget () =
+  let feasible = Dts_core.Config.feasible () in
   let runs =
-    List.map
-      (fun name -> run_dtsvliw ?scale ?budget (Dts_core.Config.feasible ()) name)
-      workload_names
+    run_jobs ?pool ?scale ?budget
+      (List.map (fun name -> J_dtsvliw (feasible, name)) workload_names)
   in
   let fraction_of r cat =
     float_of_int (Dts_obs.Attribution.sum_of r.stats.Dts_obs.Stats.attribution [ cat ])
@@ -540,23 +590,23 @@ let breakdown ?scale ?budget () =
 
 (* ------------------------------------------------------------------ *)
 
-let all_figures ?scale ?budget () =
+let all_figures ?pool ?scale ?budget () =
   [
     table1 ();
     table2 ();
-    fig5a ?scale ?budget ();
-    fig5 ?scale ?budget ();
-    fig6 ?scale ?budget ();
-    fig7 ?scale ?budget ();
-    fig8 ?scale ?budget ();
-    table3 ?scale ?budget ();
-    fig9 ?scale ?budget ();
-    ablation ?scale ?budget ();
-    extensions ?scale ?budget ();
+    fig5a ?pool ?scale ?budget ();
+    fig5 ?pool ?scale ?budget ();
+    fig6 ?pool ?scale ?budget ();
+    fig7 ?pool ?scale ?budget ();
+    fig8 ?pool ?scale ?budget ();
+    table3 ?pool ?scale ?budget ();
+    fig9 ?pool ?scale ?budget ();
+    ablation ?pool ?scale ?budget ();
+    extensions ?pool ?scale ?budget ();
   ]
 
-let all ?scale ?budget () =
-  let figs = all_figures ?scale ?budget () in
+let all ?pool ?scale ?budget () =
+  let figs = all_figures ?pool ?scale ?budget () in
   let rendered = List.map (fun f -> f.render ()) figs in
   {
     name = "all";
@@ -567,8 +617,12 @@ let all ?scale ?budget () =
 
 let by_name =
   [
-    ("table1", fun ?scale ?budget () -> ignore scale; ignore budget; table1 ());
-    ("table2", fun ?scale ?budget () -> ignore scale; ignore budget; table2 ());
+    ( "table1",
+      fun ?pool ?scale ?budget () ->
+        ignore pool; ignore scale; ignore budget; table1 () );
+    ( "table2",
+      fun ?pool ?scale ?budget () ->
+        ignore pool; ignore scale; ignore budget; table2 () );
     ("fig5a", fig5a);
     ("fig5", fig5);
     ("fig6", fig6);

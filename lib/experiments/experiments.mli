@@ -10,7 +10,13 @@
     Entry points return a structured {!figure}: the raw {!run} records, the
     table cells, and a [render] closure producing the exact ready-to-print
     text (no re-simulation). Consumers read data instead of parsing
-    strings. *)
+    strings.
+
+    Every figure generator accepts [?pool]: a {!Dts_parallel.Pool.t} fans
+    the figure's independent simulations out over the pool's domains.
+    Results are reassembled in submission order, so the returned figure —
+    rows, tables and rendering — is bit-identical with and without a
+    pool. *)
 
 (** Everything measured in one simulation run. *)
 type run = {
@@ -35,7 +41,7 @@ type run = {
     text rendering. *)
 type figure = {
   name : string;  (** the registry key, e.g. ["fig6"] *)
-  rows : run list;  (** every simulation performed, in execution order *)
+  rows : run list;  (** every simulation performed, in submission order *)
   tables : (string * string list list) list;
       (** (title, header row :: data rows) for each rendered table *)
   render : unit -> string;
@@ -76,26 +82,50 @@ val fig9_dtsvliw_cfg : unit -> Dts_core.Config.t
 
 val table1 : unit -> figure
 val table2 : unit -> figure
-val fig5a : ?scale:int -> ?budget:int -> unit -> figure
-val fig5 : ?scale:int -> ?budget:int -> unit -> figure
-val fig6 : ?scale:int -> ?budget:int -> unit -> figure
-val fig7 : ?scale:int -> ?budget:int -> unit -> figure
-val fig8 : ?scale:int -> ?budget:int -> unit -> figure
-val table3 : ?scale:int -> ?budget:int -> unit -> figure
-val fig9 : ?scale:int -> ?budget:int -> unit -> figure
-val ablation : ?scale:int -> ?budget:int -> unit -> figure
-val extensions : ?scale:int -> ?budget:int -> unit -> figure
 
-val breakdown : ?scale:int -> ?budget:int -> unit -> figure
+val fig5a :
+  ?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure
+
+val fig5 :
+  ?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure
+
+val fig6 :
+  ?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure
+
+val fig7 :
+  ?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure
+
+val fig8 :
+  ?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure
+
+val table3 :
+  ?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure
+
+val fig9 :
+  ?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure
+
+val ablation :
+  ?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure
+
+val extensions :
+  ?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure
+
+val breakdown :
+  ?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure
 (** Cycle-attribution breakdown of the feasible machine: one row per
     {!Dts_obs.Attribution.category}, one column per workload, cells as
     percentages of total machine cycles; the TOTAL row is the sum of all
     categories over machine cycles (the invariant: always 100.0%). Not part
     of {!all} (it is an observability artefact, not a paper figure). *)
 
-val all : ?scale:int -> ?budget:int -> unit -> figure
+val all :
+  ?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure
 (** Every paper table/figure plus ablations and extensions, concatenated;
-    [rows]/[tables] are the concatenation of the sub-figures'. *)
+    [rows]/[tables] are the concatenation of the sub-figures'. Figures run
+    one after another; within each, the runs fan out over [?pool]. *)
 
-val by_name : (string * (?scale:int -> ?budget:int -> unit -> figure)) list
+val by_name :
+  (string
+  * (?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure))
+  list
 (** Name → generator registry used by [bin/experiments] and the bench. *)

@@ -22,7 +22,7 @@ let step t =
   let st = t.st in
   if st.halted then raise Program_halted;
   let pc = st.pc in
-  let instr = Dts_isa.Encode.fetch st.mem ~addr:pc in
+  let instr = Dts_isa.Predecode.fetch st.predecode ~addr:pc in
   if instr = Dts_isa.Instr.Halt then begin
     st.halted <- true;
     st.instret <- st.instret + 1;

@@ -1,0 +1,105 @@
+(** The pre-decoded instruction store.
+
+    {!Encode.fetch} performs a full 32-bit word decode — field extraction,
+    subfield validation, constructor allocation — and the Primary Processor
+    and the golden test machine both call it on {e every} cycle, almost
+    always at an address whose word has not changed since the last visit.
+    This module memoizes the decode per code address: the first fetch of an
+    address decodes and records the instruction; subsequent fetches return
+    the recorded [Instr.t] without touching memory.
+
+    Correctness under self-modifying code: the store registers a
+    {!Dts_mem.Memory.add_write_hook} observer at creation, and any memory
+    write overlapping a cached word invalidates exactly that word's entry
+    (an aligned 1/2/4-byte write never spans a word, so the word containing
+    the written byte is the only one affected). The next fetch of that
+    address re-reads memory and re-decodes. Writes to never-fetched
+    addresses (ordinary data stores) cost one hash probe of a table that
+    only contains code pages, and no invalidation.
+
+    Decoded entries are held in per-page arrays (1024 instruction slots per
+    4 KiB page) with a one-page lookaside, so the hot path — refetching the
+    instruction the PC pointed at a moment ago — is an integer compare, an
+    array load and a tag check. *)
+
+let page_bits = 12
+let page_size = 1 lsl (page_bits - 2) (* instruction slots per page *)
+let page_mask = (1 lsl page_bits) - 1
+
+type t = {
+  mem : Dts_mem.Memory.t;
+  pages : (int, Instr.t option array) Hashtbl.t;  (** page index -> slots *)
+  mutable last_idx : int;  (** page index of [last_page]; -1 = none *)
+  mutable last_page : Instr.t option array;
+  mutable decodes : int;  (** fetches that had to decode *)
+  mutable hits : int;  (** fetches served from the store *)
+  mutable invalidations : int;  (** entries dropped by overlapping writes *)
+}
+
+let no_page : Instr.t option array = [||]
+
+let invalidate t addr =
+  let word = addr land lnot 3 in
+  match Hashtbl.find_opt t.pages (word lsr page_bits) with
+  | None -> ()
+  | Some slots ->
+    let slot = (word land page_mask) lsr 2 in
+    if slots.(slot) <> None then begin
+      slots.(slot) <- None;
+      t.invalidations <- t.invalidations + 1
+    end
+
+let create mem =
+  let t =
+    {
+      mem;
+      pages = Hashtbl.create 16;
+      last_idx = -1;
+      last_page = no_page;
+      decodes = 0;
+      hits = 0;
+      invalidations = 0;
+    }
+  in
+  Dts_mem.Memory.add_write_hook mem (invalidate t);
+  t
+
+let page_for t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some p -> p
+  | None ->
+    let p = Array.make page_size None in
+    Hashtbl.replace t.pages idx p;
+    p
+
+(** Fetch and decode the instruction at [addr], reusing a previous decode of
+    the same (unmodified) word when one exists. Misaligned addresses are
+    never cached — they fall through to {!Encode.fetch}, which raises. *)
+let fetch t ~addr =
+  if addr land 3 <> 0 then Encode.fetch t.mem ~addr
+  else begin
+    let idx = addr lsr page_bits in
+    let page =
+      if idx = t.last_idx then t.last_page
+      else begin
+        let p = page_for t idx in
+        t.last_idx <- idx;
+        t.last_page <- p;
+        p
+      end
+    in
+    let slot = (addr land page_mask) lsr 2 in
+    match Array.unsafe_get page slot with
+    | Some instr ->
+      t.hits <- t.hits + 1;
+      instr
+    | None ->
+      let instr = Encode.fetch t.mem ~addr in
+      page.(slot) <- Some instr;
+      t.decodes <- t.decodes + 1;
+      instr
+  end
+
+let hits t = t.hits
+let decodes t = t.decodes
+let invalidations t = t.invalidations

@@ -18,6 +18,9 @@ type t = {
   mutable wdepth : int;  (** windows currently in use (0 after reset) *)
   mutable wspill_sp : int;  (** top of the window spill stack *)
   mem : Dts_mem.Memory.t;
+  predecode : Predecode.t;
+      (** per-state pre-decoded instruction store over [mem]; fetch through
+          it ({!Predecode.fetch}) instead of {!Encode.fetch} on hot paths *)
   nwindows : int;
   mutable instret : int;  (** retired instruction count *)
   mutable halted : bool;
@@ -38,6 +41,7 @@ let create ?(nwindows = 32) ?mem () =
     wdepth = 0;
     wspill_sp = Layout.wspill_base;
     mem;
+    predecode = Predecode.create mem;
     nwindows;
     instret = 0;
     halted = false;
@@ -82,11 +86,15 @@ let make_icc ~n ~z ~v ~c =
   lor if c then 1 else 0
 
 let copy st =
+  let mem = Dts_mem.Memory.copy st.mem in
   {
     st with
     iregs = Array.copy st.iregs;
     fregs = Array.copy st.fregs;
-    mem = Dts_mem.Memory.copy st.mem;
+    mem;
+    (* a fresh store hooked to the fresh memory: decodes must not be shared
+       with (or invalidated by) the original *)
+    predecode = Predecode.create mem;
   }
 
 (** Register-and-flags equality (the cheap per-block test-mode check). *)

@@ -5,16 +5,33 @@ let page_size = 1 lsl page_bits
 let page_mask = page_size - 1
 let addr_mask = 0xFFFFFFFF
 
-type t = { pages : (int, Bytes.t) Hashtbl.t }
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable write_hooks : (int -> unit) list;
+      (** notified with the byte address of every mutation performed through
+          {!write} / {!load_bytes}; a naturally aligned write never spans a
+          32-bit word, so one callback per write suffices for word-granular
+          consumers (the pre-decoded instruction store) *)
+}
 
 exception Misaligned of int
 
-let create () = { pages = Hashtbl.create 64 }
+let create () = { pages = Hashtbl.create 64; write_hooks = [] }
 
 let copy m =
   let pages = Hashtbl.create (Hashtbl.length m.pages) in
   Hashtbl.iter (fun k v -> Hashtbl.replace pages k (Bytes.copy v)) m.pages;
-  { pages }
+  (* hooks are observers of the *original* memory; the copy starts clean and
+     its own consumers re-register *)
+  { pages; write_hooks = [] }
+
+let add_write_hook m f = m.write_hooks <- f :: m.write_hooks
+
+let notify_write m addr =
+  match m.write_hooks with
+  | [] -> ()
+  | [ f ] -> f addr
+  | fs -> List.iter (fun f -> f addr) fs
 
 let zero_page = Bytes.make page_size '\000'
 
@@ -68,7 +85,7 @@ let read m ~addr ~size ~signed =
 
 let write m ~addr ~size v =
   check_aligned addr size;
-  match size with
+  (match size with
   | 1 -> set_u8 m addr v
   | 2 ->
     set_u8 m addr (v lsr 8);
@@ -78,7 +95,8 @@ let write m ~addr ~size v =
     set_u8 m (addr + 1) (v lsr 16);
     set_u8 m (addr + 2) (v lsr 8);
     set_u8 m (addr + 3) v
-  | _ -> invalid_arg "Memory.write: size"
+  | _ -> invalid_arg "Memory.write: size");
+  notify_write m addr
 
 let read_u32 m addr =
   check_aligned addr 4;
@@ -90,7 +108,17 @@ let read_u32 m addr =
 let write_u32 m addr v = write m ~addr ~size:4 v
 
 let load_bytes m ~addr s =
-  String.iteri (fun i c -> set_u8 m (addr + i) (Char.code c)) s
+  String.iteri (fun i c -> set_u8 m (addr + i) (Char.code c)) s;
+  if m.write_hooks <> [] && String.length s > 0 then begin
+    (* one notification per touched 32-bit word *)
+    let first = addr land lnot 3 in
+    let last = (addr + String.length s - 1) land lnot 3 in
+    let w = ref first in
+    while !w <= last do
+      notify_write m !w;
+      w := !w + 4
+    done
+  end
 
 let page_indices m =
   Hashtbl.fold (fun k _ acc -> k :: acc) m.pages [] |> List.sort compare

@@ -35,6 +35,14 @@ val write_u32 : t -> int -> int -> unit
 val load_bytes : t -> addr:int -> string -> unit
 (** Bulk-copy a string image into memory starting at [addr]. *)
 
+val add_write_hook : t -> (int -> unit) -> unit
+(** Register an observer called with the byte address of every mutation made
+    through {!write} (once per write — an aligned access never spans a
+    32-bit word) or {!load_bytes} (once per touched word). Used by the
+    pre-decoded instruction store to invalidate stale decodes; hooks must
+    not write to the memory themselves. {!copy} does not carry hooks over —
+    consumers of the copy re-register. *)
+
 val equal : t -> t -> bool
 (** Content equality over all touched pages (zero pages are equal to
     untouched ones). *)

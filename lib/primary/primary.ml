@@ -40,6 +40,13 @@ type retired = {
   next_pc : int;
   taken : bool;  (** direction of a control transfer (§3.5, §3.8) *)
   mem : (int * int) option;  (** observed effective address and size *)
+  rwsets : Dts_isa.Storage.t list * Dts_isa.Storage.t list;
+      (** observed (reads, writes) from {!Dts_isa.Rwsets.of_instr}, computed
+          once at retirement with the executing state's window count, the
+          observed window pointer and the observed effective address — the
+          schedulers consume these instead of decoding the sets again.
+          [([], [])] for a memory instruction with no observed access (a
+          trapped occurrence; never handed to a scheduler). *)
   trapped : bool;  (** needed trap service — a non-schedulable occurrence *)
   cycles : int;  (** cycles this instruction consumed in the pipeline *)
   icache_stall : int;  (** of [cycles]: instruction-cache miss penalty *)
@@ -73,7 +80,7 @@ let step t : retired =
   let icache_stall = Dts_mem.Cache.access t.icache pc in
   let dcache_stall = ref 0 in
   cycles := !cycles + icache_stall;
-  let instr = Dts_isa.Encode.fetch st.mem ~addr:pc in
+  let instr = Dts_isa.Predecode.fetch st.predecode ~addr:pc in
   cycles := !cycles + Dts_isa.Instr.latency t.timing.latencies instr - 1;
   if instr = Dts_isa.Instr.Halt then begin
     st.halted <- true;
@@ -97,14 +104,19 @@ let step t : retired =
     | None, Some (a, s, _) -> Some (a, s)
     | None, None -> None
   in
+  (* the one rwsets decode of this retirement; reused by the hazard check
+     below and by whichever scheduler receives the record *)
+  let rwsets =
+    if observed_mem = None && Dts_isa.Instr.is_mem instr then ([], [])
+    else
+      Dts_isa.Rwsets.of_instr ~nwindows:st.nwindows ~cwp ?mem:observed_mem
+        instr
+  in
   (if
      t.last_load_writes <> []
      && (observed_mem <> None || not (Dts_isa.Instr.is_mem instr))
    then
-     let reads, _ =
-       Dts_isa.Rwsets.of_instr ~nwindows:st.nwindows ~cwp ?mem:observed_mem
-         instr
-     in
+     let reads = fst rwsets in
      if Dts_isa.Storage.any_overlap reads t.last_load_writes then
        cycles := !cycles + t.timing.load_use_bubble);
   (* data cache access *)
@@ -141,6 +153,7 @@ let step t : retired =
     next_pc = out.next_pc;
     taken = out.taken;
     mem = observed_mem;
+    rwsets;
     trapped;
     cycles = !cycles;
     icache_stall;

@@ -27,6 +27,13 @@ type retired = {
   next_pc : int;
   taken : bool;  (** recorded direction of a control transfer *)
   mem : (int * int) option;  (** observed effective address and size *)
+  rwsets : Dts_isa.Storage.t list * Dts_isa.Storage.t list;
+      (** observed (reads, writes) from {!Dts_isa.Rwsets.of_instr}, computed
+          once at retirement (with the executing state's window count, the
+          observed window pointer and the observed effective address); the
+          schedulers consume these instead of decoding the sets again.
+          [([], [])] for a memory instruction with no observed access (a
+          trapped occurrence — never handed to a scheduler). *)
   trapped : bool;  (** needed trap service — a non-schedulable occurrence *)
   cycles : int;  (** cycles this instruction consumed in the pipeline *)
   icache_stall : int;  (** of [cycles]: instruction-cache miss penalty *)

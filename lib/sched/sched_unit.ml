@@ -387,10 +387,9 @@ type prepped = {
 }
 
 let prep_sop t (r : Dts_primary.Primary.retired) =
-  let arch_reads, arch_writes =
-    Dts_isa.Rwsets.of_instr ~nwindows:t.cfg.nwindows ~cwp:r.cwp ?mem:r.mem
-      r.instr
-  in
+  (* the Primary decoded the sets once at retirement (same window count:
+     the machine boots the shared state with this scheduler's nwindows) *)
+  let arch_reads, arch_writes = r.rwsets in
   (* forward renamed sources: a read of a position whose value currently
      lives in a renaming register reads that register instead (Fig. 2's
      [subcc r32, ...]) *)

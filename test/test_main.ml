@@ -16,4 +16,6 @@ let () =
       ("report", Test_report.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("parallel", Test_parallel.suite);
+      ("predecode", Test_predecode.suite);
     ]

@@ -19,6 +19,7 @@ let ret ?(cwp = 0) ?(taken = false) ?(next = -1) ?mem ~addr instr =
     next_pc = (if next >= 0 then next else addr + 4);
     taken;
     mem;
+    rwsets = Dts_isa.Rwsets.of_instr ~nwindows:32 ~cwp ?mem instr;
     trapped = false;
     cycles = 1;
     icache_stall = 0;
