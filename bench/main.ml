@@ -52,6 +52,8 @@ type figure_result = {
   fr_mean_ipc : float;  (** mean IPC over those runs (0 if none) *)
   fr_cycles : int;  (** total machine cycles across the runs *)
   fr_attributed : int;  (** total attributed cycles (= fr_cycles invariant) *)
+  fr_minor_words : int;  (** minor-heap words allocated by the seq pass *)
+  fr_major_words : int;  (** major-heap words allocated by the seq pass *)
 }
 
 let results_path = "BENCH_RESULTS.json"
@@ -139,14 +141,16 @@ let write_results ~started figures =
     Printf.sprintf
       "    {\"name\": %S, \"wall_s\": %.6f, \"seq_wall_s\": %.6f, \
        \"instructions\": %d, \"instr_per_sec\": %.1f, \"runs\": %d, \
-       \"mean_ipc\": %.4f, \"cycles\": %d, \"attributed_cycles\": %d}"
+       \"mean_ipc\": %.4f, \"cycles\": %d, \"attributed_cycles\": %d, \
+       \"minor_words\": %d, \"major_words\": %d}"
       f.fr_name f.fr_wall_s f.fr_seq_wall_s f.fr_instructions
       (instr_per_sec f.fr_instructions f.fr_seq_wall_s)
-      f.fr_runs f.fr_mean_ipc f.fr_cycles f.fr_attributed
+      f.fr_runs f.fr_mean_ipc f.fr_cycles f.fr_attributed f.fr_minor_words
+      f.fr_major_words
   in
   Printf.fprintf oc
     "{\n\
-    \  \"schema_version\": 3,\n\
+    \  \"schema_version\": 4,\n\
     \  \"generated_at\": \"%s\",\n\
     \  \"git_rev\": \"%s\",\n\
     \  \"budget\": %d,\n\
@@ -190,9 +194,19 @@ let part1 () =
       (fun name ->
         let f = List.assoc name Dts_experiments.Experiments.by_name in
         let instr0 = Dts_experiments.Experiments.simulated_instructions () in
+        (* allocation accounting for the sequential pass: quick_stat deltas
+           make per-figure allocation regressions visible in the baseline *)
+        let gc0 = Gc.quick_stat () in
         let t0 = Unix.gettimeofday () in
         let fig = f ~scale:1 ~budget () in
         let seq_wall = Unix.gettimeofday () -. t0 in
+        let gc1 = Gc.quick_stat () in
+        let minor_words =
+          int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words)
+        in
+        let major_words =
+          int_of_float (gc1.Gc.major_words -. gc0.Gc.major_words)
+        in
         let instructions =
           Dts_experiments.Experiments.simulated_instructions () - instr0
         in
@@ -247,6 +261,8 @@ let part1 () =
           fr_mean_ipc = mean_ipc;
           fr_cycles = cycles;
           fr_attributed = attributed;
+          fr_minor_words = minor_words;
+          fr_major_words = major_words;
         })
       figure_names
   in

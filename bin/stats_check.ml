@@ -7,9 +7,11 @@
    VLIW-side categories to the VLIW cycle count).
 
    `--bench` mode validates a BENCH_RESULTS.json baseline instead
-   (schema v3): top-level budget/jobs/host_cores, one entry per figure
-   with both wall clocks (parallel wall and the sequential pass), and
-   per-figure consistency (positive walls, attributed = cycles).
+   (schema v4): top-level budget/jobs/host_cores, one entry per figure
+   with both wall clocks (parallel wall and the sequential pass) and the
+   sequential pass's allocation counts (minor/major heap words), and
+   per-figure consistency (positive walls, attributed = cycles,
+   non-negative allocation).
 
    Exits non-zero with a diagnostic on any failure — wired into
    `dune runtest` as a smoke test of the observability path. *)
@@ -52,7 +54,7 @@ let check_stats path =
   ignore (int_of doc "instructions");
   List.iter
     (fun section -> ignore (get doc section))
-    [ "attribution"; "machine"; "engine"; "caches"; "trace" ];
+    [ "attribution"; "machine"; "plan"; "engine"; "caches"; "trace" ];
   let attribution = get doc "attribution" in
   let attributed =
     List.fold_left
@@ -71,7 +73,7 @@ let check_stats path =
       vliw_cycles;
   Printf.printf "stats_check: %s ok (%d cycles fully attributed)\n" path cycles
 
-let bench_schema_version = 3
+let bench_schema_version = 4
 
 let check_bench path =
   let doc = parse path in
@@ -110,6 +112,12 @@ let check_bench path =
     let attributed = int_of fig "attributed_cycles" in
     if attributed <> cycles then
       fail "figure %s: attributed %d but cycles %d" name attributed cycles;
+    let minor_words = int_of fig "minor_words" in
+    let major_words = int_of fig "major_words" in
+    if minor_words < 0 || major_words < 0 then
+      fail "figure %s: negative allocation count" name;
+    if runs > 0 && minor_words = 0 then
+      fail "figure %s: %d runs but zero minor-heap allocation" name runs;
     name
   in
   let names = List.map check_figure figures in

@@ -35,6 +35,17 @@ type t = {
   vcache : block Dts_mem.Blockcache.t;
   icache : Dts_mem.Cache.t;
   dcache : Dts_mem.Cache.t;
+  compile : bool;
+      (** compile installed blocks into execution plans (default); [false]
+          interprets the scheduling structures directly — the differential
+          test baseline and debugging escape hatch *)
+  plan_cache : (int, Dts_vliw.Plan.t) Hashtbl.t;
+      (** block tag -> compiled plan; mirrors VLIW Cache residency (every
+          payload drop also drops the plan) *)
+  code_index : (int, int list ref) Hashtbl.t;
+      (** code word address -> tags of cached blocks scheduled from it;
+          consulted by the memory write hook so self-modifying code
+          invalidates stale blocks (and with them their plans) *)
   mutable mode : mode;
   mutable cycles : int;
   mutable vliw_cycles : int;
@@ -57,7 +68,67 @@ let default_scheduler cfg =
     s_finish = (fun ~nba_addr -> Dts_sched.Sched_unit.finish_block u ~nba_addr);
   }
 
-let create ?scheduler ?tracer cfg program =
+(* --- plan / code-index bookkeeping (install-time block compilation) --- *)
+
+(* Distinct code word addresses a block was scheduled from. *)
+let block_words (b : block) =
+  let seen = Hashtbl.create 32 in
+  Array.iter
+    (fun li ->
+      li_iter
+        (fun _ op _ ->
+          match op with
+          | Op s ->
+            let w = s.addr land lnot 3 in
+            if not (Hashtbl.mem seen w) then Hashtbl.replace seen w ()
+          | Copy _ -> ())
+        li)
+    b.lis;
+  Hashtbl.fold (fun w () acc -> w :: acc) seen []
+
+let register_block_words t (b : block) =
+  List.iter
+    (fun w ->
+      match Hashtbl.find_opt t.code_index w with
+      | Some r -> if not (List.mem b.tag_addr !r) then r := b.tag_addr :: !r
+      | None -> Hashtbl.add t.code_index w (ref [ b.tag_addr ]))
+    (block_words b)
+
+(* Fired by the VLIW Cache whenever a block leaves it (replacement,
+   eviction, invalidation): the plan compiled from the block dies with it,
+   and its code words stop mapping to its tag. *)
+let on_block_drop t (b : block) =
+  Hashtbl.remove t.plan_cache b.tag_addr;
+  List.iter
+    (fun w ->
+      match Hashtbl.find_opt t.code_index w with
+      | None -> ()
+      | Some r ->
+        r := List.filter (fun tag -> tag <> b.tag_addr) !r;
+        if !r = [] then Hashtbl.remove t.code_index w)
+    (block_words b)
+
+(* Memory write hook: a store overlapping a cached block's code makes the
+   block (and its plan) stale — drop it so the next probe misses and the
+   Scheduler Unit rebuilds from the new code. Blocks still draining in the
+   pending queue are not indexed yet; as before this PR, a store into code
+   that is simultaneously being scheduled is caught by test mode. *)
+let on_code_write t addr =
+  if Hashtbl.length t.code_index > 0 then begin
+    match Hashtbl.find_opt t.code_index (addr land lnot 3) with
+    | None -> ()
+    | Some r ->
+      (* invalidation fires on_block_drop, which edits the lists we are
+         walking — snapshot first *)
+      let tags = !r in
+      List.iter
+        (fun tag ->
+          if Dts_mem.Blockcache.invalidate t.vcache tag then
+            t.obs.code_invalidations <- t.obs.code_invalidations + 1)
+        tags
+  end
+
+let create ?(compile = true) ?scheduler ?tracer cfg program =
   let st = Dts_asm.Program.boot ~nwindows:cfg.Config.sched.nwindows program in
   let golden_st = Dts_isa.State.copy st in
   let icache = Config.make_cache cfg.icache in
@@ -66,30 +137,43 @@ let create ?scheduler ?tracer cfg program =
     match scheduler with Some f -> f () | None -> default_scheduler cfg
   in
   let obs = Dts_obs.Stats.collector ?tracer () in
-  {
-    cfg;
-    st;
-    golden = Dts_golden.Golden.of_state golden_st;
-    primary = Dts_primary.Primary.create ~timing:cfg.primary_timing ~icache ~dcache st;
-    sched;
-    engine =
-      Dts_vliw.Engine.create ~scheme:cfg.store_scheme ~tracer:obs.tracer
-        ~dcache st;
-    vcache =
-      Dts_mem.Blockcache.create ~n_sets:(Config.vliw_cache_sets cfg)
-        ~assoc:cfg.vliw_cache.assoc;
-    icache;
-    dcache;
-    mode = M_primary;
-    cycles = 0;
-    vliw_cycles = 0;
-    exception_mode = false;
-    pending_blocks = Queue.create ();
-    next_li_predictor = Hashtbl.create 256;
-    halted = false;
-    syncs = 0;
-    obs;
-  }
+  let t =
+    {
+      cfg;
+      st;
+      golden = Dts_golden.Golden.of_state golden_st;
+      primary =
+        Dts_primary.Primary.create ~timing:cfg.primary_timing ~icache ~dcache
+          st;
+      sched;
+      engine =
+        Dts_vliw.Engine.create ~scheme:cfg.store_scheme ~tracer:obs.tracer
+          ~dcache st;
+      vcache =
+        Dts_mem.Blockcache.create ~n_sets:(Config.vliw_cache_sets cfg)
+          ~assoc:cfg.vliw_cache.assoc;
+      icache;
+      dcache;
+      compile;
+      plan_cache = Hashtbl.create 256;
+      code_index = Hashtbl.create 1024;
+      mode = M_primary;
+      cycles = 0;
+      vliw_cycles = 0;
+      exception_mode = false;
+      pending_blocks = Queue.create ();
+      next_li_predictor = Hashtbl.create 256;
+      halted = false;
+      syncs = 0;
+      obs;
+    }
+  in
+  Dts_mem.Blockcache.set_on_drop t.vcache (fun _key b -> on_block_drop t b);
+  (* registered after the golden state was copied, so only this machine's
+     memory notifies (the golden machine executes unmodified semantics on
+     its own copy) *)
+  Dts_mem.Memory.add_write_hook st.mem (fun addr -> on_code_write t addr);
+  t
 
 (* Cycle attribution: every [t.cycles] increment below is paired with a
    charge to exactly one category, so the categories sum to the total
@@ -174,6 +258,7 @@ let install_ready_blocks t =
           | Some evicted when tracing t ->
             trace t (Trace.Block_evict { tag = evicted.tag_addr })
           | Some _ | None -> ());
+          register_block_words t b;
           if tracing t then trace t (Trace.Block_install { tag = b.tag_addr })
         end
         else Queue.add pending waiting)
@@ -242,7 +327,23 @@ let enter_vliw t block =
     trace t (Trace.Block_fetch { tag = block.tag_addr });
     trace t (Trace.Engine_switch { to_vliw = true; pc = block.tag_addr })
   end;
-  Dts_vliw.Engine.enter_block t.engine block;
+  (if t.compile then begin
+     (* lazy compile-on-first-fetch: the physical-equality guard catches a
+        same-tag reinstall whose plan drop raced the pending-queue window *)
+     let plan =
+       match Hashtbl.find_opt t.plan_cache block.tag_addr with
+       | Some p when p.Dts_vliw.Plan.p_block == block ->
+         t.obs.plan_hits <- t.obs.plan_hits + 1;
+         p
+       | Some _ | None ->
+         let p = Dts_vliw.Plan.compile ~nwindows:t.st.nwindows block in
+         t.obs.plans_compiled <- t.obs.plans_compiled + 1;
+         Hashtbl.replace t.plan_cache block.tag_addr p;
+         p
+     in
+     Dts_vliw.Engine.enter_plan t.engine plan
+   end
+   else Dts_vliw.Engine.enter_block t.engine block);
   t.mode <- M_vliw { block; idx = 0 }
 
 (* §5 extension: next-long-instruction prediction. A tiny table remembers
@@ -433,6 +534,10 @@ let stats t : Dts_obs.Stats.t =
     insert_full = o.insert_full;
     pending_high_water = o.pending_high_water;
     syncs = t.syncs;
+    plans_compiled = o.plans_compiled;
+    plan_hits = o.plan_hits;
+    wdelta_variants = e.wdelta_variants;
+    code_invalidations = o.code_invalidations;
     max_load_list = e.max_load_list;
     max_store_list = e.max_store_list;
     max_recovery_list = e.max_recovery_list;

@@ -34,6 +34,14 @@ type t = {
   vcache : Dts_sched.Schedtypes.block Dts_mem.Blockcache.t;  (** VLIW Cache *)
   icache : Dts_mem.Cache.t;
   dcache : Dts_mem.Cache.t;
+  compile : bool;
+      (** execute VLIW Cache hits through compiled plans (default) or the
+          engine's interpreter ([~compile:false]) *)
+  plan_cache : (int, Dts_vliw.Plan.t) Hashtbl.t;
+      (** block tag -> compiled plan; mirrors VLIW Cache residency *)
+  code_index : (int, int list ref) Hashtbl.t;
+      (** code word -> tags of cached blocks scheduled from it, for
+          self-modifying-code invalidation *)
   mutable mode : mode;
   mutable cycles : int;  (** total machine cycles *)
   mutable vliw_cycles : int;  (** cycles spent in the VLIW Engine *)
@@ -51,6 +59,7 @@ type t = {
 }
 
 val create :
+  ?compile:bool ->
   ?scheduler:(unit -> scheduler_iface) ->
   ?tracer:Dts_obs.Trace.t ->
   Config.t ->
@@ -59,7 +68,10 @@ val create :
 (** Boot [program] into a fresh machine. [scheduler] overrides the default
     DTSVLIW Scheduler Unit (used by the DIF baseline); [tracer] (default
     {!Dts_obs.Trace.null}, i.e. disabled) receives the structural events of
-    the run as JSONL. *)
+    the run as JSONL. [compile] (default [true]) executes cached blocks
+    through install-time-compiled plans ({!Dts_vliw.Plan}); [~compile:false]
+    falls back to the engine's interpreter — the two are differentially
+    tested to produce identical statistics, registers and memory. *)
 
 val step : t -> unit
 (** One simulation step: one Primary instruction or one long instruction.

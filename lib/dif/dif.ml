@@ -336,6 +336,7 @@ let finish_block t ~nba_addr =
               0 li)
         0 lis
     in
+    let max_li_ops = Array.fold_left (fun a li -> max a (li_count li)) 0 lis in
     let block =
       {
         tag_addr = Option.get t.first_addr;
@@ -346,6 +347,7 @@ let finish_block t ~nba_addr =
         rr_counts = Array.copy t.rr_ctr;
         n_slots_filled;
         n_copies = 0;
+        max_li_ops;
       }
     in
     t.blocks_built <- t.blocks_built + 1;

@@ -49,6 +49,15 @@ let invalidate t addr =
       t.invalidations <- t.invalidations + 1
     end
 
+(** Drop every cached decode (the lookaside included). Fired through the
+    memory's reset hook when the memory is {!Dts_mem.Memory.copy}ed: the
+    copy severs the write-hook link, so a store that kept serving from its
+    pre-fork contents could never be invalidated again. *)
+let clear t =
+  Hashtbl.reset t.pages;
+  t.last_idx <- -1;
+  t.last_page <- no_page
+
 let create mem =
   let t =
     {
@@ -62,6 +71,7 @@ let create mem =
     }
   in
   Dts_mem.Memory.add_write_hook mem (invalidate t);
+  Dts_mem.Memory.add_reset_hook mem (fun () -> clear t);
   t
 
 let page_for t idx =

@@ -157,31 +157,45 @@ let no_effect ~pc =
 
 let trap_outcome ~pc t = { (no_effect ~pc) with trap = Some t }
 
+(** Read overrides: how the VLIW Engine forwards renamed sources (§3.2) and
+    serves loads from the data store list (§3.11) without the sequential
+    engines paying for it. Overrides are keyed directly by physical integer
+    register index / fp register index / the flags, so probing one is an
+    integer comparison — no [Storage.t] value is boxed per register read.
+    [None] from an override means "read the architectural state". *)
+type read_ov = {
+  ov_phys : int -> int option;  (** physical integer register index *)
+  ov_freg : int -> int option;
+  ov_icc : unit -> int option;
+  ov_mem : addr:int -> size:int -> signed:bool -> int option;
+}
+
+(** The identity override (reads architectural state only). Statically
+    allocated: the sequential engines' [exec] calls share it, so the
+    default costs nothing per instruction. *)
+let no_ov =
+  {
+    ov_phys = (fun _ -> None);
+    ov_freg = (fun _ -> None);
+    ov_icc = (fun () -> None);
+    ov_mem = (fun ~addr:_ ~size:_ ~signed:_ -> None);
+  }
+
 (** Describe the effects of executing [instr] at [pc] with window pointer
     [cwp], reading the current state (including memory for loads) but
     mutating nothing. A [Some _] trap means the instruction did not execute;
     {!service_and_exec} runs the microroutine and retries. *)
-let exec ?(read_override = fun (_ : Storage.t) -> (None : int option))
-    ?(mem_read_override = fun ~addr:(_ : int) ~size:(_ : int)
-                               ~signed:(_ : bool) -> (None : int option)) st
-    ~cwp ~pc (instr : Instr.t) =
+let exec ?(ov = no_ov) st ~cwp ~pc (instr : Instr.t) =
   let reg r =
     if r = 0 then 0
     else
-      match read_override (Storage.Int_reg (State.phys_of st ~cwp r)) with
-      | Some v -> v
-      | None -> State.get_reg st ~cwp r
+      let p = State.phys_of st ~cwp r in
+      match ov.ov_phys p with Some v -> v | None -> st.State.iregs.(p)
   in
   let freg f =
-    match read_override (Storage.Fp_reg f) with
-    | Some v -> v
-    | None -> st.State.fregs.(f)
+    match ov.ov_freg f with Some v -> v | None -> st.State.fregs.(f)
   in
-  let icc () =
-    match read_override Storage.Flags with
-    | Some v -> v
-    | None -> st.State.icc
-  in
+  let icc () = match ov.ov_icc () with Some v -> v | None -> st.State.icc in
   let opval (op2 : Instr.operand) =
     match op2 with Reg r -> reg r | Imm i -> i
   in
@@ -205,7 +219,7 @@ let exec ?(read_override = fun (_ : Storage.t) -> (None : int option))
     else
       let signed = match size with Lsb | Lsh | Lw -> true | Lub | Luh -> false in
       let v =
-        match mem_read_override ~addr ~size:bytes ~signed with
+        match ov.ov_mem ~addr ~size:bytes ~signed with
         | Some v -> v
         | None -> Dts_mem.Memory.read st.State.mem ~addr ~size:bytes ~signed
       in
@@ -220,7 +234,7 @@ let exec ?(read_override = fun (_ : Storage.t) -> (None : int option))
     if addr land 3 <> 0 then trap_outcome ~pc (Misaligned addr)
     else
       let v =
-        match mem_read_override ~addr ~size:4 ~signed:true with
+        match ov.ov_mem ~addr ~size:4 ~signed:true with
         | Some v -> v
         | None -> Dts_mem.Memory.read st.State.mem ~addr ~size:4 ~signed:true
       in

@@ -13,6 +13,10 @@ type 'a t = {
   mutable misses : int;
   mutable insertions : int;
   mutable evictions : int;
+  mutable on_drop : (int -> 'a -> unit) option;
+      (** notified with (key, payload) whenever a resident payload leaves
+          the cache — replacement, eviction or invalidation — so owners of
+          state derived from the payload (compiled plans) can release it *)
 }
 
 let create ~n_sets ~assoc =
@@ -31,7 +35,13 @@ let create ~n_sets ~assoc =
     misses = 0;
     insertions = 0;
     evictions = 0;
+    on_drop = None;
   }
+
+let set_on_drop t f = t.on_drop <- Some f
+
+let dropped t key payload =
+  match t.on_drop with Some f -> f key payload | None -> ()
 
 (* Blocks are tagged with the word-aligned SPARC-style address of their
    first instruction, so index on addr/4. *)
@@ -79,6 +89,9 @@ let insert t addr block =
       victim_payload := !victim.payload;
       !victim
   in
+  (* the chosen way's resident payload (same-key replacement or LRU
+     victim) is leaving the cache: notify before overwriting *)
+  (match e.payload with Some old -> dropped t e.key old | None -> ());
   e.key <- addr;
   e.payload <- Some block;
   e.stamp <- t.clock;
@@ -90,6 +103,7 @@ let invalidate t addr =
   Array.iter
     (fun e ->
       if e.payload <> None && e.key = addr then begin
+        (match e.payload with Some old -> dropped t e.key old | None -> ());
         e.payload <- None;
         removed := true
       end)
@@ -97,7 +111,14 @@ let invalidate t addr =
   !removed
 
 let invalidate_all t =
-  Array.iter (fun ways -> Array.iter (fun e -> e.payload <- None) ways) t.sets
+  Array.iter
+    (fun ways ->
+      Array.iter
+        (fun e ->
+          (match e.payload with Some old -> dropped t e.key old | None -> ());
+          e.payload <- None)
+        ways)
+    t.sets
 
 let hits t = t.hits
 let misses t = t.misses

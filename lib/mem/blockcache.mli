@@ -25,6 +25,13 @@ val insert : 'a t -> int -> 'a -> 'a option
 val invalidate : 'a t -> int -> bool
 (** Remove the entry for this address; [true] if it was present. *)
 
+val set_on_drop : 'a t -> (int -> 'a -> unit) -> unit
+(** Register the single drop observer, called with (key, payload) whenever
+    a resident payload leaves the cache — same-key replacement by
+    {!insert}, LRU eviction, {!invalidate} or {!invalidate_all}. Owners of
+    state derived from cached payloads (the machine's compiled execution
+    plans) release it here. The callback must not mutate the cache. *)
+
 val invalidate_all : 'a t -> unit
 val hits : 'a t -> int
 val misses : 'a t -> int

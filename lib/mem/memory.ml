@@ -12,20 +12,31 @@ type t = {
           {!write} / {!load_bytes}; a naturally aligned write never spans a
           32-bit word, so one callback per write suffices for word-granular
           consumers (the pre-decoded instruction store) *)
+  mutable reset_hooks : (unit -> unit) list;
+      (** notified when derived caches attached to this memory must drop
+          everything — today, when the memory is {!copy}ed *)
 }
 
 exception Misaligned of int
 
-let create () = { pages = Hashtbl.create 64; write_hooks = [] }
+let create () =
+  { pages = Hashtbl.create 64; write_hooks = []; reset_hooks = [] }
 
 let copy m =
+  (* Hooks are observers of the *original* memory; the copy starts clean and
+     its own consumers re-register. Because the write hooks are dropped, any
+     cache derived from the source (pre-decoded instructions, compiled
+     plans) that a caller wrongly re-attaches to the copy could serve stale
+     entries without ever being invalidated — so tell every derived cache on
+     the source to flush at the fork point. Rebuilding is cheap;
+     serving a stale decode is not. *)
+  List.iter (fun f -> f ()) m.reset_hooks;
   let pages = Hashtbl.create (Hashtbl.length m.pages) in
   Hashtbl.iter (fun k v -> Hashtbl.replace pages k (Bytes.copy v)) m.pages;
-  (* hooks are observers of the *original* memory; the copy starts clean and
-     its own consumers re-register *)
-  { pages; write_hooks = [] }
+  { pages; write_hooks = []; reset_hooks = [] }
 
 let add_write_hook m f = m.write_hooks <- f :: m.write_hooks
+let add_reset_hook m f = m.reset_hooks <- f :: m.reset_hooks
 
 let notify_write m addr =
   match m.write_hooks with

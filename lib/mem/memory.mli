@@ -14,7 +14,12 @@ val create : unit -> t
 (** A fresh, all-zero memory. Pages are allocated on first touch. *)
 
 val copy : t -> t
-(** Deep copy (used by the golden-model co-simulation). *)
+(** Deep copy (used by the golden-model co-simulation). Hooks are not
+    carried over: the copy starts with no write or reset hooks, and the
+    source's {e reset} hooks are fired at the fork point so that derived
+    caches registered on the source (e.g. the pre-decoded instruction
+    store) flush and rebuild rather than risk serving entries that a
+    consumer wrongly associates with the copy. *)
 
 val read : t -> addr:int -> size:int -> signed:bool -> int
 (** [read m ~addr ~size ~signed] reads [size] bytes (1, 2 or 4) at [addr].
@@ -42,6 +47,10 @@ val add_write_hook : t -> (int -> unit) -> unit
     pre-decoded instruction store to invalidate stale decodes; hooks must
     not write to the memory themselves. {!copy} does not carry hooks over —
     consumers of the copy re-register. *)
+
+val add_reset_hook : t -> (unit -> unit) -> unit
+(** Register a cache-flush callback fired when every cache derived from this
+    memory must be dropped wholesale — currently on {!copy} (see there). *)
 
 val equal : t -> t -> bool
 (** Content equality over all touched pages (zero pages are equal to

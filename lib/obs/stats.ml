@@ -30,6 +30,12 @@ type collector = {
       (** scheduling-list-full events (the paper's flush-on-full rule) *)
   mutable pending_high_water : int;
       (** max blocks simultaneously draining to the VLIW Cache *)
+  mutable plans_compiled : int;
+      (** blocks compiled into execution plans at VLIW-mode entry *)
+  mutable plan_hits : int;
+      (** VLIW-mode entries served by an already-compiled plan *)
+  mutable code_invalidations : int;
+      (** cached blocks dropped because a store hit their code words *)
   rr_max : int array;
       (** max renaming registers per kind over all blocks (int/fp/flag/mem) *)
   slots_by_class : int array;
@@ -49,6 +55,9 @@ let collector ?(tracer = Trace.null) () =
     block_lis = 0;
     insert_full = 0;
     pending_high_water = 0;
+    plans_compiled = 0;
+    plan_hits = 0;
+    code_invalidations = 0;
     rr_max = Array.make 4 0;
     slots_by_class = Array.make n_slot_classes 0;
   }
@@ -72,6 +81,13 @@ type t = {
   insert_full : int;
   pending_high_water : int;
   syncs : int;  (** test-mode golden synchronisation points *)
+  (* plan cache (install-time block compilation) *)
+  plans_compiled : int;
+  plan_hits : int;
+  wdelta_variants : int;
+      (** shifted window-delta variants built for compiled plans *)
+  code_invalidations : int;
+      (** cached blocks invalidated by stores to their code words *)
   (* VLIW Engine counters *)
   max_load_list : int;
   max_store_list : int;
@@ -122,7 +138,8 @@ let invariant_holds s =
 (* JSON snapshot (the [--stats-json] schema)                            *)
 (* ------------------------------------------------------------------ *)
 
-let schema_version = 1
+(* v2: adds the "plan" section (install-time block compilation) *)
+let schema_version = 2
 
 let to_json s : Json.t =
   let i k v = (k, Json.Int v) in
@@ -165,6 +182,14 @@ let to_json s : Json.t =
             i "insert_full" s.insert_full;
             i "pending_high_water" s.pending_high_water;
             i "syncs" s.syncs;
+          ] );
+      ( "plan",
+        Obj
+          [
+            i "plans_compiled" s.plans_compiled;
+            i "plan_hits" s.plan_hits;
+            i "wdelta_variants" s.wdelta_variants;
+            i "code_invalidations" s.code_invalidations;
           ] );
       ( "engine",
         Obj

@@ -24,6 +24,10 @@ type collector = {
       (** scheduling-list-full events (flush-on-full rule) *)
   mutable pending_high_water : int;
       (** max blocks simultaneously draining to the VLIW Cache *)
+  mutable plans_compiled : int;  (** blocks compiled into execution plans *)
+  mutable plan_hits : int;  (** VLIW entries served by a cached plan *)
+  mutable code_invalidations : int;
+      (** cached blocks dropped by stores hitting their code words *)
   rr_max : int array;  (** per-kind renaming-register high water *)
   slots_by_class : int array;  (** indexed like {!slot_class_names} *)
 }
@@ -48,6 +52,10 @@ type t = {
   insert_full : int;
   pending_high_water : int;
   syncs : int;
+  plans_compiled : int;
+  plan_hits : int;
+  wdelta_variants : int;  (** shifted window-delta plan variants built *)
+  code_invalidations : int;
   max_load_list : int;
   max_store_list : int;
   max_recovery_list : int;

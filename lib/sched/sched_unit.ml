@@ -539,6 +539,7 @@ let finish_block t ~nba_addr : block option =
           el.e_li)
     in
     let n_slots_filled = Array.fold_left (fun a li -> a + li_count li) 0 lis in
+    let max_li_ops = Array.fold_left (fun a li -> max a (li_count li)) 0 lis in
     let block =
       {
         tag_addr = Option.get t.first_addr;
@@ -549,6 +550,7 @@ let finish_block t ~nba_addr : block option =
         rr_counts = Array.copy t.rr_ctr;
         n_slots_filled;
         n_copies = t.n_copies;
+        max_li_ops;
       }
     in
     Array.fill t.els 0 t.cfg.height None;

@@ -11,7 +11,20 @@
     the direction recorded during scheduling; the tag system (§3.8) decides
     which operations of the long instruction commit. Memory aliasing is
     detected with order fields (§3.10), and exceptions use block-granularity
-    checkpointing (§3.11). *)
+    checkpointing (§3.11).
+
+    Two execution paths share the same per-block state and semantics:
+
+    - the {e plan executor} ({!enter_plan}) runs a block pre-compiled by
+      {!Plan} — per-op association lists are already resolved to arrays and
+      the per-cycle working set (renaming-register arena, buffered
+      write/store vectors, checkpoint shadow, recovery log, data store
+      list) lives in preallocated, growable scratch storage reused across
+      blocks, so steady-state execution allocates nothing;
+    - the {e interpreter} ({!enter_block}) walks the block's scheduling
+      structures directly. It is the reference the differential tests
+      compare the plan executor against, and the [?compile:false] escape
+      hatch of {!Dts_core.Machine.create}. *)
 
 open Dts_sched.Schedtypes
 
@@ -45,14 +58,16 @@ type mem_event = Aliaslog.event = {
   ev_cross : bool;
 }
 
+(** The §3.11 checkpoint. One preallocated instance per engine, refilled by
+    blitting at every block entry — entering a block allocates nothing. *)
 type shadow = {
-  s_iregs : int array;
-  s_fregs : int array;
-  s_icc : int;
-  s_cwp : int;
-  s_wdepth : int;
-  s_wspill_sp : int;
-  s_pc : int;
+  sh_iregs : int array;
+  sh_fregs : int array;
+  mutable sh_icc : int;
+  mutable sh_cwp : int;
+  mutable sh_wdepth : int;
+  mutable sh_wspill_sp : int;
+  mutable sh_pc : int;
 }
 
 type stats = {
@@ -67,135 +82,346 @@ type stats = {
   mutable lis_executed : int;
   mutable ops_committed : int;
   mutable copies_committed : int;
+  mutable wdelta_variants : int;
+      (** shifted (wdelta <> 0) plan variants compiled (§3.9 replay) *)
 }
 
 type t = {
   st : Dts_isa.State.t;
   dcache : Dts_mem.Cache.t;
   scheme : store_scheme;
-  mutable rr : rr_entry array array;  (** per {!rr_kind} *)
-  mutable shadow : shadow option;
-  mutable recovery : (int * int * int) list;  (** addr, size, old value *)
+  mutable rr : rr_entry array array;
+      (** per {!rr_kind} arena, grown to the high-water [rr_counts] of the
+          blocks seen and reset in place at block entry *)
+  shadow : shadow;
+  mutable shadow_valid : bool;
+  (* checkpoint recovery store list (addr, size, old value) as parallel
+     growable arrays; undone newest-first on rollback *)
+  mutable rec_addr : int array;
+  mutable rec_size : int array;
+  mutable rec_old : int array;
   mutable n_recovery : int;
   mutable dsl_mem : Dts_mem.Memory.t;  (** data-store-list byte buffer *)
-  mutable dsl_ranges : (int * int * int) list;  (** addr, size, order *)
+  (* buffered store ranges (addr, size, order) as parallel arrays *)
+  mutable dsl_addr : int array;
+  mutable dsl_size : int array;
+  mutable dsl_order : int array;
+  mutable dsl_n : int;
+  dsl_bytes : (int, unit) Hashtbl.t;
+      (** byte addresses covered by the data store list — loads probe this
+          instead of scanning every buffered range per byte *)
   mem_log : Aliaslog.t;  (** per-block aliasing log (§3.10), bucketed *)
   mutable wdelta : int;
       (** window-relative replay: runtime entry cwp minus build-time entry
           cwp (mod nwindows), applied to every baked cwp and physical
           register position *)
+  (* ---- plan-execution scratch, reused across cycles and blocks ---- *)
+  mutable plan_ctx : Plan.variant option;
+      (** [Some _] while replaying a compiled plan; [None] interprets *)
+  mutable outcomes : Dts_isa.Semantics.outcome array;
+      (** phase-1 results, indexed like the current pli's op array *)
+  mutable bw : Dts_isa.Semantics.write array;  (** buffered writes *)
+  mutable bw_n : int;
+  mutable bs_addr : int array;  (** buffered stores *)
+  mutable bs_size : int array;
+  mutable bs_val : int array;
+  mutable bs_order : int array;
+  mutable bs_n : int;
+  (* the substitution view of the op currently in phase 1; plan_ov's
+     closures read these fields, so one override record serves every op *)
+  mutable cur_sub_phys_pos : int array;
+  mutable cur_sub_phys_rr : rref array;
+  mutable cur_sub_freg_pos : int array;
+  mutable cur_sub_freg_rr : rref array;
+  mutable cur_sub_icc : rref option;
+  mutable plan_ov : Dts_isa.Semantics.read_ov;
   stats : stats;
   tracer : Dts_obs.Trace.t;
       (** event sink for rollback/aliasing observability; the machine
           stamps its cycle on it each step *)
 }
 
+let fresh_rr () = { v = 0; m_addr = 0; m_size = 0; exn = None }
+let rr_of t (r : rref) = t.rr.(rr_kind_index r.kind).(r.ridx)
+
+(* data-store-list scheme: loads read the list and the data cache
+   simultaneously, preferring the last data stored on a hit (§3.11) *)
+let dsl_read t ~addr ~size ~signed =
+  if t.dsl_n = 0 then None
+  else begin
+    let any = ref false in
+    for b = addr to addr + size - 1 do
+      if Hashtbl.mem t.dsl_bytes b then any := true
+    done;
+    if not !any then None
+    else begin
+      let v = ref 0 in
+      for b = addr to addr + size - 1 do
+        let byte =
+          if Hashtbl.mem t.dsl_bytes b then
+            Dts_mem.Memory.read t.dsl_mem ~addr:b ~size:1 ~signed:false
+          else Dts_mem.Memory.read t.st.mem ~addr:b ~size:1 ~signed:false
+        in
+        v := (!v lsl 8) lor byte
+      done;
+      let raw = !v in
+      Some
+        (if signed then
+           (raw lsl (Sys.int_size - (size * 8))) asr (Sys.int_size - (size * 8))
+         else raw)
+    end
+  end
+
 let create ?(scheme = Checkpoint_recovery) ?(tracer = Dts_obs.Trace.null)
     ~dcache st =
-  {
-    st;
-    dcache;
-    scheme;
-    rr = Array.make 4 [||];
-    shadow = None;
-    recovery = [];
-    n_recovery = 0;
-    dsl_mem = Dts_mem.Memory.create ();
-    dsl_ranges = [];
-    mem_log = Aliaslog.create ();
-    wdelta = 0;
-    tracer;
-    stats =
-      {
-        max_data_store_list = 0;
-        max_load_list = 0;
-        max_store_list = 0;
-        max_recovery_list = 0;
-        aliasing_exceptions = 0;
-        deferred_exceptions = 0;
-        block_exceptions = 0;
-        mispredicts = 0;
-        lis_executed = 0;
-        ops_committed = 0;
-        copies_committed = 0;
-      };
-  }
+  let t =
+    {
+      st;
+      dcache;
+      scheme;
+      rr = Array.make 4 [||];
+      shadow =
+        {
+          sh_iregs = Array.make (Array.length st.Dts_isa.State.iregs) 0;
+          sh_fregs = Array.make (Array.length st.Dts_isa.State.fregs) 0;
+          sh_icc = 0;
+          sh_cwp = 0;
+          sh_wdepth = 0;
+          sh_wspill_sp = 0;
+          sh_pc = 0;
+        };
+      shadow_valid = false;
+      rec_addr = [||];
+      rec_size = [||];
+      rec_old = [||];
+      n_recovery = 0;
+      dsl_mem = Dts_mem.Memory.create ();
+      dsl_addr = [||];
+      dsl_size = [||];
+      dsl_order = [||];
+      dsl_n = 0;
+      dsl_bytes = Hashtbl.create 64;
+      mem_log = Aliaslog.create ();
+      wdelta = 0;
+      plan_ctx = None;
+      outcomes = [||];
+      bw = [||];
+      bw_n = 0;
+      bs_addr = [||];
+      bs_size = [||];
+      bs_val = [||];
+      bs_order = [||];
+      bs_n = 0;
+      cur_sub_phys_pos = [||];
+      cur_sub_phys_rr = [||];
+      cur_sub_freg_pos = [||];
+      cur_sub_freg_rr = [||];
+      cur_sub_icc = None;
+      plan_ov = Dts_isa.Semantics.no_ov;
+      tracer;
+      stats =
+        {
+          max_data_store_list = 0;
+          max_load_list = 0;
+          max_store_list = 0;
+          max_recovery_list = 0;
+          aliasing_exceptions = 0;
+          deferred_exceptions = 0;
+          block_exceptions = 0;
+          mispredicts = 0;
+          lis_executed = 0;
+          ops_committed = 0;
+          copies_committed = 0;
+          wdelta_variants = 0;
+        };
+    }
+  in
+  t.plan_ov <-
+    {
+      ov_phys =
+        (fun p ->
+          let pos = t.cur_sub_phys_pos in
+          let n = Array.length pos in
+          let rec go i =
+            if i >= n then None
+            else if Array.unsafe_get pos i = p then
+              Some (rr_of t t.cur_sub_phys_rr.(i)).v
+            else go (i + 1)
+          in
+          go 0);
+      ov_freg =
+        (fun f ->
+          let pos = t.cur_sub_freg_pos in
+          let n = Array.length pos in
+          let rec go i =
+            if i >= n then None
+            else if Array.unsafe_get pos i = f then
+              Some (rr_of t t.cur_sub_freg_rr.(i)).v
+            else go (i + 1)
+          in
+          go 0);
+      ov_icc =
+        (fun () ->
+          match t.cur_sub_icc with
+          | Some rr -> Some (rr_of t rr).v
+          | None -> None);
+      ov_mem = (fun ~addr ~size ~signed -> dsl_read t ~addr ~size ~signed);
+    };
+  t
 
-let fresh_rr () = { v = 0; m_addr = 0; m_size = 0; exn = None }
+(* ------------------------------------------------------------------ *)
+(* Growable scratch vectors                                             *)
+(* ------------------------------------------------------------------ *)
 
-(** Checkpoint (§3.11): snapshot the register state and reset the per-block
-    structures. Called at the start of every block's execution. *)
-let enter_block t (block : block) =
-  let st = t.st in
-  t.shadow <-
-    Some
-      {
-        s_iregs = Array.copy st.iregs;
-        s_fregs = Array.copy st.fregs;
-        s_icc = st.icc;
-        s_cwp = st.cwp;
-        s_wdepth = st.wdepth;
-        s_wspill_sp = st.wspill_sp;
-        s_pc = st.pc;
-      };
-  t.recovery <- [];
-  t.n_recovery <- 0;
-  if t.dsl_ranges <> [] then begin
-    t.dsl_mem <- Dts_mem.Memory.create ();
-    t.dsl_ranges <- []
+let grown a n = Array.append a (Array.make (max 16 (max n (Array.length a))) 0)
+
+let push_bw t w =
+  if t.bw_n >= Array.length t.bw then begin
+    let a = Array.make (max 16 (2 * Array.length t.bw)) w in
+    Array.blit t.bw 0 a 0 t.bw_n;
+    t.bw <- a
   end;
+  t.bw.(t.bw_n) <- w;
+  t.bw_n <- t.bw_n + 1
+
+let push_bs t addr size v order =
+  if t.bs_n >= Array.length t.bs_addr then begin
+    t.bs_addr <- grown t.bs_addr 1;
+    t.bs_size <- grown t.bs_size 1;
+    t.bs_val <- grown t.bs_val 1;
+    t.bs_order <- grown t.bs_order 1
+  end;
+  t.bs_addr.(t.bs_n) <- addr;
+  t.bs_size.(t.bs_n) <- size;
+  t.bs_val.(t.bs_n) <- v;
+  t.bs_order.(t.bs_n) <- order;
+  t.bs_n <- t.bs_n + 1
+
+let push_recovery t addr size old =
+  if t.n_recovery >= Array.length t.rec_addr then begin
+    t.rec_addr <- grown t.rec_addr 1;
+    t.rec_size <- grown t.rec_size 1;
+    t.rec_old <- grown t.rec_old 1
+  end;
+  t.rec_addr.(t.n_recovery) <- addr;
+  t.rec_size.(t.n_recovery) <- size;
+  t.rec_old.(t.n_recovery) <- old;
+  t.n_recovery <- t.n_recovery + 1
+
+let push_dsl t addr size order =
+  if t.dsl_n >= Array.length t.dsl_addr then begin
+    t.dsl_addr <- grown t.dsl_addr 1;
+    t.dsl_size <- grown t.dsl_size 1;
+    t.dsl_order <- grown t.dsl_order 1
+  end;
+  t.dsl_addr.(t.dsl_n) <- addr;
+  t.dsl_size.(t.dsl_n) <- size;
+  t.dsl_order.(t.dsl_n) <- order;
+  t.dsl_n <- t.dsl_n + 1;
+  for b = addr to addr + size - 1 do
+    Hashtbl.replace t.dsl_bytes b ()
+  done
+
+let clear_dsl t =
+  if t.dsl_n > 0 then begin
+    t.dsl_mem <- Dts_mem.Memory.create ();
+    Hashtbl.reset t.dsl_bytes;
+    t.dsl_n <- 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Block entry                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Checkpoint (§3.11): snapshot the register state into the preallocated
+    shadow and reset the per-block structures. The renaming-register arena
+    is grown to the block's [rr_counts] high-water mark once and reset in
+    place afterwards. Called at the start of every block's execution. *)
+let reset_for_block t (block : block) =
+  let st = t.st in
+  let sh = t.shadow in
+  Array.blit st.iregs 0 sh.sh_iregs 0 (Array.length st.iregs);
+  Array.blit st.fregs 0 sh.sh_fregs 0 (Array.length st.fregs);
+  sh.sh_icc <- st.icc;
+  sh.sh_cwp <- st.cwp;
+  sh.sh_wdepth <- st.wdepth;
+  sh.sh_wspill_sp <- st.wspill_sp;
+  sh.sh_pc <- st.pc;
+  t.shadow_valid <- true;
+  t.n_recovery <- 0;
+  clear_dsl t;
   Aliaslog.clear t.mem_log;
   t.wdelta <- (st.cwp - block.entry_cwp + st.nwindows) mod st.nwindows;
-  t.rr <-
-    Array.init 4 (fun k ->
-        Array.init block.rr_counts.(k) (fun _ -> fresh_rr ()))
+  for k = 0 to 3 do
+    let need = block.rr_counts.(k) in
+    let arr = t.rr.(k) in
+    if Array.length arr < need then
+      t.rr.(k) <-
+        Array.init (max need (2 * Array.length arr)) (fun _ -> fresh_rr ())
+    else
+      for i = 0 to need - 1 do
+        let e = Array.unsafe_get arr i in
+        e.v <- 0;
+        e.m_addr <- 0;
+        e.m_size <- 0;
+        e.exn <- None
+      done
+  done
+
+(** Enter [block] in interpreter mode. *)
+let enter_block t (block : block) =
+  reset_for_block t block;
+  t.plan_ctx <- None
+
+(** Enter the block compiled into [plan], selecting (or lazily building)
+    the variant for the current window delta. *)
+let enter_plan t (plan : Plan.t) =
+  let block = plan.Plan.p_block in
+  reset_for_block t block;
+  let v, fresh =
+    Plan.variant ~nwindows:t.st.nwindows plan ~wdelta:t.wdelta
+  in
+  if fresh then t.stats.wdelta_variants <- t.stats.wdelta_variants + 1;
+  t.plan_ctx <- Some v;
+  if Array.length t.outcomes < block.max_li_ops then
+    t.outcomes <-
+      Array.make
+        (max block.max_li_ops (2 * Array.length t.outcomes))
+        (Dts_isa.Semantics.no_effect ~pc:0)
 
 (** Roll back to the checkpoint: restore registers and undo every store of
-    the block in reverse order (§3.11). *)
+    the block in reverse order, each with its recorded size (§3.11). *)
 let rollback t =
   if Dts_obs.Trace.enabled t.tracer then
     Dts_obs.Trace.emit t.tracer
-      (Checkpoint_recovery
-         { undone = t.n_recovery + List.length t.dsl_ranges });
+      (Checkpoint_recovery { undone = t.n_recovery + t.dsl_n });
+  if not t.shadow_valid then invalid_arg "Engine.rollback without checkpoint";
   let st = t.st in
-  (match t.shadow with
-  | None -> invalid_arg "Engine.rollback without checkpoint"
-  | Some s ->
-    Array.blit s.s_iregs 0 st.iregs 0 (Array.length st.iregs);
-    Array.blit s.s_fregs 0 st.fregs 0 (Array.length st.fregs);
-    st.icc <- s.s_icc;
-    st.cwp <- s.s_cwp;
-    st.wdepth <- s.s_wdepth;
-    st.wspill_sp <- s.s_wspill_sp;
-    st.pc <- s.s_pc);
-  List.iter
-    (fun (addr, size, old) -> Dts_mem.Memory.write st.mem ~addr ~size old)
-    t.recovery;
-  t.recovery <- [];
+  let sh = t.shadow in
+  Array.blit sh.sh_iregs 0 st.iregs 0 (Array.length st.iregs);
+  Array.blit sh.sh_fregs 0 st.fregs 0 (Array.length st.fregs);
+  st.icc <- sh.sh_icc;
+  st.cwp <- sh.sh_cwp;
+  st.wdepth <- sh.sh_wdepth;
+  st.wspill_sp <- sh.sh_wspill_sp;
+  st.pc <- sh.sh_pc;
+  for i = t.n_recovery - 1 downto 0 do
+    Dts_mem.Memory.write st.mem ~addr:t.rec_addr.(i) ~size:t.rec_size.(i)
+      t.rec_old.(i)
+  done;
   t.n_recovery <- 0;
   (* in the data-store-list scheme, memory was never touched: "data
      generated in the block where the exception is detected is annulled" *)
-  if t.dsl_ranges <> [] then begin
-    t.dsl_mem <- Dts_mem.Memory.create ();
-    t.dsl_ranges <- []
-  end;
+  clear_dsl t;
   Aliaslog.clear t.mem_log;
   t.stats.block_exceptions <- t.stats.block_exceptions + 1
-
-let rr_of t (r : rref) = t.rr.(rr_kind_index r.kind).(r.ridx)
 
 (* window-relative replay: shift a baked window pointer / physical integer
    register position by the block-entry window delta *)
 let shift_cwp t cwp = (cwp + t.wdelta) mod t.st.nwindows
 
 let shift_pos t (pos : Dts_isa.Storage.t) : Dts_isa.Storage.t =
-  match pos with
-  | Int_reg p when p >= Dts_isa.State.n_globals ->
-    let nw16 = t.st.nwindows * 16 in
-    Int_reg
-      (Dts_isa.State.n_globals
-      + ((p - Dts_isa.State.n_globals + (t.wdelta * 16)) mod nw16))
-  | Int_reg _ | Fp_reg _ | Flags | Win | Mem _ | Ren _ -> pos
+  Plan.shift_pos ~nwindows:t.st.nwindows ~wdelta:t.wdelta pos
 
 exception Alias_violation = Aliaslog.Alias_violation
 exception Block_trap of Dts_isa.Semantics.trap
@@ -218,14 +444,240 @@ let storage_of_write : Dts_isa.Semantics.write -> Dts_isa.Storage.t = function
   | W_icc _ -> Flags
   | W_win _ -> Win
 
-(** Execute long instruction [idx] of [block]. Returns the control outcome
-    and the data-cache penalty cycles incurred. On [R_exn] the rollback has
-    already been performed. *)
-let exec_li t (block : block) idx : li_result * int =
+(* phase 4, shared by both executors: apply buffered register writes in
+   push order, then route buffered stores through the active store scheme *)
+let apply_buffered t =
+  let st = t.st in
+  for i = 0 to t.bw_n - 1 do
+    match Array.unsafe_get t.bw i with
+    | Dts_isa.Semantics.W_phys (p, v) -> Dts_isa.State.set_phys st p v
+    | W_freg (f, v) -> st.fregs.(f) <- v
+    | W_icc v -> st.icc <- v
+    | W_win (cwp, wdepth) ->
+      st.cwp <- cwp;
+      st.wdepth <- wdepth
+  done;
+  t.bw_n <- 0;
+  for i = 0 to t.bs_n - 1 do
+    let addr = t.bs_addr.(i) and size = t.bs_size.(i) and v = t.bs_val.(i) in
+    match t.scheme with
+    | Checkpoint_recovery ->
+      (* save the overwritten data in the checkpoint recovery store list,
+         then write through (§3.11) *)
+      let old = Dts_mem.Memory.read st.mem ~addr ~size ~signed:true in
+      push_recovery t addr size old;
+      t.stats.max_recovery_list <-
+        max t.stats.max_recovery_list t.n_recovery;
+      Dts_mem.Memory.write st.mem ~addr ~size v
+    | Data_store_list ->
+      (* buffer in the data store list; memory is untouched until the
+         block commits *)
+      Dts_mem.Memory.write t.dsl_mem ~addr ~size v;
+      push_dsl t addr size t.bs_order.(i);
+      t.stats.max_data_store_list <-
+        max t.stats.max_data_store_list t.dsl_n
+  done;
+  t.bs_n <- 0
+
+let log_load t (s : sop) idx a sz =
+  log_mem t
+    {
+      ev_addr = a;
+      ev_size = sz;
+      ev_order = s.order;
+      ev_li = idx;
+      ev_is_store = false;
+      ev_cross = s.cross;
+    }
+
+let log_store t ~order ~cross idx a sz =
+  log_mem t
+    {
+      ev_addr = a;
+      ev_size = sz;
+      ev_order = order;
+      ev_li = idx;
+      ev_is_store = true;
+      ev_cross = cross;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Plan executor                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let probe_rr pos_arr (rr_arr : rref array) p =
+  let n = Array.length pos_arr in
+  let rec go i =
+    if i >= n then None
+    else if Array.unsafe_get pos_arr i = p then Some rr_arr.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let exec_li_plan t (block : block) (v : Plan.variant) idx penalty :
+    li_result =
+  let st = t.st in
+  let pli = v.Plan.v_lis.(idx) in
+  let ops = pli.Plan.p_ops in
+  let tags = pli.Plan.p_tags in
+  let n = Array.length ops in
+  let outcomes = t.outcomes in
+  (* phase 1: compute outcomes for every op, reading pre-li state *)
+  for i = 0 to n - 1 do
+    match Array.unsafe_get ops i with
+    | Plan.P_op o ->
+      t.cur_sub_phys_pos <- o.sub_phys_pos;
+      t.cur_sub_phys_rr <- o.sub_phys_rr;
+      t.cur_sub_freg_pos <- o.sub_freg_pos;
+      t.cur_sub_freg_rr <- o.sub_freg_rr;
+      t.cur_sub_icc <- o.sub_icc;
+      outcomes.(i) <-
+        Dts_isa.Semantics.exec ~ov:t.plan_ov st ~cwp:o.x_cwp ~pc:o.op.addr
+          o.op.instr
+    | Plan.P_copy _ -> ()
+  done;
+  (* phase 2: find the first mispredicted branch; ops with tag greater than
+     its tag do not commit *)
+  let fail_tag = ref max_int in
+  let fail_target = ref 0 in
+  for i = 0 to n - 1 do
+    match Array.unsafe_get ops i with
+    | Plan.P_op o when o.is_cond ->
+      let out = outcomes.(i) in
+      if
+        out.Dts_isa.Semantics.next_pc <> o.op.obs_next_pc
+        && tags.(i) < !fail_tag
+      then begin
+        fail_tag := tags.(i);
+        fail_target := out.next_pc
+      end
+    | _ -> ()
+  done;
+  let ft = !fail_tag in
+  (* phase 3: gather effects of valid ops *)
+  t.bw_n <- 0;
+  t.bs_n <- 0;
+  try
+    for i = 0 to n - 1 do
+      if tags.(i) <= ft then
+        match Array.unsafe_get ops i with
+        | Plan.P_op o -> (
+          let out = outcomes.(i) in
+          match out.Dts_isa.Semantics.trap with
+          | Some tr ->
+            (* deferred iff every architectural output is renamed *)
+            if o.deferrable then begin
+              Array.iter (fun rr -> (rr_of t rr).exn <- Some tr) o.red_all;
+              t.stats.deferred_exceptions <- t.stats.deferred_exceptions + 1
+            end
+            else raise (Block_trap tr)
+          | None ->
+            t.stats.ops_committed <- t.stats.ops_committed + 1;
+            List.iter
+              (fun (w : Dts_isa.Semantics.write) ->
+                match w with
+                | W_phys (p, wv) -> (
+                  match probe_rr o.red_phys_pos o.red_phys_rr p with
+                  | Some rr ->
+                    let e = rr_of t rr in
+                    e.v <- wv;
+                    e.exn <- None
+                  | None -> push_bw t w)
+                | W_freg (f, wv) -> (
+                  match probe_rr o.red_freg_pos o.red_freg_rr f with
+                  | Some rr ->
+                    let e = rr_of t rr in
+                    e.v <- wv;
+                    e.exn <- None
+                  | None -> push_bw t w)
+                | W_icc wv -> (
+                  match o.red_icc with
+                  | Some rr ->
+                    let e = rr_of t rr in
+                    e.v <- wv;
+                    e.exn <- None
+                  | None -> push_bw t w)
+                | W_win _ ->
+                  if o.red_win then invalid_arg "renamed window write"
+                  else push_bw t w)
+              out.writes;
+            (match out.load with
+            | Some (a, sz) ->
+              penalty := !penalty + Dts_mem.Cache.access t.dcache a;
+              log_load t o.op idx a sz
+            | None -> ());
+            (match out.store with
+            | Some (a, sz, sv) -> (
+              (* a renamed store redirects its (single) memory output *)
+              match o.red_mem with
+              | Some rr ->
+                let e = rr_of t rr in
+                e.m_addr <- a;
+                e.m_size <- sz;
+                e.v <- sv;
+                e.exn <- None
+              | None ->
+                penalty := !penalty + Dts_mem.Cache.access t.dcache a;
+                log_store t ~order:o.op.order ~cross:o.op.cross idx a sz;
+                push_bs t a sz sv o.op.order)
+            | None -> ()))
+        | Plan.P_copy c ->
+          t.stats.copies_committed <- t.stats.copies_committed + 1;
+          Array.iter
+            (fun (m : Plan.pmove) ->
+              let src = rr_of t m.pm_src in
+              match m.pm_tgt with
+              | Plan.PT_ren dst_ref ->
+                let dst = rr_of t dst_ref in
+                dst.v <- src.v;
+                dst.m_addr <- src.m_addr;
+                dst.m_size <- src.m_size;
+                dst.exn <- src.exn
+              | _ -> (
+                match src.exn with
+                | Some tr -> raise (Block_trap tr)
+                | None -> (
+                  match m.pm_tgt with
+                  | Plan.PT_ren _ -> assert false
+                  | Plan.PT_phys p -> push_bw t (W_phys (p, src.v))
+                  | Plan.PT_freg f -> push_bw t (W_freg (f, src.v))
+                  | Plan.PT_flags -> push_bw t (W_icc src.v)
+                  | Plan.PT_mem ->
+                    penalty :=
+                      !penalty + Dts_mem.Cache.access t.dcache src.m_addr;
+                    log_store t ~order:c.c_order ~cross:true idx src.m_addr
+                      src.m_size;
+                    push_bs t src.m_addr src.m_size src.v c.c_order)))
+            c.moves
+    done;
+    (* phase 4: apply buffered effects (reads already done) *)
+    apply_buffered t;
+    if ft < max_int then begin
+      t.stats.mispredicts <- t.stats.mispredicts + 1;
+      R_redirect { target = !fail_target }
+    end
+    else if idx = block.nba_idx then
+      R_block_end { next_addr = block.nba_addr }
+    else R_next
+  with
+  | Alias_violation ->
+    t.stats.aliasing_exceptions <- t.stats.aliasing_exceptions + 1;
+    if Dts_obs.Trace.enabled t.tracer then
+      Dts_obs.Trace.emit t.tracer
+        (Aliasing_violation { tag = block.tag_addr; li = idx });
+    rollback t;
+    R_exn E_aliasing
+  | Block_trap tr ->
+    rollback t;
+    R_exn (E_trap tr)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let exec_li_interp t (block : block) idx penalty : li_result =
   let st = t.st in
   let li = block.lis.(idx) in
-  t.stats.lis_executed <- t.stats.lis_executed + 1;
-  let penalty = ref 0 in
   (* phase 1: compute outcomes for every op, reading pre-li state *)
   let entries =
     li_fold
@@ -239,50 +691,23 @@ let exec_li t (block : block) idx : li_result * int =
             if t.wdelta = 0 then s.subs
             else List.map (fun (p, rr) -> (shift_pos t p, rr)) s.subs
           in
-          let read_override pos =
+          let lookup pos =
             match List.assoc_opt pos subs with
             | Some rr -> Some (rr_of t rr).v
             | None -> None
           in
-          (* data-store-list scheme: loads read the list and the data cache
-             simultaneously, preferring the last data stored on a hit *)
-          let mem_read_override ~addr ~size ~signed =
-            if t.dsl_ranges = [] then None
-            else begin
-              let covered b =
-                List.exists
-                  (fun (a, sz, _) -> b >= a && b < a + sz)
-                  t.dsl_ranges
-              in
-              let any = ref false in
-              for b = addr to addr + size - 1 do
-                if covered b then any := true
-              done;
-              if not !any then None
-              else begin
-                let v = ref 0 in
-                for b = addr to addr + size - 1 do
-                  let byte =
-                    if covered b then
-                      Dts_mem.Memory.read t.dsl_mem ~addr:b ~size:1
-                        ~signed:false
-                    else
-                      Dts_mem.Memory.read st.mem ~addr:b ~size:1 ~signed:false
-                  in
-                  v := (!v lsl 8) lor byte
-                done;
-                let raw = !v in
-                Some
-                  (if signed then
-                     (raw lsl (Sys.int_size - (size * 8)))
-                     asr (Sys.int_size - (size * 8))
-                   else raw)
-              end
-            end
+          let ov =
+            {
+              Dts_isa.Semantics.ov_phys =
+                (fun p -> lookup (Dts_isa.Storage.Int_reg p));
+              ov_freg = (fun f -> lookup (Dts_isa.Storage.Fp_reg f));
+              ov_icc = (fun () -> lookup Dts_isa.Storage.Flags);
+              ov_mem = (fun ~addr ~size ~signed -> dsl_read t ~addr ~size ~signed);
+            }
           in
           let out =
-            Dts_isa.Semantics.exec ~read_override ~mem_read_override st
-              ~cwp:(shift_cwp t s.cwp) ~pc:s.addr s.instr
+            Dts_isa.Semantics.exec ~ov st ~cwp:(shift_cwp t s.cwp) ~pc:s.addr
+              s.instr
           in
           (op, tag, Some (s, out)) :: acc
         | Copy _ -> (op, tag, None) :: acc)
@@ -305,189 +730,154 @@ let exec_li t (block : block) idx : li_result * int =
     entries;
   let valid tag = match !fail with None -> true | Some (ft, _) -> tag <= ft in
   (* phase 3: gather effects of valid ops *)
-  let buffered_writes = ref [] in
-  let buffered_stores = ref [] in
-  (try
-     List.iter
-       (fun (op, tag, info) ->
-         if valid tag then
-           match (op, info) with
-           | Op s, Some (_, out) -> (
-             match out.Dts_isa.Semantics.trap with
-             | Some tr ->
-               (* deferred iff every architectural output is renamed *)
-               if
-                 s.redirect <> []
-                 && List.for_all
-                      (fun w -> List.mem_assoc w s.redirect)
-                      s.arch_writes
-               then begin
-                 List.iter (fun (_, rr) -> (rr_of t rr).exn <- Some tr) s.redirect;
-                 t.stats.deferred_exceptions <- t.stats.deferred_exceptions + 1
-               end
-               else raise (Block_trap tr)
-             | None ->
-               t.stats.ops_committed <- t.stats.ops_committed + 1;
-               let redirect =
-                 if t.wdelta = 0 then s.redirect
-                 else List.map (fun (p, rr) -> (shift_pos t p, rr)) s.redirect
-               in
-               List.iter
-                 (fun w ->
-                   let pos = storage_of_write w in
-                   match List.assoc_opt pos redirect with
-                   | Some rr ->
-                     let e = rr_of t rr in
-                     (match w with
-                     | W_phys (_, v) | W_freg (_, v) | W_icc v -> e.v <- v
-                     | W_win _ -> invalid_arg "renamed window write");
-                     e.exn <- None
-                   | None -> buffered_writes := w :: !buffered_writes)
-                 out.writes;
-               (match out.load with
-               | Some (a, sz) ->
-                 penalty := !penalty + Dts_mem.Cache.access t.dcache a;
-                 log_mem t
-                   {
-                     ev_addr = a;
-                     ev_size = sz;
-                     ev_order = s.order;
-                     ev_li = idx;
-                     ev_is_store = false;
-                     ev_cross = s.cross;
-                   }
-               | None -> ());
-               (match out.store with
-               | Some (a, sz, v) -> (
-                 let pos = Dts_isa.Storage.Mem { addr = a; size = sz } in
-                 (* a renamed store redirects its (single) memory output *)
-                 match s.redirect with
-                 | (Mem _, rr) :: _ ->
-                   let e = rr_of t rr in
-                   e.m_addr <- a;
-                   e.m_size <- sz;
-                   e.v <- v;
-                   e.exn <- None
-                 | _ ->
-                   ignore pos;
-                   penalty := !penalty + Dts_mem.Cache.access t.dcache a;
-                   log_mem t
-                     {
-                       ev_addr = a;
-                       ev_size = sz;
-                       ev_order = s.order;
-                       ev_li = idx;
-                       ev_is_store = true;
-                       ev_cross = s.cross;
-                     };
-                   buffered_stores := (a, sz, v, s.order) :: !buffered_stores)
-               | None -> ()))
-           | Copy c, _ ->
-             t.stats.copies_committed <- t.stats.copies_committed + 1;
-             List.iter
-               (fun (rr, target) ->
-                 let src = rr_of t rr in
-                 match target with
-                 | T_ren dst_ref ->
-                   let dst = rr_of t dst_ref in
-                   dst.v <- src.v;
-                   dst.m_addr <- src.m_addr;
-                   dst.m_size <- src.m_size;
-                   dst.exn <- src.exn
-                 | T_arch pos -> (
-                   match src.exn with
-                   | Some tr -> raise (Block_trap tr)
-                   | None -> (
-                     match shift_pos t pos with
-                     | Int_reg p ->
-                       buffered_writes := W_phys (p, src.v) :: !buffered_writes
-                     | Fp_reg f ->
-                       buffered_writes := W_freg (f, src.v) :: !buffered_writes
-                     | Flags -> buffered_writes := W_icc src.v :: !buffered_writes
-                     | Win -> invalid_arg "renamed window copy"
-                     | Ren _ -> invalid_arg "T_arch to a renaming register"
-                     | Mem _ ->
-                       penalty :=
-                         !penalty + Dts_mem.Cache.access t.dcache src.m_addr;
-                       log_mem t
-                         {
-                           ev_addr = src.m_addr;
-                           ev_size = src.m_size;
-                           ev_order = c.c_order;
-                           ev_li = idx;
-                           ev_is_store = true;
-                           ev_cross = true;
-                         };
-                       buffered_stores :=
-                         (src.m_addr, src.m_size, src.v, c.c_order)
-                         :: !buffered_stores)))
-               c.c_moves
-           | Op _, None -> assert false)
-       entries;
-     (* phase 4: apply buffered effects (reads already done) *)
-     Dts_isa.Semantics.apply_writes st (List.rev !buffered_writes);
-     List.iter
-       (fun (addr, size, v, order) ->
-         match t.scheme with
-         | Checkpoint_recovery ->
-           (* save the overwritten data in the checkpoint recovery store
-              list, then write through (§3.11) *)
-           let old = Dts_mem.Memory.read st.mem ~addr ~size ~signed:true in
-           t.recovery <- (addr, size, old) :: t.recovery;
-           t.n_recovery <- t.n_recovery + 1;
-           t.stats.max_recovery_list <- max t.stats.max_recovery_list t.n_recovery;
-           Dts_mem.Memory.write st.mem ~addr ~size v
-         | Data_store_list ->
-           (* buffer in the data store list; memory is untouched until the
-              block commits *)
-           Dts_mem.Memory.write t.dsl_mem ~addr ~size v;
-           t.dsl_ranges <- (addr, size, order) :: t.dsl_ranges;
-           t.stats.max_data_store_list <-
-             max t.stats.max_data_store_list (List.length t.dsl_ranges))
-       (List.rev !buffered_stores);
-     match !fail with
-     | Some (_, target) ->
-       t.stats.mispredicts <- t.stats.mispredicts + 1;
-       (R_redirect { target }, !penalty)
-     | None ->
-       if idx = block.nba_idx then
-         (R_block_end { next_addr = block.nba_addr }, !penalty)
-       else (R_next, !penalty)
-   with
+  t.bw_n <- 0;
+  t.bs_n <- 0;
+  try
+    List.iter
+      (fun (op, tag, info) ->
+        if valid tag then
+          match (op, info) with
+          | Op s, Some (_, out) -> (
+            match out.Dts_isa.Semantics.trap with
+            | Some tr ->
+              (* deferred iff every architectural output is renamed *)
+              if
+                s.redirect <> []
+                && List.for_all
+                     (fun w -> List.mem_assoc w s.redirect)
+                     s.arch_writes
+              then begin
+                List.iter
+                  (fun (_, rr) -> (rr_of t rr).exn <- Some tr)
+                  s.redirect;
+                t.stats.deferred_exceptions <- t.stats.deferred_exceptions + 1
+              end
+              else raise (Block_trap tr)
+            | None ->
+              t.stats.ops_committed <- t.stats.ops_committed + 1;
+              let redirect =
+                if t.wdelta = 0 then s.redirect
+                else List.map (fun (p, rr) -> (shift_pos t p, rr)) s.redirect
+              in
+              List.iter
+                (fun w ->
+                  let pos = storage_of_write w in
+                  match List.assoc_opt pos redirect with
+                  | Some rr ->
+                    let e = rr_of t rr in
+                    (match w with
+                    | W_phys (_, v) | W_freg (_, v) | W_icc v -> e.v <- v
+                    | W_win _ -> invalid_arg "renamed window write");
+                    e.exn <- None
+                  | None -> push_bw t w)
+                out.writes;
+              (match out.load with
+              | Some (a, sz) ->
+                penalty := !penalty + Dts_mem.Cache.access t.dcache a;
+                log_load t s idx a sz
+              | None -> ());
+              (match out.store with
+              | Some (a, sz, v) -> (
+                (* a renamed store redirects its (single) memory output *)
+                match s.redirect with
+                | (Mem _, rr) :: _ ->
+                  let e = rr_of t rr in
+                  e.m_addr <- a;
+                  e.m_size <- sz;
+                  e.v <- v;
+                  e.exn <- None
+                | _ ->
+                  penalty := !penalty + Dts_mem.Cache.access t.dcache a;
+                  log_store t ~order:s.order ~cross:s.cross idx a sz;
+                  push_bs t a sz v s.order)
+              | None -> ()))
+          | Copy c, _ ->
+            t.stats.copies_committed <- t.stats.copies_committed + 1;
+            List.iter
+              (fun (rr, target) ->
+                let src = rr_of t rr in
+                match target with
+                | T_ren dst_ref ->
+                  let dst = rr_of t dst_ref in
+                  dst.v <- src.v;
+                  dst.m_addr <- src.m_addr;
+                  dst.m_size <- src.m_size;
+                  dst.exn <- src.exn
+                | T_arch pos -> (
+                  match src.exn with
+                  | Some tr -> raise (Block_trap tr)
+                  | None -> (
+                    match shift_pos t pos with
+                    | Int_reg p -> push_bw t (W_phys (p, src.v))
+                    | Fp_reg f -> push_bw t (W_freg (f, src.v))
+                    | Flags -> push_bw t (W_icc src.v)
+                    | Win -> invalid_arg "renamed window copy"
+                    | Ren _ -> invalid_arg "T_arch to a renaming register"
+                    | Mem _ ->
+                      penalty :=
+                        !penalty + Dts_mem.Cache.access t.dcache src.m_addr;
+                      log_store t ~order:c.c_order ~cross:true idx src.m_addr
+                        src.m_size;
+                      push_bs t src.m_addr src.m_size src.v c.c_order)))
+              c.c_moves
+          | Op _, None -> assert false)
+      entries;
+    (* phase 4: apply buffered effects (reads already done) *)
+    apply_buffered t;
+    match !fail with
+    | Some (_, target) ->
+      t.stats.mispredicts <- t.stats.mispredicts + 1;
+      R_redirect { target }
+    | None ->
+      if idx = block.nba_idx then R_block_end { next_addr = block.nba_addr }
+      else R_next
+  with
   | Alias_violation ->
     t.stats.aliasing_exceptions <- t.stats.aliasing_exceptions + 1;
     if Dts_obs.Trace.enabled t.tracer then
       Dts_obs.Trace.emit t.tracer
         (Aliasing_violation { tag = block.tag_addr; li = idx });
     rollback t;
-    (R_exn E_aliasing, !penalty)
+    R_exn E_aliasing
   | Block_trap tr ->
     rollback t;
-    (R_exn (E_trap tr), !penalty))
+    R_exn (E_trap tr)
+
+(** Execute long instruction [idx] of [block]. Returns the control outcome
+    and the data-cache penalty cycles incurred. On [R_exn] the rollback has
+    already been performed. Dispatches to the plan executor when the block
+    was entered through {!enter_plan}, else interprets. *)
+let exec_li t (block : block) idx : li_result * int =
+  t.stats.lis_executed <- t.stats.lis_executed + 1;
+  let penalty = ref 0 in
+  let r =
+    match t.plan_ctx with
+    | Some v -> exec_li_plan t block v idx penalty
+    | None -> exec_li_interp t block idx penalty
+  in
+  (r, !penalty)
 
 (** Clean block exit. In the checkpoint scheme the recovery data is simply
     dropped; in the data-store-list scheme the buffered stores drain to
     memory in order (the order fields make in-order memory update possible,
-    §3.11). Returns the data-cache penalty cycles of the drain. *)
+    §3.11), each range written whole. Returns the data-cache penalty cycles
+    of the drain. *)
 let commit_block t =
-  t.shadow <- None;
-  t.recovery <- [];
+  t.shadow_valid <- false;
   t.n_recovery <- 0;
   Aliaslog.clear t.mem_log;
-  if t.dsl_ranges = [] then 0
+  if t.dsl_n = 0 then 0
   else begin
     let penalty = ref 0 in
-    List.iter
-      (fun (addr, size, _) ->
+    let idxs = Array.init t.dsl_n (fun i -> i) in
+    Array.sort (fun i j -> compare t.dsl_order.(i) t.dsl_order.(j)) idxs;
+    Array.iter
+      (fun i ->
+        let addr = t.dsl_addr.(i) and size = t.dsl_size.(i) in
         penalty := !penalty + Dts_mem.Cache.access t.dcache addr;
-        for b = addr to addr + size - 1 do
-          Dts_mem.Memory.write t.st.mem ~addr:b ~size:1
-            (Dts_mem.Memory.read t.dsl_mem ~addr:b ~size:1 ~signed:false)
-        done)
-      (List.sort
-         (fun (_, _, o1) (_, _, o2) -> compare o1 o2)
-         t.dsl_ranges);
-    t.dsl_mem <- Dts_mem.Memory.create ();
-    t.dsl_ranges <- [];
+        Dts_mem.Memory.write t.st.mem ~addr ~size
+          (Dts_mem.Memory.read t.dsl_mem ~addr ~size ~signed:false))
+      idxs;
+    clear_dsl t;
     !penalty
   end

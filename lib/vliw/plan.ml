@@ -1,0 +1,220 @@
+(** Install-time block compilation (§3.5, §3.8–3.11).
+
+    The paper's premise is that scheduling work is paid {e once}, when the
+    trace is scheduled into a block — replaying the block from the VLIW
+    Cache is then cheap. The interpreter in {!Engine} does not honour that:
+    every cycle it re-walks each scheduled op's association lists
+    ([subs]/[redirect]), re-shifts window-relative register positions and
+    re-discovers which ops are conditional branches. This module performs
+    that analysis once per installed block and bakes the result into flat
+    arrays the engine can execute with array probes only.
+
+    A plan is compiled against a specific window delta ([wdelta]): all
+    window-relative integer-register positions in substitution and
+    redirection maps, and the [cwp] each op executes under, are resolved at
+    compile time. Blocks are entered at arbitrary call depths, so a plan
+    holds one variant per {e observed} wdelta — the base variant (wdelta 0,
+    by far the common case) plus a lazily built list of shifted variants.
+
+    Plans carry no mutable execution state; the reusable scratch storage
+    (renaming-register arena, buffered write/store vectors) lives in
+    {!Engine.t}. A plan holds a pointer to the block it was compiled from,
+    which the machine uses to detect staleness: the VLIW Cache owns blocks,
+    and whenever a block leaves the cache (eviction, replacement,
+    self-modifying-code invalidation) the plan compiled from it is dropped
+    with it. *)
+
+open Dts_sched.Schedtypes
+
+(** A copy destination with the window shift already applied. [PT_mem] is a
+    buffered store delivered from a memory renaming register; the address
+    and size live in the source register at run time. *)
+type ptarget = PT_ren of rref | PT_phys of int | PT_freg of int | PT_flags | PT_mem
+
+type pmove = { pm_src : rref; pm_tgt : ptarget }
+
+(** One slot op, pre-decoded. For an [P_op], the substitution and
+    redirection association lists are split by storage kind into parallel
+    position/register arrays (probed with integer compares, in list order so
+    first-match semantics are preserved), and the per-op facts the
+    interpreter recomputes each cycle — conditional-control?, trap
+    deferrable?, store redirected?, execution cwp — are baked in. *)
+type pop =
+  | P_op of {
+      op : sop;
+      x_cwp : int;  (** cwp this op executes under (shifted) *)
+      sub_phys_pos : int array;  (** physical int reg positions (shifted) *)
+      sub_phys_rr : rref array;
+      sub_freg_pos : int array;
+      sub_freg_rr : rref array;
+      sub_icc : rref option;
+      red_phys_pos : int array;  (** redirected outputs, by kind *)
+      red_phys_rr : rref array;
+      red_freg_pos : int array;
+      red_freg_rr : rref array;
+      red_icc : rref option;
+      red_win : bool;  (** a window-pointer output is redirected *)
+      red_mem : rref option;  (** head-of-redirect memory output (§3.8) *)
+      red_all : rref array;  (** every redirect target, for trap deferral *)
+      deferrable : bool;
+          (** every architectural output renamed — a trap defers into the
+              renaming registers instead of ending the block (§3.11) *)
+      is_cond : bool;  (** conditional control, re-evaluated against
+                           [obs_next_pc] each execution (§3.5) *)
+    }
+  | P_copy of { moves : pmove array; c_order : int }
+
+(** One long instruction: ops in occupancy order with their branch tags. *)
+type pli = { p_ops : pop array; p_tags : int array }
+
+type variant = { v_wdelta : int; v_lis : pli array }
+
+type t = {
+  p_block : block;
+  p_base : variant;  (** wdelta = 0 *)
+  mutable p_variants : variant list;  (** shifted variants, lazily built *)
+}
+
+let shift_pos ~nwindows ~wdelta (pos : Dts_isa.Storage.t) : Dts_isa.Storage.t =
+  match pos with
+  | Int_reg p when p >= Dts_isa.State.n_globals ->
+    let nw16 = nwindows * 16 in
+    Int_reg
+      (Dts_isa.State.n_globals
+      + ((p - Dts_isa.State.n_globals + (wdelta * 16)) mod nw16))
+  | Int_reg _ | Fp_reg _ | Flags | Win | Mem _ | Ren _ -> pos
+
+(* Split an association list keyed by storage position into per-kind
+   parallel arrays, preserving list order (= List.assoc_opt first-match
+   order). Only integer-register keys are window-relative; Fp_reg/Flags
+   keys are shift-invariant, and Win/Mem/Ren keys are never probed by
+   position. *)
+let split_assoc ~nwindows ~wdelta (l : (Dts_isa.Storage.t * rref) list) =
+  let phys =
+    List.filter_map
+      (fun (p, rr) ->
+        match shift_pos ~nwindows ~wdelta p with
+        | Dts_isa.Storage.Int_reg q -> Some (q, rr)
+        | _ -> None)
+      l
+  in
+  let fregs =
+    List.filter_map
+      (fun (p, rr) ->
+        match p with Dts_isa.Storage.Fp_reg f -> Some (f, rr) | _ -> None)
+      l
+  in
+  let icc =
+    List.find_map
+      (fun ((p : Dts_isa.Storage.t), rr) ->
+        match p with Flags -> Some rr | _ -> None)
+      l
+  in
+  ( Array.of_list (List.map fst phys),
+    Array.of_list (List.map snd phys),
+    Array.of_list (List.map fst fregs),
+    Array.of_list (List.map snd fregs),
+    icc )
+
+let build_op ~nwindows ~wdelta (s : sop) =
+  let sub_phys_pos, sub_phys_rr, sub_freg_pos, sub_freg_rr, sub_icc =
+    split_assoc ~nwindows ~wdelta s.subs
+  in
+  let red_phys_pos, red_phys_rr, red_freg_pos, red_freg_rr, red_icc =
+    split_assoc ~nwindows ~wdelta s.redirect
+  in
+  let red_win =
+    List.exists
+      (fun ((p : Dts_isa.Storage.t), _) -> p = Win)
+      s.redirect
+  in
+  let red_mem =
+    match s.redirect with
+    | (Dts_isa.Storage.Mem _, rr) :: _ -> Some rr
+    | _ -> None
+  in
+  (* deferral is decided on the unshifted maps, exactly as the interpreter
+     does — membership is invariant under the uniform window shift *)
+  let deferrable =
+    s.redirect <> []
+    && List.for_all (fun w -> List.mem_assoc w s.redirect) s.arch_writes
+  in
+  P_op
+    {
+      op = s;
+      x_cwp = (s.cwp + wdelta) mod nwindows;
+      sub_phys_pos;
+      sub_phys_rr;
+      sub_freg_pos;
+      sub_freg_rr;
+      sub_icc;
+      red_phys_pos;
+      red_phys_rr;
+      red_freg_pos;
+      red_freg_rr;
+      red_icc;
+      red_win;
+      red_mem;
+      red_all = Array.of_list (List.map snd s.redirect);
+      deferrable;
+      is_cond = Dts_isa.Instr.is_conditional_ctrl s.instr;
+    }
+
+let build_move ~nwindows ~wdelta ((rr, tgt) : rref * wtarget) =
+  let pm_tgt =
+    match tgt with
+    | T_ren dst -> PT_ren dst
+    | T_arch pos -> (
+      match shift_pos ~nwindows ~wdelta pos with
+      | Int_reg p -> PT_phys p
+      | Fp_reg f -> PT_freg f
+      | Flags -> PT_flags
+      | Mem _ -> PT_mem
+      | Win -> invalid_arg "renamed window copy"
+      | Ren _ -> invalid_arg "T_arch to a renaming register")
+  in
+  { pm_src = rr; pm_tgt }
+
+let build_li ~nwindows ~wdelta (li : li) =
+  let items =
+    List.rev
+      (li_fold
+         (fun acc _k op tag ->
+           let p =
+             match op with
+             | Op s -> build_op ~nwindows ~wdelta s
+             | Copy c ->
+               P_copy
+                 {
+                   moves =
+                     Array.of_list
+                       (List.map (build_move ~nwindows ~wdelta) c.c_moves);
+                   c_order = c.c_order;
+                 }
+           in
+           (p, tag) :: acc)
+         [] li)
+  in
+  {
+    p_ops = Array.of_list (List.map fst items);
+    p_tags = Array.of_list (List.map snd items);
+  }
+
+let build_variant ~nwindows ~wdelta (b : block) =
+  { v_wdelta = wdelta; v_lis = Array.map (build_li ~nwindows ~wdelta) b.lis }
+
+(** Compile [b] into a plan with its base (wdelta 0) variant. *)
+let compile ~nwindows (b : block) =
+  { p_block = b; p_base = build_variant ~nwindows ~wdelta:0 b; p_variants = [] }
+
+(** The variant of [t] for [wdelta], building and caching it on first
+    observation. Returns [(variant, freshly_built)]. *)
+let variant ~nwindows t ~wdelta =
+  if wdelta = 0 then (t.p_base, false)
+  else
+    match List.find_opt (fun v -> v.v_wdelta = wdelta) t.p_variants with
+    | Some v -> (v, false)
+    | None ->
+      let v = build_variant ~nwindows ~wdelta t.p_block in
+      t.p_variants <- v :: t.p_variants;
+      (v, true)

@@ -9,6 +9,7 @@ let () =
       ("sched", Test_sched.suite);
       ("primary", Test_primary.suite);
       ("vliw", Test_vliw.suite);
+      ("plan", Test_plan.suite);
       ("aliaslog", Test_aliaslog.suite);
       ("machine", Test_machine.suite);
       ("dif", Test_dif.suite);

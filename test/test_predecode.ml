@@ -96,6 +96,52 @@ done:   halt
   Alcotest.check Alcotest.bool "the patch invalidated a cached entry" true
     (Predecode.invalidations st.predecode >= 1)
 
+(* Memory.copy must not leak consumers between the original and the copy:
+   predecode stores register reset hooks on their memory, and copying a
+   memory with a live predecode used to silently drop/alias those hooks.
+   The copy gets fresh (empty) hook lists, and the source's caches are
+   reset at copy time so neither side can serve stale decodes. *)
+let test_memory_copy_resets_source_predecode () =
+  let mem = Dts_mem.Memory.create () in
+  let pd = Predecode.create mem in
+  let a = 0x3000 in
+  Dts_mem.Memory.write_u32 mem a (Encode.encode ~pc:a (add_imm ~rs1:8 ~imm:1 ~rd:8));
+  ignore (Predecode.fetch pd ~addr:a);
+  check_int "primed" 1 (Predecode.decodes pd);
+  let snapshot = Dts_mem.Memory.copy mem in
+  (* the copy fired the reset hooks: the next fetch re-decodes instead of
+     trusting state that the snapshot no longer observes *)
+  ignore (Predecode.fetch pd ~addr:a);
+  check_int "re-decoded after copy" 2 (Predecode.decodes pd);
+  (* and the copy's hook lists are independent: writes into the snapshot
+     never touch the original's predecode *)
+  Dts_mem.Memory.write snapshot ~addr:a ~size:4
+    (Encode.encode ~pc:a (add_imm ~rs1:8 ~imm:9 ~rd:8));
+  let inv_before = Predecode.invalidations pd in
+  Dts_mem.Memory.write mem ~addr:a ~size:4
+    (Encode.encode ~pc:a (add_imm ~rs1:8 ~imm:7 ~rd:8));
+  check_int "original still sees its own writes" (inv_before + 1)
+    (Predecode.invalidations pd);
+  (match Predecode.fetch pd ~addr:a with
+  | Instr.Alu { op2 = Instr.Imm 7; _ } -> ()
+  | i -> Alcotest.failf "copy's write leaked into the source: %s"
+           (Disasm.to_string i))
+
+let test_memory_copy_hooks_do_not_fire_on_copy_writes () =
+  let mem = Dts_mem.Memory.create () in
+  let pd = Predecode.create mem in
+  let a = 0x4000 in
+  Dts_mem.Memory.write_u32 mem a (Encode.encode ~pc:a (add_imm ~rs1:8 ~imm:1 ~rd:8));
+  ignore (Predecode.fetch pd ~addr:a);
+  let snapshot = Dts_mem.Memory.copy mem in
+  let inv = Predecode.invalidations pd in
+  Dts_mem.Memory.write snapshot ~addr:a ~size:1 0xFF;
+  check_int "snapshot writes invalidate nothing in the source" inv
+    (Predecode.invalidations pd);
+  check_int "snapshot kept the original bytes elsewhere"
+    (Dts_mem.Memory.read mem ~addr:(a + 4) ~size:4 ~signed:false)
+    (Dts_mem.Memory.read snapshot ~addr:(a + 4) ~size:4 ~signed:false)
+
 let suite =
   [
     Alcotest.test_case "fetch caches decodes" `Quick test_fetch_caches;
@@ -106,4 +152,8 @@ let suite =
       test_unrelated_write_is_free;
     Alcotest.test_case "self-modifying code on golden" `Quick
       test_self_modifying_golden;
+    Alcotest.test_case "memory copy resets source predecode" `Quick
+      test_memory_copy_resets_source_predecode;
+    Alcotest.test_case "copy writes never reach source hooks" `Quick
+      test_memory_copy_hooks_do_not_fire_on_copy_writes;
   ]

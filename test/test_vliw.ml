@@ -50,6 +50,7 @@ let block_of ?(tag_addr = 0x1000) ?(entry_cwp = 0) ?(rr = [| 8; 8; 8; 8 |])
     rr_counts = rr;
     n_slots_filled = 0;
     n_copies = 0;
+    max_li_ops = List.fold_left (fun a li -> max a (li_count li)) 0 lis;
   }
 
 let fresh_engine ?(nwindows = 8) () =
