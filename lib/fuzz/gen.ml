@@ -1,0 +1,481 @@
+(** Seeded, constraint-aware random SRISC program generator.
+
+    Programs are built from a tree of structured constructs and then
+    flattened to absolute addresses, which makes three properties hold {e by
+    construction} rather than by filtering:
+
+    - {b Termination.} The only back-edges are counted loops whose counter
+      lives in a reserved global ([%g5]–[%g7]) that no generated instruction
+      ever writes; every other construct is forward-only. A program's
+      dynamic length is bounded by (product of enclosing loop counts) ×
+      static length, and loop counts and nesting are capped.
+    - {b Alignment.} Every load/store address is [%g4] (the reserved arena
+      base, set once in the prologue and never written again) plus either an
+      immediate offset aligned to the access size, or a computed offset
+      masked to the arena and shifted into word alignment — so the
+      [Fatal_fault] a misaligned access escalates to cannot occur.
+    - {b Window balance.} [save]/[restore] only appear as matched pairs
+      inside a single construct ([Window], [Deepwin], [Callfn]), so the
+      window depth at any program point is control-flow independent and
+      restores can never underflow an empty spill stack. Depth runs beyond
+      [nwindows - 2] are generated deliberately ([Deepwin]) to exercise the
+      overflow/underflow spill-fill microroutine, including inside cached
+      blocks.
+
+    Within those constraints the generator aims for scheduler stress:
+    icc-setting ALU ops feeding conditional branches, sethi/lo address
+    formation, loads/stores confined to a small scratch arena with
+    deliberately overlapping (aliasing) pairs, indirect jumps through
+    generated jump tables, and loop back-edges so the same code is
+    scheduled, cached, and re-executed from the VLIW Cache. *)
+
+open Dts_isa
+
+let arena_base = Layout.heap_base
+let arena_bytes = 64
+let arena_words = arena_bytes / 4
+
+(* %g4 holds the arena base; %g5-%g7 are loop counters. None is ever the
+   destination of a generated instruction outside its dedicated role. *)
+let arena_reg = 4
+let counter_regs = [ 5; 6; 7 ]
+
+(* Destinations: everything except %g0, the reserved globals, %sp (14),
+   %o7/%i7 (15/31: call/return linkage) and %fp (30). *)
+let writable =
+  [| 1; 2; 3; 8; 9; 10; 11; 12; 13; 16; 17; 18; 19; 20; 21; 22; 23;
+     24; 25; 26; 27; 28; 29 |]
+
+(* Sources: any destination, %g0, and the reserved registers (reading a
+   live loop counter gives iteration-dependent values). *)
+let readable = Array.append writable [| 0; 4; 5; 6; 7 |]
+
+type node =
+  | Ops of Instr.t list
+  | Skip of { cc_op : Instr.t; cond : Instr.cond; body : node list }
+  | Loop of { counter : int; count : int; body : node list }
+  | Window of { save : Instr.t; restore : Instr.t; body : node list }
+  | Deepwin of int  (** [k] straight-line saves then [k] restores *)
+  | Callfn of { restore : Instr.t; body : node list }
+  | Dispatch of { sel : int; ti : int; tt : int; bodies : node list list }
+
+let rec size = function
+  | Ops l -> List.length l
+  | Skip { body; _ } -> 2 + size_list body
+  | Loop { body; _ } -> 3 + size_list body
+  | Window { body; _ } -> 2 + size_list body
+  | Deepwin k -> 2 * k
+  | Callfn { body; _ } -> 5 + size_list body
+  | Dispatch { bodies; _ } ->
+    6 + List.fold_left (fun a b -> a + size_list b + 1) 0 bodies
+
+and size_list l = List.fold_left (fun a n -> a + size n) 0 l
+
+(* ---------- random atoms ---------- *)
+
+let wreg rng = Sprng.choose rng writable
+let rreg rng = Sprng.choose rng readable
+
+let operand rng =
+  if Sprng.bool rng then Instr.Reg (rreg rng)
+  else Instr.Imm (Sprng.range rng (-2048) 2047)
+
+let alu_ops =
+  [| Instr.Add; Sub; And; Andn; Or; Orn; Xor; Xnor; Sll; Srl; Sra;
+     Smul; Umul; Sdiv; Udiv |]
+
+let conds =
+  [| Instr.E; NE; L; LE; G; GE; LU; LEU; GU; GEU; Neg; Pos |]
+
+let gen_alu rng =
+  Instr.Alu
+    {
+      op = Sprng.choose rng alu_ops;
+      cc = Sprng.chance rng 1 4;
+      rs1 = rreg rng;
+      op2 = operand rng;
+      rd = wreg rng;
+    }
+
+(* Aligned arena offset for an access of [size] bytes. *)
+let arena_off rng bytes =
+  let slots = arena_bytes / bytes in
+  Sprng.int rng slots * bytes
+
+let gen_load rng off size = Instr.Load { size; rs1 = arena_reg; op2 = Imm off; rd = wreg rng }
+let gen_store rng off size = Instr.Store { size; rs = rreg rng; rs1 = arena_reg; op2 = Imm off }
+
+let lsizes = [| Instr.Lsb; Lub; Lsh; Luh; Lw |]
+let ssizes = [| Instr.Sb; Sh; Sw |]
+
+let lsize_bytes = Instr.lsize_bytes
+let ssize_bytes = Instr.ssize_bytes
+
+(* A deliberately overlapping pair of memory accesses: a word-aligned base
+   plus sub-word offsets so every combination of widths stays naturally
+   aligned while still colliding. *)
+let gen_alias_pair rng =
+  let base = arena_off rng 4 in
+  let acc () =
+    if Sprng.bool rng then
+      let size = Sprng.choose rng ssizes in
+      let delta = Sprng.int rng (4 / ssize_bytes size) * ssize_bytes size in
+      gen_store rng (base + delta) size
+    else
+      let size = Sprng.choose rng lsizes in
+      let delta = Sprng.int rng (4 / lsize_bytes size) * lsize_bytes size in
+      gen_load rng (base + delta) size
+  in
+  let a = acc () and b = acc () in
+  (* optionally separate the pair so they land in different long
+     instructions of a block *)
+  if Sprng.chance rng 1 2 then [ a; b ] else [ a; gen_alu rng; b ]
+
+(* A data-dependent, in-arena, word-aligned address: mask a register down
+   to a word index, scale it, add the arena base. Sourcing the index from a
+   live loop counter (half the time) is what arms the aliasing log: the
+   address then changes between iterations, so a block scheduled from a
+   trace where two accesses did not collide re-executes with them
+   colliding — exactly the speculation the §3.10 runtime check must catch. *)
+let gen_computed_mem rng =
+  let t = wreg rng in
+  let src =
+    if Sprng.chance rng 1 2 then 5 + Sprng.int rng 3 (* %g5-%g7 *)
+    else rreg rng
+  in
+  let pre =
+    [
+      Instr.Alu { op = And; cc = false; rs1 = src;
+                  op2 = Imm (arena_words - 1); rd = t };
+      Instr.Alu { op = Sll; cc = false; rs1 = t; op2 = Imm 2; rd = t };
+      Instr.Alu { op = Add; cc = false; rs1 = t; op2 = Reg arena_reg; rd = t };
+    ]
+  in
+  let access =
+    if Sprng.bool rng then
+      Instr.Load { size = Lw; rs1 = t; op2 = Imm 0; rd = wreg rng }
+    else Instr.Store { size = Sw; rs = rreg rng; rs1 = t; op2 = Imm 0 }
+  in
+  pre @ [ access ]
+
+(* The aliasing-log stressor: a counter-swept computed access next to a
+   fixed-offset access at a low arena address. When this lands inside a
+   loop, the trace the block is scheduled from (an early iteration, counter
+   high) shows disjoint addresses — so the scheduler is free to reorder the
+   pair — while a later VLIW-executed iteration (counter low) makes them
+   collide, which the §3.10 runtime order check must catch and roll back.
+   Loop counters count down to 1, so a fixed offset of 4 collides exactly
+   on the final iteration. *)
+let gen_alias_sweep rng =
+  let t = wreg rng in
+  let ctr = 5 + Sprng.int rng 3 in
+  let fixed_off = 4 * Sprng.pick rng [ (4, 1); (1, 2); (1, 3) ] in
+  let pre =
+    [
+      Instr.Alu { op = And; cc = false; rs1 = ctr;
+                  op2 = Imm (arena_words - 1); rd = t };
+      Instr.Alu { op = Sll; cc = false; rs1 = t; op2 = Imm 2; rd = t };
+      Instr.Alu { op = Add; cc = false; rs1 = t; op2 = Reg arena_reg; rd = t };
+    ]
+  in
+  if Sprng.bool rng then
+    (* swept store then fixed load: the load may be hoisted above the
+       store, and the final iteration makes the pair overlap *)
+    pre
+    @ [ Instr.Store { size = Sw; rs = rreg rng; rs1 = t; op2 = Imm 0 };
+        Instr.Load { size = Lw; rs1 = arena_reg; op2 = Imm fixed_off;
+                     rd = wreg rng } ]
+  else
+    (* swept load then fixed store: the store may be hoisted or split *)
+    pre
+    @ [ Instr.Load { size = Lw; rs1 = t; op2 = Imm 0; rd = wreg rng };
+        Instr.Store { size = Sw; rs = rreg rng; rs1 = arena_reg;
+                      op2 = Imm fixed_off } ]
+
+let fpu_ops = [| Instr.Fadd; Fsub; Fmul; Fdiv; Fitos; Fstoi |]
+
+let gen_fpu rng =
+  Instr.Fpop
+    {
+      op = Sprng.choose rng fpu_ops;
+      rs1 = Sprng.int rng 32;
+      rs2 = Sprng.int rng 32;
+      rd = Sprng.int rng 32;
+    }
+
+let gen_atom rng =
+  Sprng.pick rng
+    [
+      (10, `Alu);
+      (2, `Sethi);
+      (6, `Load);
+      (6, `Store);
+      (6, `Alias);
+      (4, `Computed);
+      (6, `Sweep);
+      (3, `Fpu);
+      (2, `Fload);
+      (2, `Fstore);
+      (1, `Trap);
+      (1, `Nop);
+    ]
+  |> function
+  | `Alu -> [ gen_alu rng ]
+  | `Sethi -> [ Instr.Sethi { imm = Sprng.int rng 0x400000; rd = wreg rng } ]
+  | `Load ->
+    let size = Sprng.choose rng lsizes in
+    [ gen_load rng (arena_off rng (lsize_bytes size)) size ]
+  | `Store ->
+    let size = Sprng.choose rng ssizes in
+    [ gen_store rng (arena_off rng (ssize_bytes size)) size ]
+  | `Alias -> gen_alias_pair rng
+  | `Computed -> gen_computed_mem rng
+  | `Sweep -> gen_alias_sweep rng
+  | `Fpu -> [ gen_fpu rng ]
+  | `Fload ->
+    [ Instr.Fload { rs1 = arena_reg; op2 = Imm (arena_off rng 4);
+                    rd = Sprng.int rng 32 } ]
+  | `Fstore ->
+    [ Instr.Fstore { rd = Sprng.int rng 32; rs1 = arena_reg;
+                     op2 = Imm (arena_off rng 4) } ]
+  | `Trap -> [ Instr.Trap (Sprng.int rng 16) ]
+  | `Nop -> [ Instr.Nop ]
+
+(* An icc-setting comparison for a conditional branch. *)
+let gen_cc_op rng =
+  let op = Sprng.pick rng [ (4, Instr.Sub); (2, Add); (1, And); (1, Xor) ] in
+  let rd = if Sprng.chance rng 2 3 then 0 else wreg rng in
+  Instr.Alu { op; cc = true; rs1 = rreg rng; op2 = operand rng; rd }
+
+let canonical_save = Instr.Save { rs1 = 14; op2 = Imm (-96); rd = 14 }
+
+let gen_restore rng =
+  let rd = if Sprng.chance rng 1 2 then 0 else wreg rng in
+  Instr.Restore
+    { rs1 = rreg rng; op2 = Imm (Sprng.range rng (-64) 64); rd }
+
+(* ---------- construct tree ---------- *)
+
+let rec gen_body rng ~depth ~budget ~counters =
+  let nodes = ref [] in
+  let budget = ref budget in
+  while !budget > 0 do
+    let n = gen_construct rng ~depth ~budget:!budget ~counters in
+    let s = size n in
+    if s <= !budget then begin
+      nodes := n :: !nodes;
+      budget := !budget - s
+    end
+    else budget := 0
+  done;
+  List.rev !nodes
+
+and gen_construct rng ~depth ~budget ~counters =
+  let sub_budget overhead =
+    Sprng.range rng 3 (min 40 (max 3 (budget - overhead)))
+  in
+  let choices =
+    [ (12, `Atom) ]
+    @ (if budget >= 8 && depth < 4 then [ (4, `Skip) ] else [])
+    @ (if budget >= 8 && depth < 4 && counters <> [] then [ (4, `Loop) ]
+       else [])
+    @ (if budget >= 8 && depth < 4 then [ (3, `Window) ] else [])
+    @ (if budget >= 8 then [ (1, `Deepwin) ] else [])
+    @ (if budget >= 12 && depth < 3 then [ (2, `Callfn) ] else [])
+    @ (if budget >= 20 && depth < 3 then [ (2, `Dispatch) ] else [])
+  in
+  match Sprng.pick rng choices with
+  | `Atom -> Ops (gen_atom rng)
+  | `Skip ->
+    Skip
+      {
+        cc_op = gen_cc_op rng;
+        cond = Sprng.choose rng conds;
+        body =
+          gen_body rng ~depth:(depth + 1) ~budget:(sub_budget 2) ~counters;
+      }
+  | `Loop ->
+    let counter = List.hd counters in
+    Loop
+      {
+        counter;
+        count = Sprng.range rng 2 5;
+        body =
+          gen_body rng ~depth:(depth + 1) ~budget:(sub_budget 3)
+            ~counters:(List.tl counters);
+      }
+  | `Window ->
+    Window
+      {
+        save = canonical_save;
+        restore = gen_restore rng;
+        body =
+          gen_body rng ~depth:(depth + 1) ~budget:(sub_budget 2) ~counters;
+      }
+  | `Deepwin ->
+    (* mostly shallow; occasionally deeper than nwindows - 2 = 30 resident
+       windows so the spill/fill microroutine runs, possibly mid-block *)
+    let k_max = min (budget / 2) 36 in
+    let k =
+      if Sprng.chance rng 1 4 then Sprng.range rng 2 k_max
+      else Sprng.range rng 2 (min 6 k_max)
+    in
+    Deepwin k
+  | `Callfn ->
+    Callfn
+      {
+        restore = gen_restore rng;
+        body =
+          gen_body rng ~depth:(depth + 1) ~budget:(sub_budget 5) ~counters;
+      }
+  | `Dispatch ->
+    let n_bodies = if Sprng.bool rng then 2 else 4 in
+    let bodies =
+      List.init n_bodies (fun _ ->
+          gen_body rng ~depth:(depth + 1)
+            ~budget:(Sprng.range rng 2 (max 2 ((budget - 10) / n_bodies)))
+            ~counters)
+    in
+    (* the index and table-base temporaries must be distinct registers:
+       the sethi over [tt] would otherwise clobber the computed index *)
+    let ti = wreg rng in
+    let rec pick_tt () =
+      let r = wreg rng in
+      if r = ti then pick_tt () else r
+    in
+    Dispatch { sel = rreg rng; ti; tt = pick_tt (); bodies }
+
+(* ---------- flattening to absolute addresses ---------- *)
+
+type ctx = {
+  mutable addr : int;
+  mutable code : (int * Instr.t) list;  (** reversed *)
+  mutable data : (int * string) list;  (** reversed *)
+  mutable data_addr : int;
+}
+
+let push ctx i =
+  ctx.code <- (ctx.addr, i) :: ctx.code;
+  ctx.addr <- ctx.addr + Instr.bytes
+
+let alloc_table ctx words =
+  let addr = ctx.data_addr in
+  let b = Bytes.create (List.length words * 4) in
+  List.iteri
+    (fun i w ->
+      Bytes.set_uint8 b (i * 4) ((w lsr 24) land 0xFF);
+      Bytes.set_uint8 b ((i * 4) + 1) ((w lsr 16) land 0xFF);
+      Bytes.set_uint8 b ((i * 4) + 2) ((w lsr 8) land 0xFF);
+      Bytes.set_uint8 b ((i * 4) + 3) (w land 0xFF))
+    words;
+  ctx.data <- (addr, Bytes.to_string b) :: ctx.data;
+  ctx.data_addr <- ctx.data_addr + Bytes.length b;
+  addr
+
+let rec emit ctx node =
+  match node with
+  | Ops l -> List.iter (push ctx) l
+  | Skip { cc_op; cond; body } ->
+    push ctx cc_op;
+    let after = ctx.addr + (Instr.bytes * (1 + size_list body)) in
+    push ctx (Branch { cond; target = after });
+    List.iter (emit ctx) body
+  | Loop { counter; count; body } ->
+    push ctx (Alu { op = Or; cc = false; rs1 = 0; op2 = Imm count; rd = counter });
+    let head = ctx.addr in
+    List.iter (emit ctx) body;
+    push ctx (Alu { op = Sub; cc = true; rs1 = counter; op2 = Imm 1; rd = counter });
+    push ctx (Branch { cond = G; target = head })
+  | Window { save; restore; body } ->
+    push ctx save;
+    List.iter (emit ctx) body;
+    push ctx restore
+  | Deepwin k ->
+    for _ = 1 to k do
+      push ctx canonical_save
+    done;
+    for _ = 1 to k do
+      push ctx (Restore { rs1 = 0; op2 = Imm 0; rd = 0 })
+    done
+  | Callfn { restore; body } ->
+    let fn = ctx.addr + (2 * Instr.bytes) in
+    let after = fn + (Instr.bytes * (size_list body + 3)) in
+    push ctx (Call { target = fn });
+    push ctx (Branch { cond = A; target = after });
+    push ctx canonical_save;
+    List.iter (emit ctx) body;
+    push ctx restore;
+    (* the caller's %o7 holds the call site again after the restore *)
+    push ctx (Jmpl { rs1 = 15; op2 = Imm 4; rd = 0 })
+  | Dispatch { sel; ti; tt; bodies } ->
+    let n = List.length bodies in
+    (* body k starts after the 6-instruction dispatch header, offset by the
+       sizes (each +1 for its trailing jump to the join point) of the
+       bodies before it *)
+    let header_end = ctx.addr + (6 * Instr.bytes) in
+    let starts, join =
+      List.fold_left
+        (fun (starts, a) b ->
+          (a :: starts, a + (Instr.bytes * (size_list b + 1))))
+        ([], header_end) bodies
+    in
+    let starts = List.rev starts in
+    let table = alloc_table ctx starts in
+    push ctx (Alu { op = And; cc = false; rs1 = sel; op2 = Imm (n - 1); rd = ti });
+    push ctx (Alu { op = Sll; cc = false; rs1 = ti; op2 = Imm 2; rd = ti });
+    push ctx (Sethi { imm = table lsr 10; rd = tt });
+    push ctx (Alu { op = Or; cc = false; rs1 = tt; op2 = Imm (table land 0x3FF); rd = tt });
+    push ctx (Load { size = Lw; rs1 = tt; op2 = Reg ti; rd = tt });
+    push ctx (Jmpl { rs1 = tt; op2 = Imm 0; rd = 0 });
+    List.iter
+      (fun b ->
+        List.iter (emit ctx) b;
+        push ctx (Branch { cond = A; target = join }))
+      bodies
+
+(* ---------- top level ---------- *)
+
+let default_max_insns = 160
+
+(** The seed-reproducibility contract: the program is a pure function of
+    [(seed, max_insns)] and of this module's text — nothing else. *)
+let generate ?(max_insns = default_max_insns) ~seed () : Dts_asm.Program.t =
+  let rng = Sprng.create seed in
+  let ctx =
+    { addr = Layout.text_base; code = []; data = [];
+      data_addr = Layout.data_base }
+  in
+  (* prologue: arena base, then seed registers and a few arena words so
+     early loads see varied data *)
+  push ctx (Sethi { imm = arena_base lsr 10; rd = arena_reg });
+  push ctx
+    (Alu { op = Or; cc = false; rs1 = arena_reg;
+           op2 = Imm (arena_base land 0x3FF); rd = arena_reg });
+  let seeded =
+    List.init 5 (fun _ ->
+        let r = wreg rng in
+        push ctx
+          (Alu { op = Or; cc = false; rs1 = 0;
+                 op2 = Imm (Sprng.range rng (-2048) 2047); rd = r });
+        r)
+  in
+  List.iteri
+    (fun i r ->
+      push ctx (Store { size = Sw; rs = r; rs1 = arena_reg; op2 = Imm (i * 4) }))
+    seeded;
+  let body =
+    gen_body rng ~depth:0 ~budget:(max 8 max_insns) ~counters:counter_regs
+  in
+  List.iter (emit ctx) body;
+  push ctx Halt;
+  {
+    entry = Layout.text_base;
+    text = Array.of_list (List.rev ctx.code);
+    data = List.rev ctx.data;
+    symbols = [];
+  }
+
+(** Upper bound on the sequential instruction count of any generated
+    program: loop counts are at most 5 and at most 3 deep, so no
+    instruction runs more than 125 times (plus slack for the prologue). *)
+let dynamic_bound ~max_insns = (130 * max_insns) + 10_000

@@ -1,0 +1,116 @@
+(** Self-contained reproducer files.
+
+    A reproducer freezes the exact binary image of a failing program —
+    independent of the generator's evolution — together with the seed, the
+    engine selection and the divergence report, in a line-oriented text
+    format:
+
+    {v
+    !dtsfuzz reproducer v1
+    !seed 42
+    !geoms all
+    !note dtsvliw-compiled-ideal: test-mode mismatch at cycle 812: ...
+    entry 0x1000
+    text 0x1000 0x0d100100 ! sethi 0x400, %g4
+    text 0x1004 0x8410a000 ! or %g4, 0, %g4
+    data 0x100000 00001048000010a0
+    v}
+
+    [!]-lines are human-oriented metadata (the disassembly comments on
+    [text] lines likewise); the parser rebuilds the program from the
+    [entry]/[text]/[data] lines alone, decoding each instruction word at
+    its recorded address, so a saved file replays byte-for-byte what the
+    failing run executed. *)
+
+open Dts_isa
+
+exception Parse_error of { line : int; msg : string }
+
+let save ~path ?seed ?geoms ?(notes = []) (p : Dts_asm.Program.t) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let pr fmt = Printf.fprintf oc fmt in
+      pr "!dtsfuzz reproducer v1\n";
+      (match seed with Some s -> pr "!seed %d\n" s | None -> ());
+      (match geoms with Some g -> pr "!geoms %s\n" g | None -> ());
+      List.iter
+        (fun n ->
+          pr "!note %s\n"
+            (String.map (function '\n' | '\r' -> ' ' | c -> c) n))
+        notes;
+      pr "entry %#x\n" p.entry;
+      Array.iter
+        (fun (addr, instr) ->
+          pr "text %#x 0x%08x ! %s\n" addr
+            (Encode.encode ~pc:addr instr)
+            (Disasm.to_string instr))
+        p.text;
+      List.iter
+        (fun (addr, bytes) ->
+          pr "data %#x " addr;
+          String.iter (fun c -> pr "%02x" (Char.code c)) bytes;
+          pr "\n")
+        p.data)
+
+let bytes_of_hex ~line s =
+  if String.length s mod 2 <> 0 then
+    raise (Parse_error { line; msg = "odd-length hex data" });
+  String.init
+    (String.length s / 2)
+    (fun i ->
+      try Char.chr (int_of_string ("0x" ^ String.sub s (i * 2) 2))
+      with _ -> raise (Parse_error { line; msg = "bad hex data" }))
+
+let load path : Dts_asm.Program.t =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let entry = ref None in
+      let text = ref [] in
+      let data = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let line =
+             match String.index_opt line '!' with
+             | Some i -> String.sub line 0 i
+             | None -> line
+           in
+           match
+             String.split_on_char ' ' (String.trim line)
+             |> List.filter (fun s -> s <> "")
+           with
+           | [] -> ()
+           | [ "entry"; a ] -> entry := Some (int_of_string a)
+           | [ "text"; a; w ] ->
+             let addr = int_of_string a in
+             let word = int_of_string w in
+             text := (addr, Encode.decode ~pc:addr word) :: !text
+           | [ "data"; a; hex ] ->
+             data :=
+               (int_of_string a, bytes_of_hex ~line:!lineno hex) :: !data
+           | tok :: _ ->
+             raise
+               (Parse_error
+                  { line = !lineno; msg = "unrecognised line: " ^ tok })
+         done
+       with
+      | End_of_file -> ()
+      | Failure _ ->
+        raise (Parse_error { line = !lineno; msg = "bad number" })
+      | Encode.Decode_error { reason; _ } ->
+        raise (Parse_error { line = !lineno; msg = "decode: " ^ reason }));
+      match !entry with
+      | None -> raise (Parse_error { line = 0; msg = "missing entry line" })
+      | Some entry ->
+        {
+          Dts_asm.Program.entry;
+          text = Array.of_list (List.rev !text);
+          data = List.rev !data;
+          symbols = [];
+        })

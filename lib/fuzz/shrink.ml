@@ -1,0 +1,87 @@
+(** Greedy program shrinking.
+
+    Generated programs use absolute branch targets and jump tables of
+    absolute addresses, so physically deleting instructions (which would
+    shift every following address) is never safe. The shrinker therefore
+    only applies two layout-preserving reductions, each re-validated by the
+    caller's interestingness predicate:
+
+    - {b truncation}: cut the program at an instruction index, replacing it
+      with [Halt] (drops whole tails, including dead jump-table bodies);
+    - {b neutralisation}: replace a single instruction with [Nop].
+
+    The predicate is expected to include "the golden machine still halts
+    cleanly" (as {!Diff.diverges} does), which automatically rejects
+    candidates that a reduction made non-terminating (e.g. nop-ing out a
+    loop-counter decrement) or window-unbalanced (nop-ing a [save] but not
+    its [restore] ends in a fatal underflow, which golden rejects).
+
+    The size metric is the number of live (non-[Nop], non-[Halt])
+    instructions: neutralised slots still occupy addresses but carry no
+    behaviour and read as blank lines in the reproducer. *)
+
+open Dts_isa
+
+let live_instructions (p : Dts_asm.Program.t) =
+  Array.fold_left
+    (fun acc (_, i) ->
+      match i with Instr.Nop | Instr.Halt -> acc | _ -> acc + 1)
+    0 p.text
+
+let truncate_at (p : Dts_asm.Program.t) i =
+  let addr, _ = p.text.(i) in
+  { p with text = Array.append (Array.sub p.text 0 i) [| (addr, Instr.Halt) |] }
+
+let nop_at (p : Dts_asm.Program.t) i =
+  let text = Array.copy p.text in
+  let addr, _ = text.(i) in
+  text.(i) <- (addr, Instr.Nop);
+  { p with text }
+
+(** [shrink ~check p] greedily minimises [p] while [check] stays [true];
+    [check p] must hold on entry. [max_checks] (default 4000) bounds the
+    total number of predicate evaluations. *)
+let shrink ?(max_checks = 4000) ~check (p0 : Dts_asm.Program.t) =
+  let checks = ref 0 in
+  let try_check p =
+    if !checks >= max_checks then false
+    else begin
+      incr checks;
+      check p
+    end
+  in
+  let p = ref p0 in
+  let changed = ref true in
+  while !changed && !checks < max_checks do
+    changed := false;
+    (* shortest truncation first: scan prefixes from the front so the first
+       accepted candidate is the smallest one *)
+    (try
+       let n = Array.length !p.text in
+       for i = 1 to n - 2 do
+         let cand = truncate_at !p i in
+         if try_check cand then begin
+           p := cand;
+           changed := true;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* neutralise instructions one at a time, to fixpoint *)
+    let pass = ref true in
+    while !pass && !checks < max_checks do
+      pass := false;
+      for i = 0 to Array.length !p.text - 1 do
+        (match snd !p.text.(i) with
+        | Instr.Nop | Instr.Halt -> ()
+        | _ ->
+          let cand = nop_at !p i in
+          if try_check cand then begin
+            p := cand;
+            pass := true;
+            changed := true
+          end)
+      done
+    done
+  done;
+  !p

@@ -1,0 +1,65 @@
+(** Self-contained splitmix64 PRNG.
+
+    The fuzzer's reproducibility contract is "same seed, same program,
+    forever" — including across OCaml releases — so it cannot lean on
+    [Stdlib.Random] (whose algorithm and state layout have changed between
+    compiler versions). Splitmix64 is 10 lines, well studied, and its
+    sequence is fixed by this file alone.
+
+    [derive] gives every program of a campaign an independent stream from
+    (campaign seed, program index), which is what makes `--jobs N` runs
+    bit-identical to sequential ones: a program's bytes depend only on its
+    own derived seed, never on how many programs some worker generated
+    before it. *)
+
+type t = { mutable s : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+(* the splitmix64 finalizer *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { s = mix (Int64.of_int seed) }
+
+let next t =
+  t.s <- Int64.add t.s gamma;
+  mix t.s
+
+(** A non-negative int covering 62 bits of state. *)
+let bits t = Int64.to_int (next t) land max_int
+
+(** Uniform in [0, n). *)
+let int t n =
+  if n <= 0 then invalid_arg "Sprng.int";
+  bits t mod n
+
+(** Uniform in [lo, hi] inclusive. *)
+let range t lo hi = lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+(** True with probability [num]/[den]. *)
+let chance t num den = int t den < num
+
+let choose t arr = arr.(int t (Array.length arr))
+
+(** Weighted choice over [(weight, value)] pairs (weights > 0). *)
+let pick t choices =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 choices in
+  let r = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Sprng.pick"
+    | (w, v) :: rest -> if r < acc + w then v else go (acc + w) rest
+  in
+  go 0 choices
+
+(** Independent per-program seed for program [i] of campaign [seed]. *)
+let derive seed i =
+  Int64.to_int (mix (Int64.add (Int64.of_int seed)
+                       (Int64.mul gamma (Int64.of_int (i + 1)))))
+  land max_int

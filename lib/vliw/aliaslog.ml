@@ -23,6 +23,16 @@
 
 exception Alias_violation
 
+(** Mutation-sanity fault injection (test-only). When set, {!add} files
+    store events without checking them against the logged loads and stores
+    — the classic lost-aliasing-check bug: a store scheduled below a load
+    it should have invalidated commits silently instead of raising
+    {!Alias_violation}, and the block's reordered memory state survives.
+    The fuzz suite flips this to prove the differential oracle catches a
+    seeded scheduler-correctness bug ([test/test_fuzz.ml]); it must never
+    be set outside tests. *)
+let fault_skip_store_check = ref false
+
 type event = {
   ev_addr : int;
   ev_size : int;
@@ -83,20 +93,21 @@ let violates ~is_store ~order ~li_idx (e : event) =
 let add t (ev : event) =
   let lo = ev.ev_addr lsr line_bits in
   let hi = (ev.ev_addr + ev.ev_size - 1) lsr line_bits in
-  for line = lo to hi do
-    match Hashtbl.find_opt t.buckets line with
-    | None -> ()
-    | Some events ->
-      List.iter
-        (fun e ->
-          if
-            ev.ev_addr < e.ev_addr + e.ev_size
-            && e.ev_addr < ev.ev_addr + ev.ev_size
-            && violates ~is_store:ev.ev_is_store ~order:ev.ev_order
-                 ~li_idx:ev.ev_li e
-          then raise Alias_violation)
-        !events
-  done;
+  if not (ev.ev_is_store && !fault_skip_store_check) then
+    for line = lo to hi do
+      match Hashtbl.find_opt t.buckets line with
+      | None -> ()
+      | Some events ->
+        List.iter
+          (fun e ->
+            if
+              ev.ev_addr < e.ev_addr + e.ev_size
+              && e.ev_addr < ev.ev_addr + ev.ev_size
+              && violates ~is_store:ev.ev_is_store ~order:ev.ev_order
+                   ~li_idx:ev.ev_li e
+            then raise Alias_violation)
+          !events
+    done;
   for line = lo to hi do
     match Hashtbl.find_opt t.buckets line with
     | Some events -> events := ev :: !events

@@ -1,0 +1,172 @@
+(* The differential fuzzing subsystem (lib/fuzz).
+
+   The load-bearing properties: generation is a pure function of the seed
+   (the reproducibility contract printed in every reproducer header), every
+   generated program halts on the golden model within the static fuel bound
+   (termination by construction: counted loops on reserved counters, bounded
+   nesting), campaigns are bit-identical for every --jobs value, reproducer
+   files round-trip, and — the mutation-sanity check — seeding a known
+   scheduler-correctness bug (dropping the store-side aliasing check in
+   Dts_vliw.Aliaslog) makes the fixed 64-seed smoke corpus fail with a
+   shrunken reproducer of at most 20 live instructions. *)
+
+open Dts_fuzz
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let program_equal (a : Dts_asm.Program.t) (b : Dts_asm.Program.t) =
+  a.entry = b.entry && a.text = b.text && a.data = b.data
+
+(* -------- PRNG -------- *)
+
+let test_sprng_determinism () =
+  let a = Sprng.create 99 and b = Sprng.create 99 in
+  for _ = 1 to 1000 do
+    check_bool "same stream" true (Sprng.bits a = Sprng.bits b)
+  done;
+  let a = Sprng.create 1 and b = Sprng.create 2 in
+  check_bool "different seeds diverge" true
+    (List.init 16 (fun _ -> Sprng.bits a)
+    <> List.init 16 (fun _ -> Sprng.bits b))
+
+let test_sprng_ranges () =
+  let rng = Sprng.create 7 in
+  for _ = 1 to 1000 do
+    let n = Sprng.int rng 13 in
+    check_bool "int in range" true (n >= 0 && n < 13);
+    let r = Sprng.range rng 5 9 in
+    check_bool "range inclusive" true (r >= 5 && r <= 9)
+  done;
+  (* derive must give distinct per-program seeds *)
+  let seeds = List.init 100 (Sprng.derive 42) in
+  check_int "derived seeds distinct" 100
+    (List.length (List.sort_uniq compare seeds))
+
+(* -------- generator -------- *)
+
+let test_generate_deterministic () =
+  let p1 = Gen.generate ~seed:12345 () in
+  let p2 = Gen.generate ~seed:12345 () in
+  check_bool "same seed, same program" true (program_equal p1 p2);
+  let p3 = Gen.generate ~seed:12346 () in
+  check_bool "different seed, different program" false (program_equal p1 p3)
+
+let test_generate_terminates () =
+  (* every generated program halts on the golden model within the campaign
+     fuel bound — the generator's termination-by-construction argument *)
+  let fuel = Gen.dynamic_bound ~max_insns:Gen.default_max_insns in
+  for i = 0 to 19 do
+    let seed = Sprng.derive 77 i in
+    let p = Gen.generate ~seed () in
+    (* the budget governs the body; the arena/seed prologue and the final
+       halt ride on top of it *)
+    check_bool "static budget respected" true
+      (Array.length p.Dts_asm.Program.text <= Gen.default_max_insns + 16);
+    let g = Dts_golden.Golden.of_state (Dts_asm.Program.boot p) in
+    let _ = Dts_golden.Golden.run ~max_instructions:fuel g in
+    check_bool
+      (Printf.sprintf "seed %d halts" seed)
+      true
+      (Dts_golden.Golden.state g).Dts_isa.State.halted
+  done
+
+(* -------- differential oracle -------- *)
+
+let test_campaign_passes () =
+  let s = Driver.run_campaign ~seed:7 ~count:16 ~shrink:false () in
+  check_int "count" 16 s.s_count;
+  check_int "passed" 16 s.s_passed;
+  check_int "skips" 0 (List.length s.s_skips);
+  check_int "failures" 0 (List.length s.s_failures);
+  check_bool "instructions compared" true (s.s_instructions > 0)
+
+let test_campaign_jobs_deterministic () =
+  let s1 = Driver.run_campaign ~jobs:1 ~seed:11 ~count:12 ~shrink:false () in
+  let s3 = Driver.run_campaign ~jobs:3 ~seed:11 ~count:12 ~shrink:false () in
+  check_int "passed equal" s1.s_passed s3.s_passed;
+  check_int "instructions equal" s1.s_instructions s3.s_instructions;
+  check_bool "skips equal" true (s1.s_skips = s3.s_skips)
+
+(* -------- reproducer round-trip -------- *)
+
+let test_repro_roundtrip () =
+  let p = Gen.generate ~seed:4242 () in
+  let path = Filename.temp_file "dtsfuzz" ".srisc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Repro.save ~path ~seed:4242 ~geoms:"all" ~notes:[ "round-trip test" ] p;
+      let q = Repro.load path in
+      check_bool "program round-trips" true (program_equal p q);
+      match Diff.run ~fuel:1_000_000 q with
+      | Diff.Pass _ -> ()
+      | Diff.Skip r -> Alcotest.failf "loaded program skipped: %s" r
+      | Diff.Fail _ -> Alcotest.fail "loaded program diverged")
+
+(* -------- shrinking -------- *)
+
+let test_shrink_pure_predicate () =
+  (* shrink against a pure predicate: "at least 3 live instructions".
+     The minimiser must preserve the predicate and never grow the program. *)
+  let p = Gen.generate ~seed:5150 () in
+  let live0 = Shrink.live_instructions p in
+  check_bool "enough raw material" true (live0 > 10);
+  let check q = Shrink.live_instructions q >= 3 in
+  let s = Shrink.shrink ~check p in
+  check_bool "predicate preserved" true (check s);
+  check_bool "no growth" true (Shrink.live_instructions s <= live0);
+  check_bool "actually shrank" true (Shrink.live_instructions s < live0 / 2);
+  (* layout is preserved: same entry, and every retained slot keeps the
+     address it had in the original (truncation only cuts the tail) *)
+  check_int "entry preserved" p.Dts_asm.Program.entry s.Dts_asm.Program.entry;
+  Array.iteri
+    (fun i (addr, _) ->
+      check_int "slot address preserved" (fst p.Dts_asm.Program.text.(i)) addr)
+    s.Dts_asm.Program.text
+
+(* -------- mutation sanity -------- *)
+
+let test_mutation_sanity () =
+  (* Seed the classic lost-aliasing-check bug — stores no longer checked
+     against logged loads/stores — and demand the fixed 64-seed smoke
+     corpus catches it, with a shrunken reproducer of <= 20 live
+     instructions. This is the proof the differential oracle has teeth. *)
+  Dts_vliw.Aliaslog.fault_skip_store_check := true;
+  Fun.protect
+    ~finally:(fun () -> Dts_vliw.Aliaslog.fault_skip_store_check := false)
+    (fun () ->
+      let s = Driver.run_campaign ~seed:1 ~count:64 ~shrink:true () in
+      check_bool "corpus catches the seeded bug" true (s.s_failures <> []);
+      List.iter
+        (fun (f : Driver.failure) ->
+          check_bool
+            (Printf.sprintf "seed %d reproducer <= 20 live insns (got %d)"
+               f.f_seed f.f_live)
+            true (f.f_live <= 20);
+          check_bool "shrunk program still diverges" true
+            (Diff.diverges
+               ~fuel:(Gen.dynamic_bound ~max_insns:Gen.default_max_insns)
+               f.f_shrunk))
+        s.s_failures);
+  (* with the fault cleared the same corpus must be clean again *)
+  let s = Driver.run_campaign ~seed:1 ~count:64 ~shrink:false () in
+  check_int "healthy corpus passes" 64 s.s_passed
+
+let suite =
+  [
+    Alcotest.test_case "sprng determinism" `Quick test_sprng_determinism;
+    Alcotest.test_case "sprng ranges and derive" `Quick test_sprng_ranges;
+    Alcotest.test_case "generator determinism" `Quick
+      test_generate_deterministic;
+    Alcotest.test_case "generated programs terminate" `Quick
+      test_generate_terminates;
+    Alcotest.test_case "campaign passes" `Quick test_campaign_passes;
+    Alcotest.test_case "campaign jobs-deterministic" `Quick
+      test_campaign_jobs_deterministic;
+    Alcotest.test_case "reproducer round-trip" `Quick test_repro_roundtrip;
+    Alcotest.test_case "shrink with pure predicate" `Quick
+      test_shrink_pure_predicate;
+    Alcotest.test_case "mutation sanity: seeded aliasing bug is caught" `Slow
+      test_mutation_sanity;
+  ]

@@ -19,4 +19,5 @@ let () =
       ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
       ("predecode", Test_predecode.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

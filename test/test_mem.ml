@@ -138,6 +138,80 @@ let test_blockcache_sets () =
   check_bool "no conflict across sets" true
     (Blockcache.probe bc 0x0 && Blockcache.probe bc 0x4)
 
+(* ---- on_drop observer: firing order and exactly-once semantics ----
+
+   The machine's compiled-plan store releases derived state from this
+   callback, so the contract is load-bearing: every resident payload that
+   leaves the cache — same-key replacement, LRU eviction, invalidate,
+   invalidate_all — is reported exactly once, at the moment it leaves, with
+   the key it was inserted under. *)
+
+let test_blockcache_on_drop_order () =
+  let bc = Blockcache.create ~n_sets:1 ~assoc:2 in
+  let drops = ref [] in
+  Blockcache.set_on_drop bc (fun key payload ->
+      drops := (key, payload) :: !drops);
+  ignore (Blockcache.insert bc 0x10 "a");
+  ignore (Blockcache.insert bc 0x20 "b");
+  Alcotest.(check int) "no drops while filling" 0 (List.length !drops);
+  (* same-key replacement drops the old payload, not the other way *)
+  ignore (Blockcache.insert bc 0x10 "a2");
+  (* make 0x10 the LRU, then evict it with a conflicting insert *)
+  ignore (Blockcache.find bc 0x20);
+  ignore (Blockcache.insert bc 0x30 "c");
+  (* explicit invalidation; a second invalidate of the same key must not
+     re-fire the observer *)
+  check_bool "invalidate hit" true (Blockcache.invalidate bc 0x20);
+  check_bool "invalidate miss" false (Blockcache.invalidate bc 0x20);
+  Blockcache.invalidate_all bc;
+  Blockcache.invalidate_all bc;
+  Alcotest.(check (list (pair int string)))
+    "drop events in order"
+    [ (0x10, "a"); (0x10, "a2"); (0x20, "b"); (0x30, "c") ]
+    (List.rev !drops)
+
+let test_blockcache_on_drop_exactly_once () =
+  (* replacement + invalidation storm: every payload carries a unique
+     serial; each serial must be dropped exactly once, under its own key,
+     and only while resident *)
+  let bc = Blockcache.create ~n_sets:4 ~assoc:2 in
+  let resident = Hashtbl.create 64 in
+  (* serial -> key *)
+  let drop_count = ref 0 and insert_count = ref 0 in
+  Blockcache.set_on_drop bc (fun key serial ->
+      (match Hashtbl.find_opt resident serial with
+      | None -> Alcotest.failf "serial %d dropped while not resident" serial
+      | Some k ->
+        Alcotest.(check int)
+          (Printf.sprintf "serial %d dropped under its key" serial)
+          k key);
+      Hashtbl.remove resident serial;
+      incr drop_count);
+  let rng = ref 12345 in
+  let next n =
+    rng := ((!rng * 1103515245) + 12421) land 0x3FFFFFFF;
+    !rng mod n
+  in
+  for serial = 1 to 1000 do
+    match next 20 with
+    | 0 ->
+      ignore (Blockcache.invalidate bc (next 16 * 4))
+    | 1 -> Blockcache.invalidate_all bc
+    | 2 -> ignore (Blockcache.find bc (next 16 * 4))
+    | _ ->
+      let key = next 16 * 4 in
+      (* same-key replacement drops the previous resident before the
+         insert returns, so record residency first *)
+      Hashtbl.replace resident serial key;
+      incr insert_count;
+      ignore (Blockcache.insert bc key serial)
+  done;
+  Blockcache.invalidate_all bc;
+  Alcotest.(check int) "cache empty after flush" 0 (Blockcache.entry_count bc);
+  Alcotest.(check int) "nothing left resident" 0 (Hashtbl.length resident);
+  Alcotest.(check int) "every insert dropped exactly once" !insert_count
+    !drop_count
+
 let suite =
   [
     Alcotest.test_case "rw roundtrip" `Quick test_rw_roundtrip;
@@ -155,4 +229,8 @@ let suite =
     Alcotest.test_case "blockcache basic" `Quick test_blockcache_basic;
     Alcotest.test_case "blockcache lru" `Quick test_blockcache_lru_eviction;
     Alcotest.test_case "blockcache sets" `Quick test_blockcache_sets;
+    Alcotest.test_case "blockcache on_drop order" `Quick
+      test_blockcache_on_drop_order;
+    Alcotest.test_case "blockcache on_drop exactly-once under storm" `Quick
+      test_blockcache_on_drop_exactly_once;
   ]

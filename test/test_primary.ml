@@ -175,6 +175,108 @@ out:    halt
   check_bool "branch target recorded" true
     (br.Dts_primary.Primary.next_pc <> br.addr + 4)
 
+(* ---- register-window overflow/underflow: Golden vs Primary ----
+
+   The spill/fill microroutine (§3.1's trap service) runs inside both the
+   golden interpreter and the Primary Processor's trap path. Drive both
+   engines through nesting deeper than the window file holds and demand
+   bit-identical architectural state — registers, spill stack, memory and
+   instruction count — and identical fatal behaviour on underflow of an
+   empty spill stack. *)
+
+let deep_window_src depth =
+  (* straight-line nesting: leave a breadcrumb in %l0, save; then unwind,
+     accumulating each frame's breadcrumb through a global *)
+  let b = Buffer.create 256 in
+  Buffer.add_string b "start:  mov 0, %g2\n";
+  for k = 1 to depth do
+    Buffer.add_string b (Printf.sprintf "        mov %d, %%l0\n" (100 + k));
+    Buffer.add_string b "        save %sp, -96, %sp\n"
+  done;
+  for _ = 1 to depth do
+    Buffer.add_string b "        restore %g0, 0, %g0\n";
+    Buffer.add_string b "        add %g2, %l0, %g2\n"
+  done;
+  Buffer.add_string b "        sethi 0x14, %o0\n";
+  (* 0x14 << 10 = 0x5000 *)
+  Buffer.add_string b "        st %g2, [%o0+0]\n";
+  Buffer.add_string b "        halt\n";
+  Buffer.contents b
+
+let boot_pair ~nwindows src =
+  let program = Dts_asm.Assembler.assemble src in
+  let gst = Dts_asm.Program.boot ~nwindows program in
+  let pst = Dts_asm.Program.boot ~nwindows program in
+  let g = Dts_golden.Golden.of_state gst in
+  let p =
+    Dts_primary.Primary.create
+      ~icache:(Dts_mem.Cache.perfect ())
+      ~dcache:(Dts_mem.Cache.perfect ())
+      pst
+  in
+  (g, gst, p, pst)
+
+let test_window_spill_agreement () =
+  (* nwindows = 8, overflow trips at resident depth nwindows - 2 = 6;
+     nesting to 3 * nwindows forces repeated spill and fill *)
+  let nwindows = 8 in
+  let depth = 3 * nwindows in
+  let g, gst, p, pst = boot_pair ~nwindows (deep_window_src depth) in
+  let _ = Dts_golden.Golden.run ~max_instructions:100_000 g in
+  check_bool "golden halted" true gst.Dts_isa.State.halted;
+  let retired = ref 0 and trapped = ref 0 in
+  (try
+     while true do
+       let r = Dts_primary.Primary.step p in
+       incr retired;
+       if r.Dts_primary.Primary.trapped then incr trapped
+     done
+   with Dts_primary.Primary.Halted -> ());
+  check_bool "spills actually happened" true (!trapped > 0);
+  (* both engines spilled through the same region and agree bit-for-bit *)
+  check_bool "registers agree" true (Dts_isa.State.regs_equal gst pst);
+  check_bool "memory agrees" true
+    (Dts_mem.Memory.equal gst.Dts_isa.State.mem pst.Dts_isa.State.mem);
+  check_int "instruction counts agree" gst.Dts_isa.State.instret
+    pst.Dts_isa.State.instret;
+  (* the accumulated breadcrumbs prove every frame survived its spill *)
+  let expect = ref 0 in
+  for k = 1 to depth do
+    expect := !expect + 100 + k
+  done;
+  check_int "breadcrumb sum" !expect
+    (Dts_mem.Memory.read_u32 gst.Dts_isa.State.mem 0x5000)
+
+let test_window_underflow_fatal_agreement () =
+  (* a restore at depth zero underflows; with an empty spill stack that is
+     a fatal fault on both engines, at the same instruction *)
+  let src = "start:  mov 7, %o1\n        restore %g0, 0, %g0\n        halt\n" in
+  let nwindows = 8 in
+  let g, gst, p, pst = boot_pair ~nwindows src in
+  let golden_fault =
+    try
+      ignore (Dts_golden.Golden.run ~max_instructions:1000 g);
+      None
+    with Dts_isa.Semantics.Fatal_fault m -> Some m
+  in
+  let primary_fault =
+    try
+      for _ = 1 to 1000 do
+        ignore (Dts_primary.Primary.step p)
+      done;
+      None
+    with
+    | Dts_isa.Semantics.Fatal_fault m -> Some m
+    | Dts_primary.Primary.Halted -> None
+  in
+  check_bool "golden faults" true (golden_fault <> None);
+  check_bool "primary faults" true (primary_fault <> None);
+  Alcotest.(check (option string))
+    "same diagnostic" golden_fault primary_fault;
+  (* both stopped after the same retired prefix *)
+  check_int "same instret at fault" gst.Dts_isa.State.instret
+    pst.Dts_isa.State.instret
+
 let suite =
   [
     Alcotest.test_case "straight-line CPI 1" `Quick test_straight_line_cpi_1;
@@ -187,4 +289,8 @@ let suite =
     Alcotest.test_case "dcache miss penalty" `Quick test_dcache_miss_penalty;
     Alcotest.test_case "trap service charged" `Quick test_trap_service_charged;
     Alcotest.test_case "retired observations" `Quick test_retired_observations;
+    Alcotest.test_case "window spill: golden/primary agree" `Quick
+      test_window_spill_agreement;
+    Alcotest.test_case "window underflow fatal: golden/primary agree" `Quick
+      test_window_underflow_fatal_agreement;
   ]
