@@ -128,8 +128,8 @@ let write_stats_json path (m : Dts_core.Machine.t) =
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc (Dts_obs.Stats.to_json_string s))
 
-let run_single ~workload ~file ~scale ~budget ~dif ~compile ~cfg ~show_blocks
-    ~trace_file ~trace_limit ~stats_json =
+let run_single ~workload ~file ~scale ~budget ~dif ~compile ~fastpath ~cfg
+    ~show_blocks ~trace_file ~trace_limit ~stats_json =
   let program = load_program ~workload ~file ~scale in
   let trace_oc = Option.map open_out trace_file in
   let tracer =
@@ -155,7 +155,7 @@ let run_single ~workload ~file ~scale ~budget ~dif ~compile ~cfg ~show_blocks
   end
   else begin
     Printf.printf "[DTSVLIW: %s]\n" (Dts_core.Config.describe cfg);
-    let m = Dts_core.Machine.create ~compile ~tracer cfg program in
+    let m = Dts_core.Machine.create ~compile ~fastpath ~tracer cfg program in
     let n = Dts_core.Machine.run ~max_instructions:budget m in
     print_stats m n;
     if show_blocks > 0 then dump_blocks m show_blocks;
@@ -164,7 +164,8 @@ let run_single ~workload ~file ~scale ~budget ~dif ~compile ~cfg ~show_blocks
 
 (* Several workloads: simulate concurrently on the pool, print the reports
    sequentially in the order the workloads were given. *)
-let run_many ~workloads ~scale ~budget ~jobs ~dif ~compile ~cfg ~show_blocks =
+let run_many ~workloads ~scale ~budget ~jobs ~dif ~compile ~fastpath ~cfg
+    ~show_blocks =
   let simulate name =
     let program =
       Dts_workloads.Workloads.program ~scale (Dts_workloads.Workloads.find name)
@@ -175,7 +176,7 @@ let run_many ~workloads ~scale ~budget ~jobs ~dif ~compile ~cfg ~show_blocks =
       let n = Dts_core.Machine.run ~max_instructions:budget m in
       (name, m, n, Some d)
     else
-      let m = Dts_core.Machine.create ~compile cfg program in
+      let m = Dts_core.Machine.create ~compile ~fastpath cfg program in
       let n = Dts_core.Machine.run ~max_instructions:budget m in
       (name, m, n, None)
   in
@@ -199,19 +200,20 @@ let run_many ~workloads ~scale ~budget ~jobs ~dif ~compile ~cfg ~show_blocks =
       if show_blocks > 0 then dump_blocks m show_blocks)
     results
 
-let run workloads file scale budget jobs feasible dif no_compile width height
-    vcache_kb vcache_assoc no_renaming store_list predict_next multicycle
-    show_blocks trace_file trace_limit stats_json =
+let run workloads file scale budget jobs feasible dif no_compile no_fastpath
+    width height vcache_kb vcache_assoc no_renaming store_list predict_next
+    multicycle show_blocks trace_file trace_limit stats_json =
   let cfg =
     build_config ~feasible ~width ~height ~vcache_kb ~vcache_assoc ~no_renaming
       ~store_list ~predict_next ~multicycle
   in
   let compile = not no_compile in
+  let fastpath = not no_fastpath in
   match (workloads, file) with
   | ([] | [ _ ]), _ ->
     let workload = match workloads with [ w ] -> Some w | _ -> None in
-    run_single ~workload ~file ~scale ~budget ~dif ~compile ~cfg ~show_blocks
-      ~trace_file ~trace_limit ~stats_json
+    run_single ~workload ~file ~scale ~budget ~dif ~compile ~fastpath ~cfg
+      ~show_blocks ~trace_file ~trace_limit ~stats_json
   | _ :: _ :: _, Some _ ->
     prerr_endline "specify exactly one of --workload NAME or a program file";
     exit 1
@@ -224,7 +226,7 @@ let run workloads file scale budget jobs feasible dif no_compile width height
     end;
     run_many ~workloads ~scale ~budget
       ~jobs:(Dts_parallel.Pool.resolve_jobs jobs)
-      ~dif ~compile ~cfg ~show_blocks
+      ~dif ~compile ~fastpath ~cfg ~show_blocks
 
 let workload_arg =
   let names = String.concat ", " (List.map (fun (w : Dts_workloads.Workloads.t) -> w.name) Dts_workloads.Workloads.all) in
@@ -250,6 +252,7 @@ let jobs_arg =
 let feasible_arg = Arg.(value & flag & info [ "feasible" ] ~doc:"Use the feasible machine of section 4.4")
 let dif_arg = Arg.(value & flag & info [ "dif" ] ~doc:"Simulate the DIF baseline instead")
 let nocompile_arg = Arg.(value & flag & info [ "no-compile" ] ~doc:"Execute cached blocks through the VLIW engine's interpreter instead of install-time-compiled plans (slower; differentially tested to be bit-identical)")
+let nofastpath_arg = Arg.(value & flag & info [ "no-fastpath" ] ~doc:"Run the sequential engines (Primary Processor, golden co-simulation) on the boxed Semantics.exec path instead of the allocation-free packed-op interpreter (slower; differentially tested to be bit-identical)")
 let width_arg = Arg.(value & opt (some int) None & info [ "width" ] ~doc:"Instructions per long instruction")
 let height_arg = Arg.(value & opt (some int) None & info [ "height" ] ~doc:"Long instructions per block")
 let vkb_arg = Arg.(value & opt (some int) None & info [ "vcache-kb" ] ~doc:"VLIW cache size in KB")
@@ -269,7 +272,8 @@ let cmd =
     (Cmd.info "dtsvliw_sim" ~doc)
     Term.(
       const run $ workload_arg $ file_arg $ scale_arg $ budget_arg $ jobs_arg
-      $ feasible_arg $ dif_arg $ nocompile_arg $ width_arg $ height_arg
+      $ feasible_arg $ dif_arg $ nocompile_arg $ nofastpath_arg $ width_arg
+      $ height_arg
       $ vkb_arg $ vassoc_arg $ noren_arg $ storelist_arg $ predict_arg
       $ multicycle_arg $ blocks_arg $ trace_arg $ trace_limit_arg
       $ stats_json_arg)

@@ -6,20 +6,78 @@
      experiments table3 fig9 --jobs 4
 
    --jobs fans each figure's simulations out over that many domains; the
-   rendered output is bit-identical to a sequential run. *)
+   rendered output is bit-identical to a sequential run.
+
+   --alloc-json FILE additionally records, per experiment, the number of
+   instructions simulated and the minor/major heap words allocated while
+   regenerating it, as a small JSON document. `stats_check --bench
+   BASELINE --alloc FILE` gates those counts against the committed bench
+   baseline, so the sequential fast path's allocation win cannot silently
+   erode. Allocation accounting is per-domain in OCaml, so this is only
+   meaningful sequentially; combining it with --jobs > 1 is an error. *)
 
 open Cmdliner
 
-let run_experiments names scale budget jobs =
+type alloc_row = {
+  a_name : string;
+  a_instructions : int;
+  a_minor_words : int;
+  a_major_words : int;
+}
+
+let write_alloc_json path ~budget rows =
+  let oc = open_out path in
+  let row r =
+    Printf.sprintf
+      "    {\"name\": %S, \"instructions\": %d, \"minor_words\": %d, \
+       \"major_words\": %d}"
+      r.a_name r.a_instructions r.a_minor_words r.a_major_words
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"alloc_schema_version\": 1,\n\
+    \  \"budget\": %d,\n\
+    \  \"figures\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    budget
+    (String.concat ",\n" (List.map row rows));
+  close_out oc
+
+let run_experiments names scale budget jobs alloc_json =
   let names = if names = [] then [ "all" ] else names in
+  let jobs = Dts_parallel.Pool.resolve_jobs jobs in
+  if alloc_json <> None && jobs > 1 then begin
+    prerr_endline
+      "experiments: --alloc-json requires sequential execution (drop --jobs)";
+    exit 1
+  end;
+  let alloc_rows = ref [] in
   let render pool =
     List.iter
       (fun name ->
         match List.assoc_opt name Dts_experiments.Experiments.by_name with
         | Some f ->
-          print_string
-            ((f ?pool ~scale ~budget ()).Dts_experiments.Experiments.render ());
-          print_newline ()
+          let instr0 = Dts_experiments.Experiments.simulated_instructions () in
+          let gc0 = Gc.quick_stat () in
+          let fig = f ?pool ~scale ~budget () in
+          let gc1 = Gc.quick_stat () in
+          print_string (fig.Dts_experiments.Experiments.render ());
+          print_newline ();
+          if alloc_json <> None then
+            alloc_rows :=
+              {
+                a_name = name;
+                a_instructions =
+                  Dts_experiments.Experiments.simulated_instructions ()
+                  - instr0;
+                a_minor_words =
+                  int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words);
+                a_major_words =
+                  int_of_float (gc1.Gc.major_words -. gc0.Gc.major_words);
+              }
+              :: !alloc_rows
         | None ->
           Printf.eprintf "unknown experiment %s; available: %s\n" name
             (String.concat ", "
@@ -27,10 +85,12 @@ let run_experiments names scale budget jobs =
           exit 1)
       names
   in
-  let jobs = Dts_parallel.Pool.resolve_jobs jobs in
   if jobs > 1 then
     Dts_parallel.Pool.with_pool ~jobs (fun pool -> render (Some pool))
-  else render None
+  else render None;
+  match alloc_json with
+  | Some path -> write_alloc_json path ~budget (List.rev !alloc_rows)
+  | None -> ()
 
 let names_arg =
   let doc =
@@ -55,10 +115,22 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
 
+let alloc_json_arg =
+  let doc =
+    "Write per-experiment instruction and heap-allocation counts to $(docv) \
+     (for the stats_check allocation-regression gate). Sequential only."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "alloc-json" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "regenerate the DTSVLIW paper's tables and figures" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const run_experiments $ names_arg $ scale_arg $ budget_arg $ jobs_arg)
+    Term.(
+      const run_experiments $ names_arg $ scale_arg $ budget_arg $ jobs_arg
+      $ alloc_json_arg)
 
 let () = exit (Cmd.eval cmd)

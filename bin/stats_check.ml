@@ -13,6 +13,14 @@
    per-figure consistency (positive walls, attributed = cycles,
    non-negative allocation).
 
+   `--bench BASELINE --alloc FRESH` additionally gates allocation: FRESH
+   is a document written by `experiments --alloc-json` at the baseline's
+   budget, and any figure whose fresh minor-heap words exceed the
+   committed baseline's by more than 25% fails the check. Simulation is
+   deterministic, so the allocation counts are reproducible and the gate
+   has no timing noise — it pins the sequential fast path's
+   allocation-free property against silent erosion.
+
    Exits non-zero with a diagnostic on any failure — wired into
    `dune runtest` as a smoke test of the observability path. *)
 
@@ -74,8 +82,58 @@ let check_stats path =
   Printf.printf "stats_check: %s ok (%d cycles fully attributed)\n" path cycles
 
 let bench_schema_version = 4
+let alloc_slack = 1.25
 
-let check_bench path =
+(* Gate a fresh `experiments --alloc-json` document against the committed
+   bench baseline: same budget required (allocation does not scale
+   linearly with budget — fixed per-run costs dominate small budgets), and
+   each fresh figure's minor words must stay within [alloc_slack] of the
+   baseline's. Figures the baseline records with zero allocation (table
+   lookups that simulate nothing) are exempt. *)
+let check_alloc ~base_path ~base_budget ~base_minor fresh_path =
+  let doc = parse fresh_path in
+  let path = fresh_path in
+  let get = get ~path and int_of = int_of ~path and str_of = str_of ~path in
+  if int_of doc "alloc_schema_version" <> 1 then
+    fail "%s: unsupported alloc_schema_version" path;
+  let budget = int_of doc "budget" in
+  if budget <> base_budget then
+    fail
+      "%s: budget %d but baseline %s was recorded at %d — allocation counts \
+       are only comparable at the same budget"
+      path budget base_path base_budget;
+  let figures =
+    match get doc "figures" with
+    | Dts_obs.Json.List l -> l
+    | _ -> fail "%s: \"figures\" is not an array" path
+  in
+  if figures = [] then fail "%s: no figures to gate" path;
+  List.iter
+    (fun fig ->
+      let name = str_of fig "name" in
+      let minor = int_of fig "minor_words" in
+      if int_of fig "major_words" < 0 || minor < 0 then
+        fail "%s: figure %s: negative allocation count" path name;
+      match List.assoc_opt name base_minor with
+      | None ->
+        fail "%s: figure %s not present in baseline %s" path name base_path
+      | Some base when base > 0 ->
+        let limit = int_of_float (alloc_slack *. float_of_int base) in
+        if minor > limit then
+          fail
+            "figure %s allocates %d minor words, more than %.0f%% over the \
+             committed baseline's %d (limit %d) — the sequential fast \
+             path's allocation win is eroding"
+            name minor
+            ((alloc_slack -. 1.) *. 100.)
+            base limit;
+        Printf.printf
+          "stats_check: figure %s minor words %d within %d baseline limit\n"
+          name minor limit
+      | Some _ -> ())
+    figures
+
+let check_bench ?alloc path =
   let doc = parse path in
   let get = get ~path
   and int_of = int_of ~path
@@ -128,10 +186,22 @@ let check_bench path =
   ignore (float_of total "instr_per_sec");
   Printf.printf "stats_check: %s ok (bench schema v%d, %d figures: %s)\n" path
     bench_schema_version (List.length names)
-    (String.concat " " names)
+    (String.concat " " names);
+  match alloc with
+  | None -> ()
+  | Some fresh ->
+    let base_minor =
+      List.map
+        (fun fig -> (str_of fig "name", int_of fig "minor_words"))
+        figures
+    in
+    check_alloc ~base_path:path ~base_budget:(int_of doc "budget") ~base_minor
+      fresh
 
 let () =
   match Sys.argv with
   | [| _; path |] -> check_stats path
   | [| _; "--bench"; path |] -> check_bench path
-  | _ -> fail "usage: stats_check [--bench] FILE.json"
+  | [| _; "--bench"; path; "--alloc"; fresh |] -> check_bench ~alloc:fresh path
+  | _ ->
+    fail "usage: stats_check FILE.json | --bench FILE.json [--alloc FRESH.json]"

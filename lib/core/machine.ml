@@ -15,7 +15,7 @@ module Trace = Dts_obs.Trace
 exception
   Test_mode_mismatch of { cycle : int; pc : int; detail : string }
 
-type mode = M_primary | M_vliw of { block : block; mutable idx : int }
+type mode = M_primary | M_vliw of { mutable block : block; mutable idx : int }
 
 (** Pluggable trace scheduler: the DTSVLIW Scheduler Unit by default, or the
     DIF greedy scheduler ({!Dts_dif}) for the Figure 9 baseline. *)
@@ -42,11 +42,19 @@ type t = {
   plan_cache : (int, Dts_vliw.Plan.t) Hashtbl.t;
       (** block tag -> compiled plan; mirrors VLIW Cache residency (every
           payload drop also drops the plan) *)
+  mutable last_plan : Dts_vliw.Plan.t option;
+      (** memo of the most recently entered plan: a block spinning on
+          itself re-enters without touching [plan_cache]. Guarded by block
+          identity, so staleness is impossible — a dropped block is never
+          the probe result again *)
   code_index : (int, int list ref) Hashtbl.t;
       (** code word address -> tags of cached blocks scheduled from it;
           consulted by the memory write hook so self-modifying code
           invalidates stale blocks (and with them their plans) *)
   mutable mode : mode;
+  mutable vmode : mode;
+      (** the reusable [M_vliw] record entered by every engine switch —
+          allocated once, mutated in place per block transition *)
   mutable cycles : int;
   mutable vliw_cycles : int;
   mutable exception_mode : bool;
@@ -128,7 +136,7 @@ let on_code_write t addr =
         tags
   end
 
-let create ?(compile = true) ?scheduler ?tracer cfg program =
+let create ?(compile = true) ?(fastpath = true) ?scheduler ?tracer cfg program =
   let st = Dts_asm.Program.boot ~nwindows:cfg.Config.sched.nwindows program in
   let golden_st = Dts_isa.State.copy st in
   let icache = Config.make_cache cfg.icache in
@@ -141,10 +149,10 @@ let create ?(compile = true) ?scheduler ?tracer cfg program =
     {
       cfg;
       st;
-      golden = Dts_golden.Golden.of_state golden_st;
+      golden = Dts_golden.Golden.of_state ~fastpath golden_st;
       primary =
-        Dts_primary.Primary.create ~timing:cfg.primary_timing ~icache ~dcache
-          st;
+        Dts_primary.Primary.create ~timing:cfg.primary_timing ~fastpath
+          ~icache ~dcache st;
       sched;
       engine =
         Dts_vliw.Engine.create ~scheme:cfg.store_scheme ~tracer:obs.tracer
@@ -156,8 +164,10 @@ let create ?(compile = true) ?scheduler ?tracer cfg program =
       dcache;
       compile;
       plan_cache = Hashtbl.create 256;
+      last_plan = None;
       code_index = Hashtbl.create 1024;
       mode = M_primary;
+      vmode = M_primary;
       cycles = 0;
       vliw_cycles = 0;
       exception_mode = false;
@@ -200,44 +210,50 @@ let state_diff a b =
 (** Advance the golden machine to the DTSVLIW PC and compare states. The
     same PC can recur (loops), so on a register mismatch the golden machine
     is stepped past the occurrence and the search continues — a false match
-    would require bit-identical states, which is indistinguishable anyway. *)
+    would require bit-identical states, which is indistinguishable anyway.
+
+    The register comparison is the journalled {!State.dirty_regs_equal}:
+    both states compared equal at the previous successful sync (or at boot,
+    when the golden machine is a copy), and every register write since is
+    journalled, so only the written registers need comparing. *)
+let rec sync_loop t (gst : Dts_isa.State.t) target fuel =
+  if
+    gst.pc = target
+    && gst.halted = t.st.halted
+    && Dts_isa.State.dirty_regs_equal gst t.st
+  then true
+  else if gst.halted then false
+  else begin
+    (try Dts_golden.Golden.step t.golden
+     with Dts_golden.Golden.Program_halted -> ());
+    if fuel <= 1 then false else sync_loop t gst target (fuel - 1)
+  end
+
 let sync t =
   let target = t.st.pc in
   let gst = Dts_golden.Golden.state t.golden in
-  let fuel = ref 40_000_000 in
-  let rec attempt () =
-    if gst.pc = target && (gst.halted = t.st.halted) then begin
-      if Dts_isa.State.regs_equal gst t.st then true
-      else if gst.halted then false
-      else step_past ()
-    end
-    else if gst.halted then false
-    else begin
-      (try Dts_golden.Golden.step t.golden with Dts_golden.Golden.Program_halted -> ());
-      decr fuel;
-      if !fuel <= 0 then false else attempt ()
-    end
-  and step_past () =
-    (try Dts_golden.Golden.step t.golden
-     with Dts_golden.Golden.Program_halted -> ());
-    decr fuel;
-    if !fuel <= 0 then false else attempt ()
-  in
-  if not (attempt ()) then
+  if not (sync_loop t gst target 40_000_000) then
     mismatch t
       (Printf.sprintf "golden model diverged at pc=%#x:\n%s" target
          (state_diff t.st gst));
   t.syncs <- t.syncs + 1;
-  if
-    t.cfg.memcmp_interval > 0
-    && t.syncs mod t.cfg.memcmp_interval = 0
-    && not (Dts_mem.Memory.equal t.st.mem gst.mem)
-  then
-    mismatch t
-      (Printf.sprintf "memory diverged near %s"
-         (match Dts_mem.Memory.first_difference t.st.mem gst.mem with
-         | Some a -> Printf.sprintf "%#x" a
-         | None -> "?"))
+  if t.cfg.memcmp_interval > 0 && t.syncs mod t.cfg.memcmp_interval = 0
+  then begin
+    (* periodic full sweep: the whole register file — a safety net under
+       the journalled per-sync compare — and the memories *)
+    if not (Dts_isa.State.regs_equal gst t.st) then
+      mismatch t
+        (Printf.sprintf "golden model diverged at pc=%#x:\n%s" target
+           (state_diff t.st gst));
+    if not (Dts_mem.Memory.equal t.st.mem gst.mem) then
+      mismatch t
+        (Printf.sprintf "memory diverged near %s"
+           (match Dts_mem.Memory.first_difference t.st.mem gst.mem with
+           | Some a -> Printf.sprintf "%#x" a
+           | None -> "?"))
+  end;
+  Dts_isa.State.dirty_clear gst;
+  Dts_isa.State.dirty_clear t.st
 
 (* ------------------------------------------------------------------ *)
 (* Block bookkeeping                                                    *)
@@ -321,6 +337,12 @@ let probe t addr =
 (* Engine transitions                                                   *)
 (* ------------------------------------------------------------------ *)
 
+let compile_plan t (block : block) =
+  let p = Dts_vliw.Plan.compile ~nwindows:t.st.nwindows block in
+  t.obs.plans_compiled <- t.obs.plans_compiled + 1;
+  Hashtbl.replace t.plan_cache block.tag_addr p;
+  p
+
 let enter_vliw t block =
   t.obs.engine_switches <- t.obs.engine_switches + 1;
   if tracing t then begin
@@ -329,22 +351,40 @@ let enter_vliw t block =
   end;
   (if t.compile then begin
      (* lazy compile-on-first-fetch: the physical-equality guard catches a
-        same-tag reinstall whose plan drop raced the pending-queue window *)
+        same-tag reinstall whose plan drop raced the pending-queue window.
+        [Hashtbl.find]+[Not_found], not [find_opt]: entering a block must
+        not box an option *)
      let plan =
-       match Hashtbl.find_opt t.plan_cache block.tag_addr with
+       match t.last_plan with
        | Some p when p.Dts_vliw.Plan.p_block == block ->
          t.obs.plan_hits <- t.obs.plan_hits + 1;
          p
-       | Some _ | None ->
-         let p = Dts_vliw.Plan.compile ~nwindows:t.st.nwindows block in
-         t.obs.plans_compiled <- t.obs.plans_compiled + 1;
-         Hashtbl.replace t.plan_cache block.tag_addr p;
-         p
+       | _ ->
+         let plan =
+           match Hashtbl.find t.plan_cache block.tag_addr with
+           | p when p.Dts_vliw.Plan.p_block == block ->
+             t.obs.plan_hits <- t.obs.plan_hits + 1;
+             p
+           | _ -> compile_plan t block
+           | exception Not_found -> compile_plan t block
+         in
+         t.last_plan <- Some plan;
+         plan
      in
      Dts_vliw.Engine.enter_plan t.engine plan
    end
    else Dts_vliw.Engine.enter_block t.engine block);
-  t.mode <- M_vliw { block; idx = 0 }
+  (* one [M_vliw] record is allocated on the first switch and then reused:
+     block transitions are the steady state of the simulator *)
+  match t.vmode with
+  | M_vliw v ->
+    v.block <- block;
+    v.idx <- 0;
+    t.mode <- t.vmode
+  | M_primary ->
+    let m = M_vliw { block; idx = 0 } in
+    t.vmode <- m;
+    t.mode <- m
 
 (* §5 extension: next-long-instruction prediction. A tiny table remembers
    each block's most recent exit target; when the prediction is right the
@@ -352,7 +392,11 @@ let enter_vliw t block =
 let predicted_transition t ~tag ~actual ~penalty =
   if not t.cfg.next_li_prediction then penalty
   else begin
-    let hit = Hashtbl.find_opt t.next_li_predictor tag = Some actual in
+    let hit =
+      match Hashtbl.find t.next_li_predictor tag with
+      | v -> v = actual
+      | exception Not_found -> false
+    in
     Hashtbl.replace t.next_li_predictor tag actual;
     if hit then begin
       t.obs.nlp_hits <- t.obs.nlp_hits + 1;
@@ -381,7 +425,7 @@ let to_primary t cat =
 let step_primary t =
   (* the Fetch Unit probes the VLIW Cache with the address of the
      instruction about to execute (§3.6) *)
-  match if t.exception_mode then None else probe t t.st.pc with
+  match (if t.exception_mode then None else probe t t.st.pc) with
   | Some block ->
     (* flush the block under construction, pointing it at the hit block *)
     flush_current t ~nba_addr:t.st.pc;
@@ -429,7 +473,8 @@ let step t =
   match t.mode with
   | M_primary -> step_primary t
   | M_vliw ({ block; _ } as v) -> (
-    let res, penalty = Dts_vliw.Engine.exec_li t.engine block v.idx in
+    let res = Dts_vliw.Engine.exec_li_fast t.engine block v.idx in
+    let penalty = t.engine.Dts_vliw.Engine.pen in
     let c = 1 + penalty in
     t.cycles <- t.cycles + c;
     t.vliw_cycles <- t.vliw_cycles + c;

@@ -14,7 +14,7 @@ exception Test_mode_mismatch of { cycle : int; pc : int; detail : string }
 
 type mode =
   | M_primary
-  | M_vliw of { block : Dts_sched.Schedtypes.block; mutable idx : int }
+  | M_vliw of { mutable block : Dts_sched.Schedtypes.block; mutable idx : int }
 
 (** Pluggable trace scheduler: the DTSVLIW Scheduler Unit by default, or
     the DIF greedy scheduler ({!Dts_dif}) for the Figure 9 baseline. *)
@@ -39,10 +39,17 @@ type t = {
           engine's interpreter ([~compile:false]) *)
   plan_cache : (int, Dts_vliw.Plan.t) Hashtbl.t;
       (** block tag -> compiled plan; mirrors VLIW Cache residency *)
+  mutable last_plan : Dts_vliw.Plan.t option;
+      (** memo of the most recently entered plan, guarded by block
+          identity — a block spinning on itself re-enters without a
+          [plan_cache] lookup *)
   code_index : (int, int list ref) Hashtbl.t;
       (** code word -> tags of cached blocks scheduled from it, for
           self-modifying-code invalidation *)
   mutable mode : mode;
+  mutable vmode : mode;
+      (** the reusable [M_vliw] record entered by every engine switch —
+          allocated once, mutated in place per block transition *)
   mutable cycles : int;  (** total machine cycles *)
   mutable vliw_cycles : int;  (** cycles spent in the VLIW Engine *)
   mutable exception_mode : bool;  (** §3.11: scheduling disabled until the
@@ -60,6 +67,7 @@ type t = {
 
 val create :
   ?compile:bool ->
+  ?fastpath:bool ->
   ?scheduler:(unit -> scheduler_iface) ->
   ?tracer:Dts_obs.Trace.t ->
   Config.t ->
@@ -71,7 +79,12 @@ val create :
     the run as JSONL. [compile] (default [true]) executes cached blocks
     through install-time-compiled plans ({!Dts_vliw.Plan}); [~compile:false]
     falls back to the engine's interpreter — the two are differentially
-    tested to produce identical statistics, registers and memory. *)
+    tested to produce identical statistics, registers and memory.
+    [fastpath] (default [true]) runs the sequential engines (Primary
+    Processor and golden co-simulation) on the allocation-free packed-op
+    interpreter; [~fastpath:false] keeps the boxed
+    {!Dts_isa.Semantics.exec} path — also differentially tested
+    identical. *)
 
 val step : t -> unit
 (** One simulation step: one Primary instruction or one long instruction.

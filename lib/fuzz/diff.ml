@@ -70,12 +70,8 @@ let run_primary program ~fuel =
     Dts_primary.Primary.create ~icache:(perfect_cache ())
       ~dcache:(perfect_cache ()) st
   in
-  match
-    while (not st.halted) && st.instret < fuel do
-      ignore (Dts_primary.Primary.step p)
-    done
-  with
-  | () -> if st.halted then Finished { st; instret = st.instret } else Timeout
+  match Dts_primary.Primary.run ~max_instructions:fuel p with
+  | _ -> if st.halted then Finished { st; instret = st.instret } else Timeout
   | exception Dts_primary.Primary.Halted ->
     Finished { st; instret = st.instret }
   | exception Semantics.Fatal_fault m -> Fault ("Fatal_fault: " ^ m)

@@ -9,18 +9,29 @@
 
 exception Program_halted
 
-type t = { st : Dts_isa.State.t }
+type t = {
+  st : Dts_isa.State.t;
+  buf : Dts_isa.Semantics.outcome_buf;
+      (** scratch for the allocation-free path; dead on the boxed path *)
+  fastpath : bool;
+}
 
-let create ?(nwindows = 32) ?mem () =
-  { st = Dts_isa.State.create ~nwindows ?mem () }
+let create ?(nwindows = 32) ?mem ?(fastpath = true) () =
+  {
+    st = Dts_isa.State.create ~nwindows ?mem ();
+    buf = Dts_isa.Semantics.make_buf ();
+    fastpath;
+  }
 
-let of_state st = { st }
+let of_state ?(fastpath = true) st =
+  { st; buf = Dts_isa.Semantics.make_buf (); fastpath }
+
 let state t = t.st
 
-(** Execute exactly one instruction. Raises {!Program_halted} on [Halt]. *)
-let step t =
+(* the reference path: boxed outcomes through Semantics.exec — kept as the
+   differential oracle for the fast path below *)
+let step_ref t =
   let st = t.st in
-  if st.halted then raise Program_halted;
   let pc = st.pc in
   let instr = Dts_isa.Predecode.fetch st.predecode ~addr:pc in
   if instr = Dts_isa.Instr.Halt then begin
@@ -36,6 +47,28 @@ let step t =
   in
   Dts_isa.Semantics.apply st out
 
+(* the fast path: packed micro-ops executed into the preallocated buffer —
+   zero allocation per instruction *)
+let step_fast t =
+  let st = t.st in
+  let pc = st.pc in
+  let u = Dts_isa.Predecode.fetch_uop st.predecode ~addr:pc in
+  if Dts_isa.Uop.opcode u = Dts_isa.Uop.u_halt then begin
+    st.halted <- true;
+    st.instret <- st.instret + 1;
+    raise Program_halted
+  end;
+  let b = t.buf in
+  Dts_isa.Semantics.exec_into st ~cwp:st.cwp ~pc u b;
+  if b.b_trap <> 0 then
+    Dts_isa.Semantics.service_and_exec_into st ~cwp:st.cwp ~pc u b;
+  Dts_isa.Semantics.apply_buf st b
+
+(** Execute exactly one instruction. Raises {!Program_halted} on [Halt]. *)
+let step t =
+  if t.st.halted then raise Program_halted;
+  if t.fastpath then step_fast t else step_ref t
+
 (** Run until [Halt] or until [max_instructions] more instructions have
     retired; returns the number retired by this call. *)
 let run ?max_instructions t =
@@ -50,14 +83,17 @@ let run ?max_instructions t =
 
 (** Step until the golden PC equals [pc] or the budget runs out — the test
     mode synchronisation primitive ("runs until its PC becomes equal to the
-    DTSVLIW PC"). Returns [false] if the budget was exhausted first. *)
+    DTSVLIW PC"). Returns [false] if the budget was exhausted first, or if
+    the machine halted away from [pc]. A machine sitting halted {e at} [pc]
+    has reached it — the answer does not depend on whether the halt
+    happened before or during this call. *)
 let run_until_pc ?(fuel = 10_000_000) t ~pc =
   let rec go fuel =
-    if t.st.pc = pc && not t.st.halted then true
-    else if fuel = 0 then false
+    if t.st.pc = pc then true
+    else if t.st.halted || fuel = 0 then false
     else begin
       (try step t with Program_halted -> ());
-      if t.st.halted then t.st.pc = pc else go (fuel - 1)
+      go (fuel - 1)
     end
   in
   go fuel

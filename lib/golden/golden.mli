@@ -9,10 +9,14 @@ exception Program_halted
 
 type t
 
-val create : ?nwindows:int -> ?mem:Dts_mem.Memory.t -> unit -> t
-(** A fresh machine; [nwindows] defaults to 32. *)
+val create : ?nwindows:int -> ?mem:Dts_mem.Memory.t -> ?fastpath:bool -> unit -> t
+(** A fresh machine; [nwindows] defaults to 32. [fastpath] (default [true])
+    selects the allocation-free packed-op interpreter
+    ({!Dts_isa.Semantics.exec_into}); [false] keeps the boxed
+    {!Dts_isa.Semantics.exec} path, retained as the differential oracle.
+    Both paths are observationally identical. *)
 
-val of_state : Dts_isa.State.t -> t
+val of_state : ?fastpath:bool -> Dts_isa.State.t -> t
 (** Wrap an existing architectural state (used by the co-simulation, which
     boots two identical states and hands one to the golden machine). *)
 
@@ -27,5 +31,7 @@ val run : ?max_instructions:int -> t -> int
     call. *)
 
 val run_until_pc : ?fuel:int -> t -> pc:int -> bool
-(** Step until the PC equals [pc] ([false] if the fuel ran out first) — the
-    test-mode synchronisation primitive. *)
+(** Step until the PC equals [pc] ([false] if the fuel ran out first, or if
+    the machine halted elsewhere) — the test-mode synchronisation
+    primitive. Halted {e at} [pc] counts as reached whether the halt
+    predates the call or happens during it. *)

@@ -26,26 +26,36 @@ let page_bits = 12
 let page_size = 1 lsl (page_bits - 2) (* instruction slots per page *)
 let page_mask = (1 lsl page_bits) - 1
 
+(** One decoded page: the boxed decode and its packed {!Uop} form are
+    cached side by side, filled together on the first fetch of a word, so
+    the fast path ({!fetch_uop}) reads a single immediate int and the boxed
+    path ({!fetch}) still gets its [Instr.t] without re-decoding. *)
+type page = {
+  insns : Instr.t option array;
+  uops : int array;  (** {!Uop.none} where [insns] holds [None] *)
+}
+
 type t = {
   mem : Dts_mem.Memory.t;
-  pages : (int, Instr.t option array) Hashtbl.t;  (** page index -> slots *)
+  pages : (int, page) Hashtbl.t;  (** page index -> slots *)
   mutable last_idx : int;  (** page index of [last_page]; -1 = none *)
-  mutable last_page : Instr.t option array;
+  mutable last_page : page;
   mutable decodes : int;  (** fetches that had to decode *)
   mutable hits : int;  (** fetches served from the store *)
   mutable invalidations : int;  (** entries dropped by overlapping writes *)
 }
 
-let no_page : Instr.t option array = [||]
+let no_page : page = { insns = [||]; uops = [||] }
 
 let invalidate t addr =
   let word = addr land lnot 3 in
   match Hashtbl.find_opt t.pages (word lsr page_bits) with
   | None -> ()
-  | Some slots ->
+  | Some pg ->
     let slot = (word land page_mask) lsr 2 in
-    if slots.(slot) <> None then begin
-      slots.(slot) <- None;
+    if pg.insns.(slot) <> None then begin
+      pg.insns.(slot) <- None;
+      pg.uops.(slot) <- Uop.none;
       t.invalidations <- t.invalidations + 1
     end
 
@@ -78,9 +88,28 @@ let page_for t idx =
   match Hashtbl.find_opt t.pages idx with
   | Some p -> p
   | None ->
-    let p = Array.make page_size None in
+    let p =
+      { insns = Array.make page_size None; uops = Array.make page_size Uop.none }
+    in
     Hashtbl.replace t.pages idx p;
     p
+
+let page_at t idx =
+  if idx = t.last_idx then t.last_page
+  else begin
+    let p = page_for t idx in
+    t.last_idx <- idx;
+    t.last_page <- p;
+    p
+  end
+
+(* decode the word at [addr] and fill both forms of its slot *)
+let decode_slot t pg ~addr ~slot =
+  let instr = Encode.fetch t.mem ~addr in
+  pg.insns.(slot) <- Some instr;
+  pg.uops.(slot) <- Uop.of_instr ~pc:addr instr;
+  t.decodes <- t.decodes + 1;
+  instr
 
 (** Fetch and decode the instruction at [addr], reusing a previous decode of
     the same (unmodified) word when one exists. Misaligned addresses are
@@ -88,26 +117,48 @@ let page_for t idx =
 let fetch t ~addr =
   if addr land 3 <> 0 then Encode.fetch t.mem ~addr
   else begin
-    let idx = addr lsr page_bits in
-    let page =
-      if idx = t.last_idx then t.last_page
-      else begin
-        let p = page_for t idx in
-        t.last_idx <- idx;
-        t.last_page <- p;
-        p
-      end
-    in
+    let pg = page_at t (addr lsr page_bits) in
     let slot = (addr land page_mask) lsr 2 in
-    match Array.unsafe_get page slot with
+    match Array.unsafe_get pg.insns slot with
     | Some instr ->
       t.hits <- t.hits + 1;
       instr
-    | None ->
-      let instr = Encode.fetch t.mem ~addr in
-      page.(slot) <- Some instr;
-      t.decodes <- t.decodes + 1;
-      instr
+    | None -> decode_slot t pg ~addr ~slot
+  end
+
+(** {!fetch} in packed form: the counting fetch of the fast path. Returns
+    the micro-op as an immediate int; decodes (and caches both forms) on a
+    cold slot. *)
+let fetch_uop t ~addr =
+  if addr land 3 <> 0 then
+    Uop.of_instr ~pc:addr (Encode.fetch t.mem ~addr)
+  else begin
+    let pg = page_at t (addr lsr page_bits) in
+    let slot = (addr land page_mask) lsr 2 in
+    let u = Array.unsafe_get pg.uops slot in
+    if u <> Uop.none then begin
+      t.hits <- t.hits + 1;
+      u
+    end
+    else begin
+      ignore (decode_slot t pg ~addr ~slot);
+      pg.uops.(slot)
+    end
+  end
+
+(** The boxed decode of the word at [addr], without counting as a fetch or
+    touching the cache: serves the cached slot when warm, decodes straight
+    from memory (uncached, uncounted) when cold. Callers pair it with a
+    counting {!fetch_uop} of the same address, so hit/decode accounting
+    stays identical to a single boxed {!fetch}. *)
+let instr_at t ~addr =
+  if addr land 3 <> 0 then Encode.fetch t.mem ~addr
+  else begin
+    let pg = page_at t (addr lsr page_bits) in
+    let slot = (addr land page_mask) lsr 2 in
+    match Array.unsafe_get pg.insns slot with
+    | Some instr -> instr
+    | None -> Encode.fetch t.mem ~addr
   end
 
 let hits t = t.hits

@@ -110,8 +110,15 @@ let fpu_result (op : Instr.fpu) a b =
   | Fdiv -> float_to_bits (bits_to_float a /. bits_to_float b)
   | Fitos -> float_to_bits (float_of_int a)
   | Fstoi ->
+    (* Saturating conversion (DESIGN.md §Float-to-int): [int_of_float] on
+       NaN, ±inf or values outside the int32 range is unspecified in OCaml,
+       so the result is pinned here: NaN -> 0, >= 2^31 -> int32 max,
+       <= -(2^31+1) -> int32 min, everything else truncates toward zero. *)
     let f = bits_to_float a in
-    if Float.is_nan f then 0 else norm32 (int_of_float f)
+    if Float.is_nan f then 0
+    else if f >= 2147483648.0 then 0x7FFFFFFF
+    else if f <= -2147483649.0 then norm32 0x80000000
+    else norm32 (int_of_float f)
 
 (* Window spill/fill microroutine (DESIGN.md §2): a frame's 16-register
    window region is spilled when a save would clobber live data, and
@@ -139,10 +146,10 @@ let fill_window st w =
   st.State.wspill_sp <- st.State.wspill_sp - 64;
   let base = region_base ~nwindows:st.State.nwindows w in
   for k = 0 to 15 do
-    st.State.iregs.(base + k) <-
-      Dts_mem.Memory.read st.State.mem
-        ~addr:(st.State.wspill_sp + (k * 4))
-        ~size:4 ~signed:true
+    State.set_phys st (base + k)
+      (Dts_mem.Memory.read st.State.mem
+         ~addr:(st.State.wspill_sp + (k * 4))
+         ~size:4 ~signed:true)
   done
 
 let no_effect ~pc =
@@ -294,7 +301,7 @@ let apply_writes st writes =
     (fun w ->
       match w with
       | W_phys (p, v) -> State.set_phys st p v
-      | W_freg (f, v) -> st.State.fregs.(f) <- v
+      | W_freg (f, v) -> State.set_freg st f v
       | W_icc v -> st.State.icc <- v
       | W_win (cwp, depth) ->
         st.State.cwp <- cwp;
@@ -340,3 +347,335 @@ let service_and_exec st ~cwp ~pc instr trap =
            (Printf.sprintf "trap %s persists after service at pc=%#x"
               (show_trap t) pc)))
   | Misaligned _ -> assert false
+
+(** {1 The allocation-free sequential fast path}
+
+    {!exec} describes effects as an [outcome] record — a [writes] list plus
+    two options — which costs ~50 minor words per instruction across the
+    closures, the record copies and the boxing. The sequential engines (the
+    golden test machine and the Primary Processor) apply every effect
+    immediately and never rename anything, so they do not need the
+    descriptive form: {!exec_into} executes a packed {!Uop} micro-op into a
+    preallocated mutable {!outcome_buf} instead, allocating nothing. The two
+    paths implement the same semantics — {!exec} is kept as the VLIW
+    engine's API {e and} as the differential oracle ([test/test_fastpath.ml]
+    proves bit-identical end states on every workload and the fuzz
+    corpus). *)
+
+(** Mutable per-engine scratch for one instruction's effects: fixed slots
+    instead of a [write list], validity encoded in-band ([-1] = no register
+    write, [-1] = icc unchanged, size [0] = no memory access) so no option
+    is ever boxed. *)
+type outcome_buf = {
+  mutable b_w0 : int;  (** physical integer register to write, or -1 *)
+  mutable b_w0v : int;
+  mutable b_fw : int;  (** fp register to write, or -1 *)
+  mutable b_fwv : int;
+  mutable b_icc : int;  (** new icc, or -1 for unchanged *)
+  mutable b_win : bool;  (** window movement (save/restore)? *)
+  mutable b_cwp : int;
+  mutable b_wdepth : int;
+  mutable b_store_size : int;  (** 0 = no store *)
+  mutable b_store_addr : int;
+  mutable b_store_val : int;
+  mutable b_load_size : int;  (** 0 = no load *)
+  mutable b_load_addr : int;
+  mutable b_next_pc : int;
+  mutable b_taken : bool;
+  mutable b_trap : int;  (** 0 none / 1 overflow / 2 underflow / 3 software
+                             / 4 misaligned *)
+  mutable b_trap_arg : int;  (** trap number / offending address *)
+}
+
+let t_none = 0
+let t_overflow = 1
+let t_underflow = 2
+let t_software = 3
+let t_misaligned = 4
+
+let make_buf () =
+  {
+    b_w0 = -1;
+    b_w0v = 0;
+    b_fw = -1;
+    b_fwv = 0;
+    b_icc = -1;
+    b_win = false;
+    b_cwp = 0;
+    b_wdepth = 0;
+    b_store_size = 0;
+    b_store_addr = 0;
+    b_store_val = 0;
+    b_load_size = 0;
+    b_load_addr = 0;
+    b_next_pc = 0;
+    b_taken = false;
+    b_trap = t_none;
+    b_trap_arg = 0;
+  }
+
+let buf_reset ~pc b =
+  b.b_w0 <- -1;
+  b.b_fw <- -1;
+  b.b_icc <- -1;
+  b.b_win <- false;
+  b.b_store_size <- 0;
+  b.b_load_size <- 0;
+  b.b_next_pc <- pc + Instr.bytes;
+  b.b_taken <- false;
+  b.b_trap <- t_none
+
+let buf_trap b t arg =
+  b.b_trap <- t;
+  b.b_trap_arg <- arg
+
+(** The {!trap} value an [outcome_buf] trap code denotes (diagnostics
+    only — the hot path never materialises it). *)
+let trap_of_buf b =
+  if b.b_trap = t_overflow then Window_overflow
+  else if b.b_trap = t_underflow then Window_underflow
+  else if b.b_trap = t_software then Software b.b_trap_arg
+  else Misaligned b.b_trap_arg
+
+(** "No override" sentinel of {!read_ov_fast}: architectural values are
+    32-bit sign-extended, so [min_int] (on a 63-bit int) can never be a
+    real register, flag or loaded value. *)
+let no_val = min_int
+
+(** Unboxed counterpart of {!read_ov}: overrides answer with the value or
+    {!no_val}, never a [Some] box. The VLIW plan executor forwards renamed
+    sources and data-store-list bytes through this; the sequential engines
+    pass [None] and pay one branch per read. *)
+type read_ov_fast = {
+  ovf_phys : int -> int;  (** physical integer register index -> value *)
+  ovf_freg : int -> int;
+  ovf_icc : unit -> int;
+  ovf_mem : addr:int -> size:int -> signed:bool -> int;
+}
+
+(* Top-level read helpers: local closures over [ov]/[cwp] would be
+   heap-allocated on every {!exec_into_ov} call (no flambda), so the reads
+   take their environment as explicit arguments instead. *)
+
+let[@inline] read_reg st (ov : read_ov_fast option) ~nwindows ~cwp r =
+  if r = 0 then 0
+  else
+    let p = State.phys_fast ~nwindows ~cwp r in
+    match ov with
+    | None -> st.State.iregs.(p)
+    | Some o ->
+      let v = o.ovf_phys p in
+      if v = no_val then st.State.iregs.(p) else v
+
+let[@inline] read_freg st (ov : read_ov_fast option) f =
+  match ov with
+  | None -> st.State.fregs.(f)
+  | Some o ->
+    let v = o.ovf_freg f in
+    if v = no_val then st.State.fregs.(f) else v
+
+let[@inline] read_icc st (ov : read_ov_fast option) =
+  match ov with
+  | None -> st.State.icc
+  | Some o ->
+    let v = o.ovf_icc () in
+    if v = no_val then st.State.icc else v
+
+let[@inline] read_mem st (ov : read_ov_fast option) ~addr ~size ~signed =
+  match ov with
+  | None -> Dts_mem.Memory.read st.State.mem ~addr ~size ~signed
+  | Some o ->
+    let v = o.ovf_mem ~addr ~size ~signed in
+    if v = no_val then Dts_mem.Memory.read st.State.mem ~addr ~size ~signed
+    else v
+
+(* operand 2: pre-resolved immediate or register *)
+let[@inline] read_op2 st ov ~nwindows ~cwp u =
+  if Uop.is_imm u then Uop.imm u
+  else read_reg st ov ~nwindows ~cwp (Uop.rs2 u)
+
+(** Execute the packed op [u] (the decode of the instruction at [pc]) under
+    window pointer [cwp], leaving all effects in [b]. Reads architectural
+    state directly, except where [ov] overrides a source — no allocation
+    either way. Semantically identical to {!exec} followed by discarding
+    the record. *)
+let exec_into_ov st (ov : read_ov_fast option) ~cwp ~pc u b =
+  buf_reset ~pc b;
+  let nwindows = st.State.nwindows in
+  let opc = Uop.opcode u in
+  if opc <= Uop.u_last_alu then begin
+    let a = read_reg st ov ~nwindows ~cwp (Uop.rs1 u) and b2 = read_op2 st ov ~nwindows ~cwp u in
+    let code = Encode.alu_of_code (opc land 15) in
+    let r = alu_result code a b2 in
+    let rd = Uop.rd u in
+    if rd <> 0 then begin
+      b.b_w0 <- State.phys_fast ~nwindows ~cwp rd;
+      b.b_w0v <- r
+    end;
+    if opc >= Uop.u_alu_cc then b.b_icc <- alu_icc code a b2 r
+  end
+  else if opc <= Uop.u_last_load && opc >= Uop.u_load then begin
+    let addr = u32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
+    let idx = opc - Uop.u_load in
+    let bytes = 1 lsl (idx lsr 1) in
+    if addr land (bytes - 1) <> 0 then buf_trap b t_misaligned addr
+    else begin
+      let signed = idx land 1 = 0 in
+      let v = read_mem st ov ~addr ~size:bytes ~signed in
+      let rd = Uop.rd u in
+      if rd <> 0 then begin
+        b.b_w0 <- State.phys_fast ~nwindows ~cwp rd;
+        b.b_w0v <- v
+      end;
+      b.b_load_size <- bytes;
+      b.b_load_addr <- addr
+    end
+  end
+  else if opc <= Uop.u_last_store && opc >= Uop.u_store then begin
+    let addr = u32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
+    let bytes = 1 lsl (opc - Uop.u_store) in
+    if addr land (bytes - 1) <> 0 then buf_trap b t_misaligned addr
+    else begin
+      b.b_store_size <- bytes;
+      b.b_store_addr <- addr;
+      b.b_store_val <- read_reg st ov ~nwindows ~cwp (Uop.rd u)
+    end
+  end
+  else if opc <= Uop.u_last_branch && opc >= Uop.u_branch then begin
+    let taken =
+      opc = Uop.u_branch
+      || eval_cond (read_icc st ov) (Encode.cond_of_code (opc - Uop.u_branch))
+    in
+    if taken then b.b_next_pc <- pc + Uop.imm u;
+    b.b_taken <- taken
+  end
+  else
+    match opc with
+    | o when o = Uop.u_sethi ->
+      let rd = Uop.rd u in
+      if rd <> 0 then begin
+        b.b_w0 <- State.phys_fast ~nwindows ~cwp rd;
+        b.b_w0v <- Uop.imm u
+      end
+    | o when o >= Uop.u_fpop && o <= Uop.u_last_fpop ->
+      let r =
+        fpu_result
+          (Encode.fpu_of_code (opc - Uop.u_fpop))
+          (read_freg st ov (Uop.rs1 u))
+          (read_freg st ov (Uop.rs2 u))
+      in
+      b.b_fw <- Uop.rd u;
+      b.b_fwv <- r
+    | o when o = Uop.u_fload ->
+      let addr = u32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
+      if addr land 3 <> 0 then buf_trap b t_misaligned addr
+      else begin
+        b.b_fw <- Uop.rd u;
+        b.b_fwv <- read_mem st ov ~addr ~size:4 ~signed:true;
+        b.b_load_size <- 4;
+        b.b_load_addr <- addr
+      end
+    | o when o = Uop.u_fstore ->
+      let addr = u32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
+      if addr land 3 <> 0 then buf_trap b t_misaligned addr
+      else begin
+        b.b_store_size <- 4;
+        b.b_store_addr <- addr;
+        b.b_store_val <- read_freg st ov (Uop.rd u)
+      end
+    | o when o = Uop.u_call ->
+      b.b_w0 <- State.phys_fast ~nwindows ~cwp 15;
+      b.b_w0v <- pc;
+      b.b_next_pc <- pc + Uop.imm u;
+      b.b_taken <- true
+    | o when o = Uop.u_jmpl ->
+      let target = u32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
+      if target land 3 <> 0 then buf_trap b t_misaligned target
+      else begin
+        let rd = Uop.rd u in
+        if rd <> 0 then begin
+          b.b_w0 <- State.phys_fast ~nwindows ~cwp rd;
+          b.b_w0v <- pc
+        end;
+        b.b_next_pc <- target;
+        b.b_taken <- true
+      end
+    | o when o = Uop.u_save ->
+      if resident_depth st >= nwindows - 2 then buf_trap b t_overflow 0
+      else begin
+        let v = norm32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
+        let new_cwp = (cwp - 1 + nwindows) mod nwindows in
+        b.b_win <- true;
+        b.b_cwp <- new_cwp;
+        b.b_wdepth <- st.State.wdepth + 1;
+        let rd = Uop.rd u in
+        if rd <> 0 then begin
+          b.b_w0 <- State.phys_fast ~nwindows ~cwp:new_cwp rd;
+          b.b_w0v <- v
+        end
+      end
+    | o when o = Uop.u_restore ->
+      if resident_depth st = 0 then buf_trap b t_underflow 0
+      else begin
+        let v = norm32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
+        let new_cwp = (cwp + 1) mod nwindows in
+        b.b_win <- true;
+        b.b_cwp <- new_cwp;
+        b.b_wdepth <- st.State.wdepth - 1;
+        let rd = Uop.rd u in
+        if rd <> 0 then begin
+          b.b_w0 <- State.phys_fast ~nwindows ~cwp:new_cwp rd;
+          b.b_w0v <- v
+        end
+      end
+    | o when o = Uop.u_trap -> buf_trap b t_software (Uop.imm u)
+    | o when o = Uop.u_halt -> b.b_next_pc <- pc
+    | _ -> (* Nop *) ()
+
+(** {!exec_into_ov} with no overrides — the sequential engines' entry. *)
+let exec_into st ~cwp ~pc u b = exec_into_ov st None ~cwp ~pc u b
+
+(** Apply a buffered outcome: mirrors {!apply} field for field. *)
+let apply_buf st b =
+  if b.b_w0 > 0 then State.set_phys st b.b_w0 b.b_w0v;
+  if b.b_fw >= 0 then State.set_freg st b.b_fw b.b_fwv;
+  if b.b_icc >= 0 then st.State.icc <- b.b_icc;
+  if b.b_win then begin
+    st.State.cwp <- b.b_cwp;
+    st.State.wdepth <- b.b_wdepth
+  end;
+  if b.b_store_size <> 0 then
+    Dts_mem.Memory.write st.State.mem ~addr:b.b_store_addr
+      ~size:b.b_store_size b.b_store_val;
+  st.State.pc <- b.b_next_pc;
+  st.State.instret <- st.State.instret + 1
+
+(** Buffered counterpart of {!service_and_exec}: service the trap flagged in
+    [b], then re-execute [u] into [b] (or leave the accounted no-op for a
+    software trap). Raises {!Fatal_fault} exactly where the boxed path
+    does, with identical messages. *)
+let service_and_exec_into st ~cwp ~pc u b =
+  let nwindows = st.State.nwindows in
+  let trap = b.b_trap in
+  if trap = t_overflow then begin
+    spill_window st ((cwp - 1 + nwindows) mod nwindows);
+    st.State.traps <- st.State.traps + 1
+  end
+  else if trap = t_underflow then begin
+    fill_window st ((cwp + 2) mod nwindows);
+    st.State.traps <- st.State.traps + 1
+  end
+  else if trap = t_software then st.State.traps <- st.State.traps + 1
+  else
+    raise
+      (Fatal_fault
+         (Printf.sprintf "misaligned access at %#x (pc=%#x)" b.b_trap_arg pc));
+  if trap = t_software then buf_reset ~pc b
+  else begin
+    exec_into st ~cwp ~pc u b;
+    if b.b_trap <> t_none then
+      raise
+        (Fatal_fault
+           (Printf.sprintf "trap %s persists after service at pc=%#x"
+              (show_trap (trap_of_buf b)) pc))
+  end

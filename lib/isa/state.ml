@@ -25,6 +25,17 @@ type t = {
   mutable instret : int;  (** retired instruction count *)
   mutable halted : bool;
   mutable traps : int;  (** serviced trap count *)
+  (* Dirty-register journal: indices written since the last {!dirty_clear}
+     (integer register index, or [n_iregs + f] for fp register [f]).
+     Test-mode synchronisation compares two states at every block boundary;
+     journalling lets it compare only the handful of registers either side
+     wrote since the previous successful compare instead of walking the
+     whole windowed register file. The journal is conservative: an
+     overflow flips [dirty_all] and the next comparison falls back to the
+     full scan. *)
+  dirty_idx : int array;
+  mutable n_dirty : int;
+  mutable dirty_all : bool;
 }
 
 let n_visible = 32
@@ -46,6 +57,9 @@ let create ?(nwindows = 32) ?mem () =
     instret = 0;
     halted = false;
     traps = 0;
+    dirty_idx = Array.make 1024 0;
+    n_dirty = 0;
+    dirty_all = false;
   }
 
 let n_phys_iregs st = Array.length st.iregs
@@ -64,14 +78,50 @@ let phys ~nwindows ~cwp r =
 
 let phys_of st ~cwp r = phys ~nwindows:st.nwindows ~cwp r
 
+(** {!phys} without the bounds check, for callers whose [r] comes out of a
+    5-bit field and is therefore already in 0..31, and whose [cwp] is an
+    architectural window pointer already in [0, nwindows). Under those
+    preconditions the only wraparound is the ins region of the last window,
+    so the two integer divisions of {!phys} reduce to one compare. *)
+let phys_fast ~nwindows ~cwp r =
+  if r < n_globals then r
+  else if r < 16 then n_globals + (cwp * 16) + (r - 8)
+  else if r < 24 then n_globals + (cwp * 16) + 8 + (r - 16)
+  else
+    let c = cwp + 1 in
+    let c = if c >= nwindows then 0 else c in
+    n_globals + (c * 16) + (r - 24)
+
+let phys_fast_of st ~cwp r = phys_fast ~nwindows:st.nwindows ~cwp r
+
 let get_reg st ~cwp r =
   if r = 0 then 0 else st.iregs.(phys_of st ~cwp r)
 
-let set_reg st ~cwp r v =
-  if r <> 0 then st.iregs.(phys_of st ~cwp r) <- v
+(* Journal a write of physical index [i] ([n_iregs + f] for an freg).
+   Every architectural register write funnels through {!set_phys} /
+   {!set_freg}, so the journal is complete; on overflow the state just
+   degrades to full-scan comparison. *)
+let[@inline] mark_dirty st i =
+  let n = st.n_dirty in
+  if n < Array.length st.dirty_idx then begin
+    Array.unsafe_set st.dirty_idx n i;
+    st.n_dirty <- n + 1
+  end
+  else st.dirty_all <- true
 
 let get_phys st p = if p = 0 then 0 else st.iregs.(p)
-let set_phys st p v = if p <> 0 then st.iregs.(p) <- v
+
+let set_phys st p v =
+  if p <> 0 then begin
+    st.iregs.(p) <- v;
+    mark_dirty st p
+  end
+
+let set_freg st f v =
+  st.fregs.(f) <- v;
+  mark_dirty st (Array.length st.iregs + f)
+
+let set_reg st ~cwp r v = if r <> 0 then set_phys st (phys_of st ~cwp r) v
 
 (* icc accessors *)
 let icc_n icc = icc land 8 <> 0
@@ -91,20 +141,77 @@ let copy st =
     st with
     iregs = Array.copy st.iregs;
     fregs = Array.copy st.fregs;
+    dirty_idx = Array.copy st.dirty_idx;
     mem;
     (* a fresh store hooked to the fresh memory: decodes must not be shared
        with (or invalidated by) the original *)
     predecode = Predecode.create mem;
   }
 
+(* Monomorphic int-array equality: the polymorphic [=] routes every element
+   through the generic comparator, which made the per-sync register check
+   the hottest function in test mode. *)
+let rec int_arrays_equal_from (a : int array) (b : int array) i n =
+  i >= n
+  || (Array.unsafe_get a i = Array.unsafe_get b i
+     && int_arrays_equal_from a b (i + 1) n)
+
+let int_arrays_equal (a : int array) (b : int array) =
+  let n = Array.length a in
+  Array.length b = n && int_arrays_equal_from a b 0 n
+
+(** [blit_ints src dst] copies all of [src] over [dst] (equal lengths).
+    [Array.blit] on an old-heap destination runs the per-element pointer
+    write barrier because it cannot know the elements are immediates; this
+    monomorphic loop compiles to plain stores, which matters for the
+    register-file checkpoints taken at every block entry. *)
+let blit_ints (src : int array) (dst : int array) =
+  if Array.length src <> Array.length dst then invalid_arg "State.blit_ints";
+  for i = 0 to Array.length src - 1 do
+    Array.unsafe_set dst i (Array.unsafe_get src i)
+  done
+
 (** Register-and-flags equality (the cheap per-block test-mode check). *)
 let regs_equal a b =
   a.pc = b.pc && a.icc = b.icc && a.cwp = b.cwp && a.wdepth = b.wdepth
   && a.wspill_sp = b.wspill_sp
-  && a.iregs = b.iregs && a.fregs = b.fregs
+  && int_arrays_equal a.iregs b.iregs
+  && int_arrays_equal a.fregs b.fregs
 
 (** Full state equality including memory (the expensive periodic check). *)
 let equal a b = regs_equal a b && Dts_mem.Memory.equal a.mem b.mem
+
+(* Compare [a] and [b] at the indices journalled in [j] (either state's
+   journal; unjournalled indices are unchanged on both sides since the
+   last {!dirty_clear}, when the states compared equal). *)
+let rec dirty_entries_equal a b (j : int array) i n ni =
+  i >= n
+  ||
+  let idx = Array.unsafe_get j i in
+  (if idx < ni then Array.unsafe_get a.iregs idx = Array.unsafe_get b.iregs idx
+   else
+     Array.unsafe_get a.fregs (idx - ni) = Array.unsafe_get b.fregs (idx - ni))
+  && dirty_entries_equal a b j (i + 1) n ni
+
+(** Journalled {!regs_equal}: sound only under the sync discipline — the
+    caller established [regs_equal a b] at the last {!dirty_clear} of both
+    states and every register write since went through {!set_phys} /
+    {!set_freg} / {!set_reg}. Falls back to the full scan when either
+    journal overflowed. *)
+let dirty_regs_equal a b =
+  if a.dirty_all || b.dirty_all then regs_equal a b
+  else
+    a.pc = b.pc && a.icc = b.icc && a.cwp = b.cwp && a.wdepth = b.wdepth
+    && a.wspill_sp = b.wspill_sp
+    && let ni = Array.length a.iregs in
+       dirty_entries_equal a b a.dirty_idx 0 a.n_dirty ni
+       && dirty_entries_equal a b b.dirty_idx 0 b.n_dirty ni
+
+(** Reset the dirty journal — call immediately after a successful
+    comparison of this state against its co-simulation partner. *)
+let dirty_clear st =
+  st.n_dirty <- 0;
+  st.dirty_all <- false
 
 let pp_diff fmt (a, b) =
   let open Format in

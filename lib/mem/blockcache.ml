@@ -47,21 +47,26 @@ let dropped t key payload =
    first instruction, so index on addr/4. *)
 let set_of t addr = t.sets.((addr lsr 2) land (t.n_sets - 1))
 
+(* Allocation-free lookup: an index loop (no iter closure, no ref) that
+   returns the resident [Some] box itself rather than re-wrapping it. *)
+let rec find_from t ways addr i n =
+  if i >= n then begin
+    t.misses <- t.misses + 1;
+    None
+  end
+  else
+    let e = Array.unsafe_get ways i in
+    if e.payload <> None && e.key = addr then begin
+      e.stamp <- t.clock;
+      t.hits <- t.hits + 1;
+      e.payload
+    end
+    else find_from t ways addr (i + 1) n
+
 let find t addr =
   t.clock <- t.clock + 1;
   let ways = set_of t addr in
-  let found = ref None in
-  Array.iter
-    (fun e ->
-      if e.payload <> None && e.key = addr then begin
-        e.stamp <- t.clock;
-        found := e.payload
-      end)
-    ways;
-  (match !found with
-  | Some _ -> t.hits <- t.hits + 1
-  | None -> t.misses <- t.misses + 1);
-  !found
+  find_from t ways addr 0 (Array.length ways)
 
 let probe t addr =
   let ways = set_of t addr in

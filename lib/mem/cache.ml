@@ -62,37 +62,52 @@ let locate c addr =
   let tag = line / c.n_sets in
   (c.sets.(set), tag)
 
+(* Allocation-free access: top-level index loops instead of [Array.iter]
+   closures or local recursion (a fresh closure per call under the vanilla
+   compiler), and no [locate] tuple. *)
+let rec find_way ways tag i n =
+  if i >= n then -1
+  else
+    let w = Array.unsafe_get ways i in
+    if w.valid && w.tag = tag then i else find_way ways tag (i + 1) n
+
+(* replace an invalid way if any, else true-LRU by stamp; starting the scan
+   at 1 with best = 0 is the identity first iteration of the original
+   [Array.iter] pass *)
+let rec pick_victim ways i best n =
+  if i >= n then best
+  else
+    let w = Array.unsafe_get ways i and b = Array.unsafe_get ways best in
+    let best =
+      if not w.valid then (if b.valid then i else best)
+      else if b.valid && w.stamp < b.stamp then i
+      else best
+    in
+    pick_victim ways (i + 1) best n
+
 let access c addr =
   if is_perfect c then (
     c.hits <- c.hits + 1;
     0)
   else begin
     c.clock <- c.clock + 1;
-    let ways, tag = locate c addr in
-    let hit = ref false in
-    Array.iter
-      (fun w ->
-        if w.valid && w.tag = tag then begin
-          hit := true;
-          w.stamp <- c.clock
-        end)
-      ways;
-    if !hit then begin
+    let line = addr lsr c.line_bits in
+    let set = line mod c.n_sets in
+    let tag = line / c.n_sets in
+    let ways = c.sets.(set) in
+    let n = Array.length ways in
+    let h = find_way ways tag 0 n in
+    if h >= 0 then begin
+      ways.(h).stamp <- c.clock;
       c.hits <- c.hits + 1;
       0
     end
     else begin
       c.misses <- c.misses + 1;
-      (* fill: replace invalid way if any, else true-LRU victim *)
-      let victim = ref ways.(0) in
-      Array.iter
-        (fun w ->
-          if not w.valid then (if !victim.valid then victim := w)
-          else if !victim.valid && w.stamp < !victim.stamp then victim := w)
-        ways;
-      !victim.tag <- tag;
-      !victim.valid <- true;
-      !victim.stamp <- c.clock;
+      let victim = ways.(pick_victim ways 1 0 n) in
+      victim.tag <- tag;
+      victim.valid <- true;
+      victim.stamp <- c.clock;
       c.miss_penalty
     end
   end

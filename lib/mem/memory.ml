@@ -7,6 +7,11 @@ let addr_mask = 0xFFFFFFFF
 
 type t = {
   pages : (int, Bytes.t) Hashtbl.t;
+  mutable last_idx : int;
+      (** page index of [last_page], or -1; only {e materialised} pages
+          enter the lookaside — never the shared [zero_page], which a later
+          first write to the same page would silently shadow *)
+  mutable last_page : Bytes.t;
   mutable write_hooks : (int -> unit) list;
       (** notified with the byte address of every mutation performed through
           {!write} / {!load_bytes}; a naturally aligned write never spans a
@@ -19,8 +24,16 @@ type t = {
 
 exception Misaligned of int
 
+let no_page = Bytes.create 0
+
 let create () =
-  { pages = Hashtbl.create 64; write_hooks = []; reset_hooks = [] }
+  {
+    pages = Hashtbl.create 64;
+    last_idx = -1;
+    last_page = no_page;
+    write_hooks = [];
+    reset_hooks = [];
+  }
 
 let copy m =
   (* Hooks are observers of the *original* memory; the copy starts clean and
@@ -33,7 +46,13 @@ let copy m =
   List.iter (fun f -> f ()) m.reset_hooks;
   let pages = Hashtbl.create (Hashtbl.length m.pages) in
   Hashtbl.iter (fun k v -> Hashtbl.replace pages k (Bytes.copy v)) m.pages;
-  { pages; write_hooks = []; reset_hooks = [] }
+  {
+    pages;
+    last_idx = -1;
+    last_page = no_page;
+    write_hooks = [];
+    reset_hooks = [];
+  }
 
 let add_write_hook m f = m.write_hooks <- f :: m.write_hooks
 let add_reset_hook m f = m.reset_hooks <- f :: m.reset_hooks
@@ -46,22 +65,36 @@ let notify_write m addr =
 
 let zero_page = Bytes.make page_size '\000'
 
+(* Page resolution with a one-entry lookaside over materialised pages. A
+   naturally aligned access never crosses a page, so every read/write below
+   resolves its page exactly once — the common case is an integer compare
+   and two loads. [Hashtbl.find]+[Not_found] instead of [find_opt]: the
+   constant exception costs nothing, the [Some] box is a word per miss. *)
+
 let page_ro m idx =
-  match Hashtbl.find_opt m.pages idx with
-  | Some p -> p
-  | None -> zero_page
+  if idx = m.last_idx then m.last_page
+  else
+    match Hashtbl.find m.pages idx with
+    | p ->
+      m.last_idx <- idx;
+      m.last_page <- p;
+      p
+    | exception Not_found -> zero_page
 
 let page_rw m idx =
-  match Hashtbl.find_opt m.pages idx with
-  | Some p -> p
-  | None ->
-    let p = Bytes.make page_size '\000' in
-    Hashtbl.replace m.pages idx p;
-    p
-
-let get_u8 m addr =
-  let addr = addr land addr_mask in
-  Char.code (Bytes.get (page_ro m (addr lsr page_bits)) (addr land page_mask))
+  if idx = m.last_idx then m.last_page
+  else
+    match Hashtbl.find m.pages idx with
+    | p ->
+      m.last_idx <- idx;
+      m.last_page <- p;
+      p
+    | exception Not_found ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.replace m.pages idx p;
+      m.last_idx <- idx;
+      m.last_page <- p;
+      p
 
 let set_u8 m addr v =
   let addr = addr land addr_mask in
@@ -77,44 +110,46 @@ let sext v bits =
   let shift = Sys.int_size - bits in
   (v lsl shift) asr shift
 
+(* 16-bit lanes compose the 32-bit accessors: [Bytes.get_uint16_be] is a
+   non-allocating primitive, unlike the [Int32]-boxing [get_int32_be]. *)
+
 let read m ~addr ~size ~signed =
   check_aligned addr size;
-  let raw =
-    match size with
-    | 1 -> get_u8 m addr
-    | 2 -> (get_u8 m addr lsl 8) lor get_u8 m (addr + 1)
-    | 4 ->
-      (get_u8 m addr lsl 24)
-      lor (get_u8 m (addr + 1) lsl 16)
-      lor (get_u8 m (addr + 2) lsl 8)
-      lor get_u8 m (addr + 3)
-    | _ -> invalid_arg "Memory.read: size"
-  in
-  if signed then sext raw (size * 8)
-  else if size = 4 then sext raw 32 (* 32-bit values are kept sign-extended *)
-  else raw
+  let addr = addr land addr_mask in
+  let p = page_ro m (addr lsr page_bits) in
+  let off = addr land page_mask in
+  match size with
+  | 1 ->
+    let v = Char.code (Bytes.unsafe_get p off) in
+    if signed then sext v 8 else v
+  | 2 ->
+    let v = Bytes.get_uint16_be p off in
+    if signed then sext v 16 else v
+  | 4 ->
+    (* 32-bit values are kept sign-extended, signed or not *)
+    sext ((Bytes.get_uint16_be p off lsl 16) lor Bytes.get_uint16_be p (off + 2)) 32
+  | _ -> invalid_arg "Memory.read: size"
 
 let write m ~addr ~size v =
   check_aligned addr size;
+  let addr = addr land addr_mask in
+  let p = page_rw m (addr lsr page_bits) in
+  let off = addr land page_mask in
   (match size with
-  | 1 -> set_u8 m addr v
-  | 2 ->
-    set_u8 m addr (v lsr 8);
-    set_u8 m (addr + 1) v
+  | 1 -> Bytes.unsafe_set p off (Char.unsafe_chr (v land 0xFF))
+  | 2 -> Bytes.set_uint16_be p off (v land 0xFFFF)
   | 4 ->
-    set_u8 m addr (v lsr 24);
-    set_u8 m (addr + 1) (v lsr 16);
-    set_u8 m (addr + 2) (v lsr 8);
-    set_u8 m (addr + 3) v
+    Bytes.set_uint16_be p off ((v lsr 16) land 0xFFFF);
+    Bytes.set_uint16_be p (off + 2) (v land 0xFFFF)
   | _ -> invalid_arg "Memory.write: size");
   notify_write m addr
 
 let read_u32 m addr =
   check_aligned addr 4;
-  (get_u8 m addr lsl 24)
-  lor (get_u8 m (addr + 1) lsl 16)
-  lor (get_u8 m (addr + 2) lsl 8)
-  lor get_u8 m (addr + 3)
+  let addr = addr land addr_mask in
+  let p = page_ro m (addr lsr page_bits) in
+  let off = addr land page_mask in
+  (Bytes.get_uint16_be p off lsl 16) lor Bytes.get_uint16_be p (off + 2)
 
 let write_u32 m addr v = write m ~addr ~size:4 v
 

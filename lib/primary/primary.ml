@@ -12,7 +12,14 @@
       3-cycle bubble;
     - an instruction that uses the result of the immediately preceding load
       causes a 1-cycle bubble;
-    - instruction and data cache misses stall for their miss penalties. *)
+    - instruction and data cache misses stall for their miss penalties.
+
+    Two execution paths implement these semantics: the default {e fast
+    path} runs packed {!Dts_isa.Uop} micro-ops through
+    {!Dts_isa.Semantics.exec_into} (no allocation per instruction), and the
+    {e reference path} keeps the boxed {!Dts_isa.Semantics.exec} outcomes.
+    They are observationally identical — the fast-path differential suite
+    compares them on every workload and fuzz reproducer. *)
 
 type timing = {
   not_taken_branch_bubble : int;  (** Table 1: 3 *)
@@ -58,36 +65,75 @@ type t = {
   icache : Dts_mem.Cache.t;
   dcache : Dts_mem.Cache.t;
   timing : timing;
+  fastpath : bool;
+  buf : Dts_isa.Semantics.outcome_buf;  (** fast-path outcome scratch *)
   mutable last_load_writes : Dts_isa.Storage.t list;
-      (** destinations of the previous instruction if it was a load *)
+      (** reference path: destinations of the previous instruction if it
+          was a load *)
+  mutable last_load_p : int;
+      (** fast path: physical integer destination of the previous
+          instruction if it was an integer load, or -1 *)
+  mutable last_load_f : int;  (** ... fp destination for [fload], or -1 *)
   mutable retired_count : int;
+  mutable total_cycles : int;
+      (** pipeline cycles consumed by every instruction retired so far *)
+  (* scratch observations of the last fast-path step, consumed by [step]
+     when it builds the retirement record *)
+  mutable s_trapped : bool;
+  mutable s_cycles : int;
+  mutable s_icache_stall : int;
+  mutable s_dcache_stall : int;
 }
 
-let create ?(timing = default_timing) ~icache ~dcache st =
-  { st; icache; dcache; timing; last_load_writes = []; retired_count = 0 }
+let create ?(timing = default_timing) ?(fastpath = true) ~icache ~dcache st =
+  {
+    st;
+    icache;
+    dcache;
+    timing;
+    fastpath;
+    buf = Dts_isa.Semantics.make_buf ();
+    last_load_writes = [];
+    last_load_p = -1;
+    last_load_f = -1;
+    retired_count = 0;
+    total_cycles = 0;
+    s_trapped = false;
+    s_cycles = 0;
+    s_icache_stall = 0;
+    s_dcache_stall = 0;
+  }
+
+let total_cycles t = t.total_cycles
 
 exception Halted
 
-(** Execute one instruction at the current PC and return its retirement
-    record. Traps are serviced in place (and flagged). Raises {!Halted} when
-    the program stops. *)
-let step t : retired =
+(* Halt retires without touching the caches or the cycle budget: the final
+   fetch is not replayed architecturally, so accruing its stall cycles
+   while dropping the retirement record would make the cycle books and the
+   cache stats disagree (the obs sum invariant). Both paths share this. *)
+let retire_halt t =
+  t.st.halted <- true;
+  t.st.instret <- t.st.instret + 1;
+  t.retired_count <- t.retired_count + 1;
+  raise Halted
+
+(* ------------------------------------------------------------------ *)
+(* Reference path: boxed outcomes through Semantics.exec.             *)
+(* ------------------------------------------------------------------ *)
+
+let step_ref t : retired =
   let st = t.st in
   if st.halted then raise Halted;
   let pc = st.pc in
   let cwp = st.cwp in
+  let instr = Dts_isa.Predecode.fetch st.predecode ~addr:pc in
+  if instr = Dts_isa.Instr.Halt then retire_halt t;
   let cycles = ref 1 in
   let icache_stall = Dts_mem.Cache.access t.icache pc in
   let dcache_stall = ref 0 in
   cycles := !cycles + icache_stall;
-  let instr = Dts_isa.Predecode.fetch st.predecode ~addr:pc in
   cycles := !cycles + Dts_isa.Instr.latency t.timing.latencies instr - 1;
-  if instr = Dts_isa.Instr.Halt then begin
-    st.halted <- true;
-    st.instret <- st.instret + 1;
-    t.retired_count <- t.retired_count + 1;
-    raise Halted
-  end;
   let out = Dts_isa.Semantics.exec st ~cwp ~pc instr in
   let trapped = out.trap <> None in
   let out =
@@ -146,6 +192,7 @@ let step t : retired =
          out.writes
      else []);
   t.retired_count <- t.retired_count + 1;
+  t.total_cycles <- t.total_cycles + !cycles;
   {
     instr;
     addr = pc;
@@ -160,6 +207,166 @@ let step t : retired =
     dcache_stall = !dcache_stall;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Fast path: packed micro-ops into the preallocated outcome buffer.  *)
+(* ------------------------------------------------------------------ *)
+
+(* Does [u] read the destination of the previous instruction's load?
+   Mirrors [Storage.any_overlap (fst rwsets) last_load_writes] for the only
+   positions a load can write (one integer or one fp register): memory,
+   flag and window reads can never overlap them. [-1] sentinels make the
+   comparisons vacuously false when there is no previous load. *)
+let reads_prev_load_dest t u ~cwp =
+  let module U = Dts_isa.Uop in
+  let st = t.st in
+  let lp = t.last_load_p and lf = t.last_load_f in
+  let rr r = r <> 0 && Dts_isa.State.phys_fast_of st ~cwp r = lp in
+  let op2_hit () = (not (U.is_imm u)) && rr (U.rs2 u) in
+  let opc = U.opcode u in
+  if opc <= U.u_last_alu then rr (U.rs1 u) || op2_hit ()
+  else if opc >= U.u_load && opc <= U.u_last_load then
+    rr (U.rs1 u) || op2_hit ()
+  else if opc >= U.u_store && opc <= U.u_last_store then
+    rr (U.rd u) || rr (U.rs1 u) || op2_hit ()
+  else if opc = U.u_jmpl || opc = U.u_save || opc = U.u_restore then
+    rr (U.rs1 u) || op2_hit ()
+  else if opc >= U.u_fpop && opc <= U.u_last_fpop then
+    U.rs1 u = lf || U.rs2 u = lf
+  else if opc = U.u_fload then rr (U.rs1 u) || op2_hit ()
+  else if opc = U.u_fstore then U.rd u = lf || rr (U.rs1 u) || op2_hit ()
+  else false (* sethi, branches, call, trap, nop read no register a load
+                can write *)
+
+(* One full fast-path step minus the retirement record: executes, accounts
+   cycles into the scratch fields and [total_cycles], applies. [step] wraps
+   it to build the record; [run] loops it for record-free execution. *)
+let step_core t =
+  let module U = Dts_isa.Uop in
+  let st = t.st in
+  if st.halted then raise Halted;
+  let pc = st.pc in
+  let cwp = st.cwp in
+  let u = Dts_isa.Predecode.fetch_uop st.predecode ~addr:pc in
+  let opc = U.opcode u in
+  if opc = U.u_halt then retire_halt t;
+  let icache_stall = Dts_mem.Cache.access t.icache pc in
+  (* 1 base cycle + stall + (latency - 1) extra execute cycles *)
+  let cycles = ref (icache_stall + U.latency t.timing.latencies u) in
+  let b = t.buf in
+  Dts_isa.Semantics.exec_into st ~cwp ~pc u b;
+  let trapped = b.b_trap <> 0 in
+  if trapped then begin
+    cycles := !cycles + t.timing.trap_service_cycles;
+    Dts_isa.Semantics.service_and_exec_into st ~cwp ~pc u b
+  end;
+  let observed = b.b_load_size <> 0 || b.b_store_size <> 0 in
+  let is_mem =
+    (opc >= U.u_load && opc <= U.u_last_store)
+    || opc = U.u_fload || opc = U.u_fstore
+  in
+  (if
+     (t.last_load_p >= 0 || t.last_load_f >= 0)
+     && (observed || not is_mem)
+     && reads_prev_load_dest t u ~cwp
+   then cycles := !cycles + t.timing.load_use_bubble);
+  let dcache_stall = ref 0 in
+  if b.b_load_size <> 0 then
+    dcache_stall := !dcache_stall + Dts_mem.Cache.access t.dcache b.b_load_addr;
+  if b.b_store_size <> 0 then
+    dcache_stall := !dcache_stall + Dts_mem.Cache.access t.dcache b.b_store_addr;
+  cycles := !cycles + !dcache_stall;
+  if
+    opc > U.u_branch && opc <= U.u_last_branch && not b.b_taken
+    (* [u_branch] itself is the always-taken cond A *)
+  then cycles := !cycles + t.timing.not_taken_branch_bubble;
+  (* track the load destination before apply moves the window pointer
+     (loads never do, but the order keeps the invariant obvious) *)
+  if (not trapped) && b.b_load_size <> 0 then
+    if opc = U.u_fload then begin
+      t.last_load_p <- -1;
+      t.last_load_f <- U.rd u
+    end
+    else begin
+      (* integer load: b_w0 already holds the physical destination *)
+      t.last_load_p <- b.b_w0;
+      t.last_load_f <- -1
+    end
+  else begin
+    t.last_load_p <- -1;
+    t.last_load_f <- -1
+  end;
+  Dts_isa.Semantics.apply_buf st b;
+  t.retired_count <- t.retired_count + 1;
+  t.total_cycles <- t.total_cycles + !cycles;
+  t.s_trapped <- trapped;
+  t.s_cycles <- !cycles;
+  t.s_icache_stall <- icache_stall;
+  t.s_dcache_stall <- !dcache_stall
+
+let step_fast t : retired =
+  let st = t.st in
+  if st.halted then raise Halted;
+  let pc = st.pc in
+  let cwp = st.cwp in
+  (* materialise the boxed decode before executing: a store over its own
+     word (self-modifying code) invalidates the slot during the step *)
+  let instr = Dts_isa.Predecode.instr_at st.predecode ~addr:pc in
+  step_core t;
+  let b = t.buf in
+  let observed_mem =
+    if b.b_load_size <> 0 then Some (b.b_load_addr, b.b_load_size)
+    else if b.b_store_size <> 0 then Some (b.b_store_addr, b.b_store_size)
+    else None
+  in
+  let rwsets =
+    if observed_mem = None && Dts_isa.Instr.is_mem instr then ([], [])
+    else
+      Dts_isa.Rwsets.of_instr ~nwindows:st.nwindows ~cwp ?mem:observed_mem
+        instr
+  in
+  {
+    instr;
+    addr = pc;
+    cwp;
+    next_pc = b.b_next_pc;
+    taken = b.b_taken;
+    mem = observed_mem;
+    rwsets;
+    trapped = t.s_trapped;
+    cycles = t.s_cycles;
+    icache_stall = t.s_icache_stall;
+    dcache_stall = t.s_dcache_stall;
+  }
+
+(** Execute one instruction at the current PC and return its retirement
+    record. Traps are serviced in place (and flagged). Raises {!Halted} when
+    the program stops. *)
+let step t : retired = if t.fastpath then step_fast t else step_ref t
+
+(** Run to [Halt] (or for [max_instructions]) without building retirement
+    records; returns the number of instructions retired by this call. On
+    the fast path this executes allocation-free — the engine of choice for
+    standalone Primary runs (the fuzzer's differential oracle, IPC
+    baselines). Timing is accounted identically to {!step}
+    (see {!total_cycles}). *)
+let run ?(max_instructions = max_int) t =
+  let st = t.st in
+  let start = st.instret in
+  (try
+     if t.fastpath then
+       while st.instret - start < max_instructions do
+         step_core t
+       done
+     else
+       while st.instret - start < max_instructions do
+         ignore (step_ref t)
+       done
+   with Halted -> ());
+  st.instret - start
+
 (** Invalidate pipeline-local hazard tracking (used when the machine swaps
     engines — the pipeline is refilled, so stale hazards must not apply). *)
-let reset_hazards t = t.last_load_writes <- []
+let reset_hazards t =
+  t.last_load_writes <- [];
+  t.last_load_p <- -1;
+  t.last_load_f <- -1

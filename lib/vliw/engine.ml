@@ -28,6 +28,7 @@
 
 open Dts_sched.Schedtypes
 
+
 type rr_entry = {
   mutable v : int;
   mutable m_addr : int;  (** memory renaming registers: buffered store *)
@@ -58,11 +59,12 @@ type mem_event = Aliaslog.event = {
   ev_cross : bool;
 }
 
-(** The §3.11 checkpoint. One preallocated instance per engine, refilled by
-    blitting at every block entry — entering a block allocates nothing. *)
+(** The §3.11 checkpoint scalars. Register-file recovery is handled by the
+    undo log ([undo_idx]/[undo_val] on the engine): the writeback loop
+    records each overwritten register value, so taking a checkpoint costs
+    nothing and recovery replays the (short) log backwards instead of
+    restoring a full register-file snapshot. *)
 type shadow = {
-  sh_iregs : int array;
-  sh_fregs : int array;
   mutable sh_icc : int;
   mutable sh_cwp : int;
   mutable sh_wdepth : int;
@@ -95,6 +97,12 @@ type t = {
           blocks seen and reset in place at block entry *)
   shadow : shadow;
   mutable shadow_valid : bool;
+  (* register undo log: (index, overwritten value) pairs in write order,
+     where index is a physical integer register or [n_iregs + f] for fp
+     register [f]; replayed newest-first by {!rollback} *)
+  mutable undo_idx : int array;
+  mutable undo_val : int array;
+  mutable undo_n : int;
   (* checkpoint recovery store list (addr, size, old value) as parallel
      growable arrays; undone newest-first on rollback *)
   mutable rec_addr : int array;
@@ -116,11 +124,17 @@ type t = {
           cwp (mod nwindows), applied to every baked cwp and physical
           register position *)
   (* ---- plan-execution scratch, reused across cycles and blocks ---- *)
-  mutable plan_ctx : Plan.variant option;
-      (** [Some _] while replaying a compiled plan; [None] interprets *)
-  mutable outcomes : Dts_isa.Semantics.outcome array;
+  mutable plan_on : bool;
+      (** set while replaying a compiled plan ([plan_v]); clear interprets *)
+  mutable plan_v : Plan.variant;
+  mutable bufs : Dts_isa.Semantics.outcome_buf array;
       (** phase-1 results, indexed like the current pli's op array *)
-  mutable bw : Dts_isa.Semantics.write array;  (** buffered writes *)
+  (* buffered register/flag/window writes as unboxed parallel arrays:
+     kind ({!wk_phys}…), first payload (position / cwp), second payload
+     (value / window depth) — no [write] constructor is boxed per cycle *)
+  mutable bw_kind : int array;
+  mutable bw_a : int array;
+  mutable bw_b : int array;
   mutable bw_n : int;
   mutable bs_addr : int array;  (** buffered stores *)
   mutable bs_size : int array;
@@ -128,13 +142,15 @@ type t = {
   mutable bs_order : int array;
   mutable bs_n : int;
   (* the substitution view of the op currently in phase 1; plan_ov's
-     closures read these fields, so one override record serves every op *)
-  mutable cur_sub_phys_pos : int array;
-  mutable cur_sub_phys_rr : rref array;
-  mutable cur_sub_freg_pos : int array;
-  mutable cur_sub_freg_rr : rref array;
-  mutable cur_sub_icc : rref option;
-  mutable plan_ov : Dts_isa.Semantics.read_ov;
+     closures read this field, so one override record serves every op —
+     and publishing a whole context is a single (write-barriered) store *)
+  mutable cur_subs : Plan.subs;
+  mutable plan_ov : Dts_isa.Semantics.read_ov_fast option;
+      (** the one override record the plan executor passes to
+          {!Dts_isa.Semantics.exec_into_ov}; its closures read the
+          [cur_subs] field above *)
+  mutable pen : int;
+      (** data-cache penalty cycles of the last {!exec_li_fast} *)
   stats : stats;
   tracer : Dts_obs.Trace.t;
       (** event sink for rollback/aliasing observability; the machine
@@ -144,16 +160,33 @@ type t = {
 let fresh_rr () = { v = 0; m_addr = 0; m_size = 0; exn = None }
 let rr_of t (r : rref) = t.rr.(rr_kind_index r.kind).(r.ridx)
 
+(* First match in [pos_arr] (list order = [List.assoc] order), or -1.
+   Top-level recursion: a local [go] would be a fresh closure per call. *)
+let rec probe_idx_from pos_arr p i n =
+  if i >= n then -1
+  else if Array.unsafe_get pos_arr i = p then i
+  else probe_idx_from pos_arr p (i + 1) n
+
+let[@inline] probe_idx pos_arr p = probe_idx_from pos_arr p 0 (Array.length pos_arr)
+
+(* buffered-write kinds (see the [bw_*] parallel arrays) *)
+let wk_phys = 0
+let wk_freg = 1
+let wk_icc = 2
+let wk_win = 3
+
 (* data-store-list scheme: loads read the list and the data cache
-   simultaneously, preferring the last data stored on a hit (§3.11) *)
-let dsl_read t ~addr ~size ~signed =
-  if t.dsl_n = 0 then None
+   simultaneously, preferring the last data stored on a hit (§3.11).
+   Answers {!Dts_isa.Semantics.no_val} when the list holds no byte of the
+   range — the caller falls through to architectural memory. *)
+let dsl_read_fast t ~addr ~size ~signed =
+  if t.dsl_n = 0 then Dts_isa.Semantics.no_val
   else begin
     let any = ref false in
     for b = addr to addr + size - 1 do
       if Hashtbl.mem t.dsl_bytes b then any := true
     done;
-    if not !any then None
+    if not !any then Dts_isa.Semantics.no_val
     else begin
       let v = ref 0 in
       for b = addr to addr + size - 1 do
@@ -165,12 +198,15 @@ let dsl_read t ~addr ~size ~signed =
         v := (!v lsl 8) lor byte
       done;
       let raw = !v in
-      Some
-        (if signed then
-           (raw lsl (Sys.int_size - (size * 8))) asr (Sys.int_size - (size * 8))
-         else raw)
+      if signed then
+        (raw lsl (Sys.int_size - (size * 8))) asr (Sys.int_size - (size * 8))
+      else raw
     end
   end
+
+let dsl_read t ~addr ~size ~signed =
+  let v = dsl_read_fast t ~addr ~size ~signed in
+  if v = Dts_isa.Semantics.no_val then None else Some v
 
 let create ?(scheme = Checkpoint_recovery) ?(tracer = Dts_obs.Trace.null)
     ~dcache st =
@@ -181,16 +217,11 @@ let create ?(scheme = Checkpoint_recovery) ?(tracer = Dts_obs.Trace.null)
       scheme;
       rr = Array.make 4 [||];
       shadow =
-        {
-          sh_iregs = Array.make (Array.length st.Dts_isa.State.iregs) 0;
-          sh_fregs = Array.make (Array.length st.Dts_isa.State.fregs) 0;
-          sh_icc = 0;
-          sh_cwp = 0;
-          sh_wdepth = 0;
-          sh_wspill_sp = 0;
-          sh_pc = 0;
-        };
+        { sh_icc = 0; sh_cwp = 0; sh_wdepth = 0; sh_wspill_sp = 0; sh_pc = 0 };
       shadow_valid = false;
+      undo_idx = Array.make 256 0;
+      undo_val = Array.make 256 0;
+      undo_n = 0;
       rec_addr = [||];
       rec_size = [||];
       rec_old = [||];
@@ -203,21 +234,21 @@ let create ?(scheme = Checkpoint_recovery) ?(tracer = Dts_obs.Trace.null)
       dsl_bytes = Hashtbl.create 64;
       mem_log = Aliaslog.create ();
       wdelta = 0;
-      plan_ctx = None;
-      outcomes = [||];
-      bw = [||];
+      plan_on = false;
+      plan_v = { Plan.v_wdelta = 0; v_lis = [||] };
+      bufs = [||];
+      bw_kind = [||];
+      bw_a = [||];
+      bw_b = [||];
       bw_n = 0;
       bs_addr = [||];
       bs_size = [||];
       bs_val = [||];
       bs_order = [||];
       bs_n = 0;
-      cur_sub_phys_pos = [||];
-      cur_sub_phys_rr = [||];
-      cur_sub_freg_pos = [||];
-      cur_sub_freg_rr = [||];
-      cur_sub_icc = None;
-      plan_ov = Dts_isa.Semantics.no_ov;
+      cur_subs = Plan.no_subs;
+      plan_ov = None;
+      pen = 0;
       tracer;
       stats =
         {
@@ -237,36 +268,27 @@ let create ?(scheme = Checkpoint_recovery) ?(tracer = Dts_obs.Trace.null)
     }
   in
   t.plan_ov <-
-    {
-      ov_phys =
-        (fun p ->
-          let pos = t.cur_sub_phys_pos in
-          let n = Array.length pos in
-          let rec go i =
-            if i >= n then None
-            else if Array.unsafe_get pos i = p then
-              Some (rr_of t t.cur_sub_phys_rr.(i)).v
-            else go (i + 1)
-          in
-          go 0);
-      ov_freg =
-        (fun f ->
-          let pos = t.cur_sub_freg_pos in
-          let n = Array.length pos in
-          let rec go i =
-            if i >= n then None
-            else if Array.unsafe_get pos i = f then
-              Some (rr_of t t.cur_sub_freg_rr.(i)).v
-            else go (i + 1)
-          in
-          go 0);
-      ov_icc =
-        (fun () ->
-          match t.cur_sub_icc with
-          | Some rr -> Some (rr_of t rr).v
-          | None -> None);
-      ov_mem = (fun ~addr ~size ~signed -> dsl_read t ~addr ~size ~signed);
-    };
+    Some
+      {
+        ovf_phys =
+          (fun p ->
+            let s = t.cur_subs in
+            let j = probe_idx_from s.Plan.sp_pos p 0 (Array.length s.Plan.sp_pos) in
+            if j < 0 then Dts_isa.Semantics.no_val
+            else (rr_of t s.Plan.sp_rr.(j)).v);
+        ovf_freg =
+          (fun f ->
+            let s = t.cur_subs in
+            let j = probe_idx_from s.Plan.sf_pos f 0 (Array.length s.Plan.sf_pos) in
+            if j < 0 then Dts_isa.Semantics.no_val
+            else (rr_of t s.Plan.sf_rr.(j)).v);
+        ovf_icc =
+          (fun () ->
+            match t.cur_subs.Plan.s_icc with
+            | Some rr -> (rr_of t rr).v
+            | None -> Dts_isa.Semantics.no_val);
+        ovf_mem = (fun ~addr ~size ~signed -> dsl_read_fast t ~addr ~size ~signed);
+      };
   t
 
 (* ------------------------------------------------------------------ *)
@@ -275,14 +297,24 @@ let create ?(scheme = Checkpoint_recovery) ?(tracer = Dts_obs.Trace.null)
 
 let grown a n = Array.append a (Array.make (max 16 (max n (Array.length a))) 0)
 
-let push_bw t w =
-  if t.bw_n >= Array.length t.bw then begin
-    let a = Array.make (max 16 (2 * Array.length t.bw)) w in
-    Array.blit t.bw 0 a 0 t.bw_n;
-    t.bw <- a
+let push_bw t kind a bv =
+  if t.bw_n >= Array.length t.bw_kind then begin
+    t.bw_kind <- grown t.bw_kind 1;
+    t.bw_a <- grown t.bw_a 1;
+    t.bw_b <- grown t.bw_b 1
   end;
-  t.bw.(t.bw_n) <- w;
+  t.bw_kind.(t.bw_n) <- kind;
+  t.bw_a.(t.bw_n) <- a;
+  t.bw_b.(t.bw_n) <- bv;
   t.bw_n <- t.bw_n + 1
+
+(* interpreter-side shim: decompose a boxed {!Dts_isa.Semantics.write} *)
+let push_write t (w : Dts_isa.Semantics.write) =
+  match w with
+  | W_phys (p, v) -> push_bw t wk_phys p v
+  | W_freg (f, v) -> push_bw t wk_freg f v
+  | W_icc v -> push_bw t wk_icc 0 v
+  | W_win (cwp, depth) -> push_bw t wk_win cwp depth
 
 let push_bs t addr size v order =
   if t.bs_n >= Array.length t.bs_addr then begin
@@ -333,15 +365,15 @@ let clear_dsl t =
 (* Block entry                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(** Checkpoint (§3.11): snapshot the register state into the preallocated
-    shadow and reset the per-block structures. The renaming-register arena
-    is grown to the block's [rr_counts] high-water mark once and reset in
-    place afterwards. Called at the start of every block's execution. *)
+(** Checkpoint (§3.11): record the scalar state in the preallocated shadow,
+    reset the register undo log, and reset the per-block structures. The
+    renaming-register arena is grown to the block's [rr_counts] high-water
+    mark once and reset in place afterwards. Called at the start of every
+    block's execution. *)
 let reset_for_block t (block : block) =
   let st = t.st in
   let sh = t.shadow in
-  Array.blit st.iregs 0 sh.sh_iregs 0 (Array.length st.iregs);
-  Array.blit st.fregs 0 sh.sh_fregs 0 (Array.length st.fregs);
+  t.undo_n <- 0;
   sh.sh_icc <- st.icc;
   sh.sh_cwp <- st.cwp;
   sh.sh_wdepth <- st.wdepth;
@@ -371,23 +403,29 @@ let reset_for_block t (block : block) =
 (** Enter [block] in interpreter mode. *)
 let enter_block t (block : block) =
   reset_for_block t block;
-  t.plan_ctx <- None
+  t.plan_on <- false
 
 (** Enter the block compiled into [plan], selecting (or lazily building)
     the variant for the current window delta. *)
 let enter_plan t (plan : Plan.t) =
   let block = plan.Plan.p_block in
   reset_for_block t block;
-  let v, fresh =
-    Plan.variant ~nwindows:t.st.nwindows plan ~wdelta:t.wdelta
-  in
-  if fresh then t.stats.wdelta_variants <- t.stats.wdelta_variants + 1;
-  t.plan_ctx <- Some v;
-  if Array.length t.outcomes < block.max_li_ops then
-    t.outcomes <-
-      Array.make
-        (max block.max_li_ops (2 * Array.length t.outcomes))
-        (Dts_isa.Semantics.no_effect ~pc:0)
+  (* wdelta = 0 is the overwhelmingly common entry and allocates nothing;
+     shifted variants go through the tupled lookup *)
+  (if t.wdelta = 0 then t.plan_v <- plan.Plan.p_base
+   else begin
+     let v, fresh =
+       Plan.variant ~nwindows:t.st.nwindows plan ~wdelta:t.wdelta
+     in
+     if fresh then t.stats.wdelta_variants <- t.stats.wdelta_variants + 1;
+     t.plan_v <- v
+   end);
+  t.plan_on <- true;
+  if Array.length t.bufs < block.max_li_ops then
+    t.bufs <-
+      Array.init
+        (max block.max_li_ops (2 * Array.length t.bufs))
+        (fun _ -> Dts_isa.Semantics.make_buf ())
 
 (** Roll back to the checkpoint: restore registers and undo every store of
     the block in reverse order, each with its recorded size (§3.11). *)
@@ -398,8 +436,14 @@ let rollback t =
   if not t.shadow_valid then invalid_arg "Engine.rollback without checkpoint";
   let st = t.st in
   let sh = t.shadow in
-  Array.blit sh.sh_iregs 0 st.iregs 0 (Array.length st.iregs);
-  Array.blit sh.sh_fregs 0 st.fregs 0 (Array.length st.fregs);
+  let ni = Array.length st.iregs in
+  for i = t.undo_n - 1 downto 0 do
+    let idx = Array.unsafe_get t.undo_idx i
+    and v = Array.unsafe_get t.undo_val i in
+    if idx < ni then Dts_isa.State.set_phys st idx v
+    else Dts_isa.State.set_freg st (idx - ni) v
+  done;
+  t.undo_n <- 0;
   st.icc <- sh.sh_icc;
   st.cwp <- sh.sh_cwp;
   st.wdepth <- sh.sh_wdepth;
@@ -426,12 +470,12 @@ let shift_pos t (pos : Dts_isa.Storage.t) : Dts_isa.Storage.t =
 exception Alias_violation = Aliaslog.Alias_violation
 exception Block_trap of Dts_isa.Semantics.trap
 
-(* The §3.10 order rule lives in {!Aliaslog.add}; the engine only tracks
+(* The §3.10 order rule lives in {!Aliaslog.log}; the engine only tracks
    the Table 3 high-water marks from the log's running list counters. *)
-let log_mem t ev =
-  Aliaslog.add t.mem_log ev;
-  if ev.ev_cross then
-    if ev.ev_is_store then
+let log_mem t ~addr ~size ~order ~li ~is_store ~cross =
+  Aliaslog.log t.mem_log ~addr ~size ~order ~li ~is_store ~cross;
+  if cross then
+    if is_store then
       t.stats.max_store_list <-
         max t.stats.max_store_list (Aliaslog.cross_stores t.mem_log)
     else
@@ -444,18 +488,42 @@ let storage_of_write : Dts_isa.Semantics.write -> Dts_isa.Storage.t = function
   | W_icc _ -> Flags
   | W_win _ -> Win
 
+(* Record the value about to be overwritten at register-undo index [idx]
+   ([n_iregs + f] for an freg), growing the log on demand (rare: its
+   high-water mark is the register-write count of the widest block). *)
+let push_undo t idx old =
+  let n = t.undo_n in
+  if n = Array.length t.undo_idx then begin
+    let cap = 2 * n in
+    let ui = Array.make cap 0 and uv = Array.make cap 0 in
+    Array.blit t.undo_idx 0 ui 0 n;
+    Array.blit t.undo_val 0 uv 0 n;
+    t.undo_idx <- ui;
+    t.undo_val <- uv
+  end;
+  Array.unsafe_set t.undo_idx n idx;
+  Array.unsafe_set t.undo_val n old;
+  t.undo_n <- n + 1
+
 (* phase 4, shared by both executors: apply buffered register writes in
    push order, then route buffered stores through the active store scheme *)
 let apply_buffered t =
   let st = t.st in
   for i = 0 to t.bw_n - 1 do
-    match Array.unsafe_get t.bw i with
-    | Dts_isa.Semantics.W_phys (p, v) -> Dts_isa.State.set_phys st p v
-    | W_freg (f, v) -> st.fregs.(f) <- v
-    | W_icc v -> st.icc <- v
-    | W_win (cwp, wdepth) ->
-      st.cwp <- cwp;
-      st.wdepth <- wdepth
+    let a = Array.unsafe_get t.bw_a i and b = Array.unsafe_get t.bw_b i in
+    match Array.unsafe_get t.bw_kind i with
+    | 0 (* wk_phys *) ->
+      if a <> 0 then begin
+        push_undo t a (Array.unsafe_get st.iregs a);
+        Dts_isa.State.set_phys st a b
+      end
+    | 1 (* wk_freg *) ->
+      push_undo t (Array.length st.iregs + a) (Array.unsafe_get st.fregs a);
+      Dts_isa.State.set_freg st a b
+    | 2 (* wk_icc *) -> st.icc <- b
+    | _ (* wk_win *) ->
+      st.cwp <- a;
+      st.wdepth <- b
   done;
   t.bw_n <- 0;
   for i = 0 to t.bs_n - 1 do
@@ -480,175 +548,153 @@ let apply_buffered t =
   t.bs_n <- 0
 
 let log_load t (s : sop) idx a sz =
-  log_mem t
-    {
-      ev_addr = a;
-      ev_size = sz;
-      ev_order = s.order;
-      ev_li = idx;
-      ev_is_store = false;
-      ev_cross = s.cross;
-    }
+  log_mem t ~addr:a ~size:sz ~order:s.order ~li:idx ~is_store:false
+    ~cross:s.cross
 
 let log_store t ~order ~cross idx a sz =
-  log_mem t
-    {
-      ev_addr = a;
-      ev_size = sz;
-      ev_order = order;
-      ev_li = idx;
-      ev_is_store = true;
-      ev_cross = cross;
-    }
+  log_mem t ~addr:a ~size:sz ~order ~li:idx ~is_store:true ~cross
 
 (* ------------------------------------------------------------------ *)
 (* Plan executor                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let probe_rr pos_arr (rr_arr : rref array) p =
-  let n = Array.length pos_arr in
-  let rec go i =
-    if i >= n then None
-    else if Array.unsafe_get pos_arr i = p then Some rr_arr.(i)
-    else go (i + 1)
-  in
-  go 0
-
-let exec_li_plan t (block : block) (v : Plan.variant) idx penalty :
+let exec_li_plan t (block : block) (v : Plan.variant) idx :
     li_result =
   let st = t.st in
   let pli = v.Plan.v_lis.(idx) in
   let ops = pli.Plan.p_ops in
   let tags = pli.Plan.p_tags in
   let n = Array.length ops in
-  let outcomes = t.outcomes in
+  let bufs = t.bufs in
   (* phase 1: compute outcomes for every op, reading pre-li state *)
   for i = 0 to n - 1 do
     match Array.unsafe_get ops i with
     | Plan.P_op o ->
-      t.cur_sub_phys_pos <- o.sub_phys_pos;
-      t.cur_sub_phys_rr <- o.sub_phys_rr;
-      t.cur_sub_freg_pos <- o.sub_freg_pos;
-      t.cur_sub_freg_rr <- o.sub_freg_rr;
-      t.cur_sub_icc <- o.sub_icc;
-      outcomes.(i) <-
-        Dts_isa.Semantics.exec ~ov:t.plan_ov st ~cwp:o.x_cwp ~pc:o.op.addr
-          o.op.instr
+      t.cur_subs <- o.subs;
+      Dts_isa.Semantics.exec_into_ov st t.plan_ov ~cwp:o.x_cwp ~pc:o.op.addr
+        o.x_uop bufs.(i)
     | Plan.P_copy _ -> ()
   done;
   (* phase 2: find the first mispredicted branch; ops with tag greater than
-     its tag do not commit *)
+     its tag do not commit. Only the precomputed conditional-op indices are
+     visited. *)
   let fail_tag = ref max_int in
   let fail_target = ref 0 in
-  for i = 0 to n - 1 do
+  let cond = pli.Plan.p_cond in
+  for k = 0 to Array.length cond - 1 do
+    let i = Array.unsafe_get cond k in
     match Array.unsafe_get ops i with
-    | Plan.P_op o when o.is_cond ->
-      let out = outcomes.(i) in
-      if
-        out.Dts_isa.Semantics.next_pc <> o.op.obs_next_pc
-        && tags.(i) < !fail_tag
+    | Plan.P_op o ->
+      let b = bufs.(i) in
+      if b.Dts_isa.Semantics.b_next_pc <> o.op.obs_next_pc && tags.(i) < !fail_tag
       then begin
         fail_tag := tags.(i);
-        fail_target := out.next_pc
+        fail_target := b.b_next_pc
       end
-    | _ -> ()
+    | Plan.P_copy _ -> ()
   done;
   let ft = !fail_tag in
-  (* phase 3: gather effects of valid ops *)
+  (* phase 3: gather effects of valid ops. Effects are pushed in the exact
+     order {!Dts_isa.Semantics.exec}'s [writes] list applies them (icc
+     before the destination register for flag-setting ALU ops, destination
+     register before the window movement for save/restore), so the buffered
+     sequence is identical to the interpreter's. *)
   t.bw_n <- 0;
   t.bs_n <- 0;
   try
     for i = 0 to n - 1 do
       if tags.(i) <= ft then
         match Array.unsafe_get ops i with
-        | Plan.P_op o -> (
-          let out = outcomes.(i) in
-          match out.Dts_isa.Semantics.trap with
-          | Some tr ->
+        | Plan.P_op o ->
+          let b = bufs.(i) in
+          if b.Dts_isa.Semantics.b_trap <> 0 then begin
             (* deferred iff every architectural output is renamed *)
             if o.deferrable then begin
-              Array.iter (fun rr -> (rr_of t rr).exn <- Some tr) o.red_all;
+              let tr = Dts_isa.Semantics.trap_of_buf b in
+              for k = 0 to Array.length o.red_all - 1 do
+                (rr_of t o.red_all.(k)).exn <- Some tr
+              done;
               t.stats.deferred_exceptions <- t.stats.deferred_exceptions + 1
             end
-            else raise (Block_trap tr)
-          | None ->
+            else raise (Block_trap (Dts_isa.Semantics.trap_of_buf b))
+          end
+          else begin
             t.stats.ops_committed <- t.stats.ops_committed + 1;
-            List.iter
-              (fun (w : Dts_isa.Semantics.write) ->
-                match w with
-                | W_phys (p, wv) -> (
-                  match probe_rr o.red_phys_pos o.red_phys_rr p with
-                  | Some rr ->
-                    let e = rr_of t rr in
-                    e.v <- wv;
-                    e.exn <- None
-                  | None -> push_bw t w)
-                | W_freg (f, wv) -> (
-                  match probe_rr o.red_freg_pos o.red_freg_rr f with
-                  | Some rr ->
-                    let e = rr_of t rr in
-                    e.v <- wv;
-                    e.exn <- None
-                  | None -> push_bw t w)
-                | W_icc wv -> (
-                  match o.red_icc with
-                  | Some rr ->
-                    let e = rr_of t rr in
-                    e.v <- wv;
-                    e.exn <- None
-                  | None -> push_bw t w)
-                | W_win _ ->
-                  if o.red_win then invalid_arg "renamed window write"
-                  else push_bw t w)
-              out.writes;
-            (match out.load with
-            | Some (a, sz) ->
-              penalty := !penalty + Dts_mem.Cache.access t.dcache a;
-              log_load t o.op idx a sz
-            | None -> ());
-            (match out.store with
-            | Some (a, sz, sv) -> (
+            (if b.b_icc >= 0 then
+               match o.red_icc with
+               | Some rr ->
+                 let e = rr_of t rr in
+                 e.v <- b.b_icc;
+                 e.exn <- None
+               | None -> push_bw t wk_icc 0 b.b_icc);
+            (if b.b_w0 >= 0 then
+               let j = probe_idx o.red_phys_pos b.b_w0 in
+               if j >= 0 then begin
+                 let e = rr_of t o.red_phys_rr.(j) in
+                 e.v <- b.b_w0v;
+                 e.exn <- None
+               end
+               else push_bw t wk_phys b.b_w0 b.b_w0v);
+            (if b.b_fw >= 0 then
+               let j = probe_idx o.red_freg_pos b.b_fw in
+               if j >= 0 then begin
+                 let e = rr_of t o.red_freg_rr.(j) in
+                 e.v <- b.b_fwv;
+                 e.exn <- None
+               end
+               else push_bw t wk_freg b.b_fw b.b_fwv);
+            (if b.b_win then
+               if o.red_win then invalid_arg "renamed window write"
+               else push_bw t wk_win b.b_cwp b.b_wdepth);
+            (if b.b_load_size <> 0 then begin
+               t.pen <- t.pen + Dts_mem.Cache.access t.dcache b.b_load_addr;
+               log_load t o.op idx b.b_load_addr b.b_load_size
+             end);
+            if b.b_store_size <> 0 then begin
               (* a renamed store redirects its (single) memory output *)
               match o.red_mem with
               | Some rr ->
                 let e = rr_of t rr in
-                e.m_addr <- a;
-                e.m_size <- sz;
-                e.v <- sv;
+                e.m_addr <- b.b_store_addr;
+                e.m_size <- b.b_store_size;
+                e.v <- b.b_store_val;
                 e.exn <- None
               | None ->
-                penalty := !penalty + Dts_mem.Cache.access t.dcache a;
-                log_store t ~order:o.op.order ~cross:o.op.cross idx a sz;
-                push_bs t a sz sv o.op.order)
-            | None -> ()))
+                t.pen <- t.pen + Dts_mem.Cache.access t.dcache b.b_store_addr;
+                log_store t ~order:o.op.order ~cross:o.op.cross idx
+                  b.b_store_addr b.b_store_size;
+                push_bs t b.b_store_addr b.b_store_size b.b_store_val
+                  o.op.order
+            end
+          end
         | Plan.P_copy c ->
           t.stats.copies_committed <- t.stats.copies_committed + 1;
-          Array.iter
-            (fun (m : Plan.pmove) ->
-              let src = rr_of t m.pm_src in
-              match m.pm_tgt with
-              | Plan.PT_ren dst_ref ->
-                let dst = rr_of t dst_ref in
-                dst.v <- src.v;
-                dst.m_addr <- src.m_addr;
-                dst.m_size <- src.m_size;
-                dst.exn <- src.exn
-              | _ -> (
-                match src.exn with
-                | Some tr -> raise (Block_trap tr)
-                | None -> (
-                  match m.pm_tgt with
-                  | Plan.PT_ren _ -> assert false
-                  | Plan.PT_phys p -> push_bw t (W_phys (p, src.v))
-                  | Plan.PT_freg f -> push_bw t (W_freg (f, src.v))
-                  | Plan.PT_flags -> push_bw t (W_icc src.v)
-                  | Plan.PT_mem ->
-                    penalty :=
-                      !penalty + Dts_mem.Cache.access t.dcache src.m_addr;
-                    log_store t ~order:c.c_order ~cross:true idx src.m_addr
-                      src.m_size;
-                    push_bs t src.m_addr src.m_size src.v c.c_order)))
-            c.moves
+          let moves = c.moves in
+          for k = 0 to Array.length moves - 1 do
+            let m = Array.unsafe_get moves k in
+            let src = rr_of t m.Plan.pm_src in
+            match m.Plan.pm_tgt with
+            | Plan.PT_ren dst_ref ->
+              let dst = rr_of t dst_ref in
+              dst.v <- src.v;
+              dst.m_addr <- src.m_addr;
+              dst.m_size <- src.m_size;
+              dst.exn <- src.exn
+            | _ -> (
+              match src.exn with
+              | Some tr -> raise (Block_trap tr)
+              | None -> (
+                match m.Plan.pm_tgt with
+                | Plan.PT_ren _ -> assert false
+                | Plan.PT_phys p -> push_bw t wk_phys p src.v
+                | Plan.PT_freg f -> push_bw t wk_freg f src.v
+                | Plan.PT_flags -> push_bw t wk_icc 0 src.v
+                | Plan.PT_mem ->
+                  t.pen <- t.pen + Dts_mem.Cache.access t.dcache src.m_addr;
+                  log_store t ~order:c.c_order ~cross:true idx src.m_addr
+                    src.m_size;
+                  push_bs t src.m_addr src.m_size src.v c.c_order))
+          done
     done;
     (* phase 4: apply buffered effects (reads already done) *)
     apply_buffered t;
@@ -675,7 +721,7 @@ let exec_li_plan t (block : block) (v : Plan.variant) idx penalty :
 (* Interpreter                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let exec_li_interp t (block : block) idx penalty : li_result =
+let exec_li_interp t (block : block) idx : li_result =
   let st = t.st in
   let li = block.lis.(idx) in
   (* phase 1: compute outcomes for every op, reading pre-li state *)
@@ -769,11 +815,11 @@ let exec_li_interp t (block : block) idx penalty : li_result =
                     | W_phys (_, v) | W_freg (_, v) | W_icc v -> e.v <- v
                     | W_win _ -> invalid_arg "renamed window write");
                     e.exn <- None
-                  | None -> push_bw t w)
+                  | None -> push_write t w)
                 out.writes;
               (match out.load with
               | Some (a, sz) ->
-                penalty := !penalty + Dts_mem.Cache.access t.dcache a;
+                t.pen <- t.pen + Dts_mem.Cache.access t.dcache a;
                 log_load t s idx a sz
               | None -> ());
               (match out.store with
@@ -787,7 +833,7 @@ let exec_li_interp t (block : block) idx penalty : li_result =
                   e.v <- v;
                   e.exn <- None
                 | _ ->
-                  penalty := !penalty + Dts_mem.Cache.access t.dcache a;
+                  t.pen <- t.pen + Dts_mem.Cache.access t.dcache a;
                   log_store t ~order:s.order ~cross:s.cross idx a sz;
                   push_bs t a sz v s.order)
               | None -> ()))
@@ -808,14 +854,13 @@ let exec_li_interp t (block : block) idx penalty : li_result =
                   | Some tr -> raise (Block_trap tr)
                   | None -> (
                     match shift_pos t pos with
-                    | Int_reg p -> push_bw t (W_phys (p, src.v))
-                    | Fp_reg f -> push_bw t (W_freg (f, src.v))
-                    | Flags -> push_bw t (W_icc src.v)
+                    | Int_reg p -> push_bw t wk_phys p src.v
+                    | Fp_reg f -> push_bw t wk_freg f src.v
+                    | Flags -> push_bw t wk_icc 0 src.v
                     | Win -> invalid_arg "renamed window copy"
                     | Ren _ -> invalid_arg "T_arch to a renaming register"
                     | Mem _ ->
-                      penalty :=
-                        !penalty + Dts_mem.Cache.access t.dcache src.m_addr;
+                      t.pen <- t.pen + Dts_mem.Cache.access t.dcache src.m_addr;
                       log_store t ~order:c.c_order ~cross:true idx src.m_addr
                         src.m_size;
                       push_bs t src.m_addr src.m_size src.v c.c_order)))
@@ -843,19 +888,23 @@ let exec_li_interp t (block : block) idx penalty : li_result =
     rollback t;
     R_exn (E_trap tr)
 
-(** Execute long instruction [idx] of [block]. Returns the control outcome
-    and the data-cache penalty cycles incurred. On [R_exn] the rollback has
+(** Execute long instruction [idx] of [block]; the data-cache penalty
+    cycles incurred are left in [t.pen]. On [R_exn] the rollback has
     already been performed. Dispatches to the plan executor when the block
-    was entered through {!enter_plan}, else interprets. *)
-let exec_li t (block : block) idx : li_result * int =
+    was entered through {!enter_plan}, else interprets. Allocation-free for
+    [R_next] steps — the machine's hot loop reads [t.pen] instead of a
+    result tuple. *)
+let exec_li_fast t (block : block) idx : li_result =
   t.stats.lis_executed <- t.stats.lis_executed + 1;
-  let penalty = ref 0 in
-  let r =
-    match t.plan_ctx with
-    | Some v -> exec_li_plan t block v idx penalty
-    | None -> exec_li_interp t block idx penalty
-  in
-  (r, !penalty)
+  t.pen <- 0;
+  if t.plan_on then exec_li_plan t block t.plan_v idx
+  else exec_li_interp t block idx
+
+(** Tupled wrapper around {!exec_li_fast}: the control outcome plus the
+    penalty cycles. *)
+let exec_li t (block : block) idx : li_result * int =
+  let r = exec_li_fast t block idx in
+  (r, t.pen)
 
 (** Clean block exit. In the checkpoint scheme the recovery data is simply
     dropped; in the data-store-list scheme the buffered stores drain to
@@ -864,6 +913,7 @@ let exec_li t (block : block) idx : li_result * int =
     of the drain. *)
 let commit_block t =
   t.shadow_valid <- false;
+  t.undo_n <- 0;
   t.n_recovery <- 0;
   Aliaslog.clear t.mem_log;
   if t.dsl_n = 0 then 0

@@ -33,6 +33,22 @@ type ptarget = PT_ren of rref | PT_phys of int | PT_freg of int | PT_flags | PT_
 
 type pmove = { pm_src : rref; pm_tgt : ptarget }
 
+(** The source-substitution context of one op (§3.2 forwarding), probed by
+    the engine's read overrides: positions in list order, so first-match
+    semantics are preserved. A named record lets the engine publish a whole
+    op's context with a single field write; ops with no substitutions share
+    {!no_subs}. *)
+type subs = {
+  sp_pos : int array;  (** physical int reg positions (shifted) *)
+  sp_rr : rref array;
+  sf_pos : int array;
+  sf_rr : rref array;
+  s_icc : rref option;
+}
+
+let no_subs =
+  { sp_pos = [||]; sp_rr = [||]; sf_pos = [||]; sf_rr = [||]; s_icc = None }
+
 (** One slot op, pre-decoded. For an [P_op], the substitution and
     redirection association lists are split by storage kind into parallel
     position/register arrays (probed with integer compares, in list order so
@@ -43,11 +59,9 @@ type pop =
   | P_op of {
       op : sop;
       x_cwp : int;  (** cwp this op executes under (shifted) *)
-      sub_phys_pos : int array;  (** physical int reg positions (shifted) *)
-      sub_phys_rr : rref array;
-      sub_freg_pos : int array;
-      sub_freg_rr : rref array;
-      sub_icc : rref option;
+      x_uop : int;  (** packed decode of [op.instr] at [op.addr], for the
+                        allocation-free {!Dts_isa.Semantics.exec_into_ov} *)
+      subs : subs;  (** source-substitution context, shared when empty *)
       red_phys_pos : int array;  (** redirected outputs, by kind *)
       red_phys_rr : rref array;
       red_freg_pos : int array;
@@ -64,8 +78,10 @@ type pop =
     }
   | P_copy of { moves : pmove array; c_order : int }
 
-(** One long instruction: ops in occupancy order with their branch tags. *)
-type pli = { p_ops : pop array; p_tags : int array }
+(** One long instruction: ops in occupancy order with their branch tags.
+    [p_cond] holds the indices of the conditional-control ops, so the
+    per-execution misprediction scan touches only those. *)
+type pli = { p_ops : pop array; p_tags : int array; p_cond : int array }
 
 type variant = { v_wdelta : int; v_lis : pli array }
 
@@ -117,8 +133,13 @@ let split_assoc ~nwindows ~wdelta (l : (Dts_isa.Storage.t * rref) list) =
     icc )
 
 let build_op ~nwindows ~wdelta (s : sop) =
-  let sub_phys_pos, sub_phys_rr, sub_freg_pos, sub_freg_rr, sub_icc =
-    split_assoc ~nwindows ~wdelta s.subs
+  let subs =
+    if s.subs = [] then no_subs
+    else
+      let sp_pos, sp_rr, sf_pos, sf_rr, s_icc =
+        split_assoc ~nwindows ~wdelta s.subs
+      in
+      { sp_pos; sp_rr; sf_pos; sf_rr; s_icc }
   in
   let red_phys_pos, red_phys_rr, red_freg_pos, red_freg_rr, red_icc =
     split_assoc ~nwindows ~wdelta s.redirect
@@ -143,11 +164,8 @@ let build_op ~nwindows ~wdelta (s : sop) =
     {
       op = s;
       x_cwp = (s.cwp + wdelta) mod nwindows;
-      sub_phys_pos;
-      sub_phys_rr;
-      sub_freg_pos;
-      sub_freg_rr;
-      sub_icc;
+      x_uop = Dts_isa.Uop.of_instr ~pc:s.addr s.instr;
+      subs;
       red_phys_pos;
       red_phys_rr;
       red_freg_pos;
@@ -195,9 +213,15 @@ let build_li ~nwindows ~wdelta (li : li) =
            (p, tag) :: acc)
          [] li)
   in
+  let p_ops = Array.of_list (List.map fst items) in
+  let cond = ref [] in
+  Array.iteri
+    (fun i p -> match p with P_op o when o.is_cond -> cond := i :: !cond | _ -> ())
+    p_ops;
   {
-    p_ops = Array.of_list (List.map fst items);
+    p_ops;
     p_tags = Array.of_list (List.map snd items);
+    p_cond = Array.of_list (List.rev !cond);
   }
 
 let build_variant ~nwindows ~wdelta (b : block) =

@@ -62,6 +62,32 @@ let test_run_until_pc_fuel () =
   check_bool "unreachable pc exhausts fuel" false
     (Dts_golden.Golden.run_until_pc ~fuel:50 g ~pc:0xDEAD00)
 
+(* Regression: a machine sitting halted *at* the target must answer true
+   regardless of whether the halt happened before or during the call —
+   the answer depends only on the architectural state. The old code
+   checked [halted] before the PC and returned two different answers. *)
+let test_run_until_pc_halted_at_target () =
+  let g, st = boot counting_loop in
+  ignore (Dts_golden.Golden.run g);
+  check_bool "halted" true st.halted;
+  let halt_pc = st.pc in
+  (* entered already halted at the target: same answer as halting there
+     during the call *)
+  check_bool "halted at target answers true" true
+    (Dts_golden.Golden.run_until_pc g ~pc:halt_pc);
+  check_bool "and repeatably so" true
+    (Dts_golden.Golden.run_until_pc g ~pc:halt_pc);
+  (* halted away from the target is still a failure to reach it *)
+  check_bool "halted away from target answers false" false
+    (Dts_golden.Golden.run_until_pc g ~pc:0x1000);
+  (* a fresh machine reaching the same address during the call agrees: the
+     answer for [halt_pc] is true whether the machine is parked there
+     halted or just arrived *)
+  let g2, st2 = boot counting_loop in
+  check_bool "reaches the halt pc during the call" true
+    (Dts_golden.Golden.run_until_pc g2 ~pc:halt_pc);
+  check_int "same pc" halt_pc st2.pc
+
 let suite =
   [
     Alcotest.test_case "run to halt" `Quick test_run_to_halt;
@@ -69,4 +95,6 @@ let suite =
     Alcotest.test_case "step raises on halt" `Quick test_step_raises_on_halt;
     Alcotest.test_case "run_until_pc" `Quick test_run_until_pc;
     Alcotest.test_case "run_until_pc fuel" `Quick test_run_until_pc_fuel;
+    Alcotest.test_case "run_until_pc halted at target" `Quick
+      test_run_until_pc_halted_at_target;
   ]

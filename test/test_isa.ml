@@ -233,6 +233,26 @@ let test_fpu () =
   ignore (exec1 st (Fpop { op = Fitos; rs1 = 0; rs2 = 0; rd = 4 }));
   ()
 
+(* Fstoi saturation semantics (DESIGN.md §Float-to-int): [int_of_float] on
+   NaN, ±inf or out-of-int32-range values is unspecified in OCaml, so the
+   conversion pins them — NaN -> 0, overflow clamps to the int32 extremes,
+   everything in range truncates toward zero. Both execution paths (boxed
+   exec and packed exec_into) share this helper, so the reproducer files
+   that exercise float conversions are portable. *)
+let test_fstoi_saturation () =
+  let conv f = Semantics.fpu_result Fstoi (Semantics.float_to_bits f) 0 in
+  check_int "NaN -> 0" 0 (conv Float.nan);
+  check_int "+inf clamps to int32 max" 0x7FFFFFFF (conv Float.infinity);
+  check_int "-inf clamps to int32 min" (-0x80000000) (conv Float.neg_infinity);
+  check_int "above range clamps" 0x7FFFFFFF (conv 1e10);
+  check_int "below range clamps" (-0x80000000) (conv (-1e10));
+  check_int "2^31 clamps" 0x7FFFFFFF (conv 2147483648.0);
+  check_int "truncates toward zero" 100 (conv 100.9);
+  check_int "negative truncates toward zero" (-100) (conv (-100.9));
+  check_int "zero" 0 (conv 0.0);
+  (* -0.0 and subnormals land on 0 through plain truncation *)
+  check_int "negative zero" 0 (conv (-0.0))
+
 (* ---- encode/decode ---- *)
 
 let gen_reg = QCheck2.Gen.int_range 0 31
@@ -473,6 +493,7 @@ let suite =
     Alcotest.test_case "locals survive recursion" `Quick
       test_locals_survive_deep_recursion;
     Alcotest.test_case "fpu" `Quick test_fpu;
+    Alcotest.test_case "fstoi saturation" `Quick test_fstoi_saturation;
     QCheck_alcotest.to_alcotest prop_encode_roundtrip;
     QCheck_alcotest.to_alcotest prop_encode_32bit;
     QCheck_alcotest.to_alcotest prop_disasm_assemble_roundtrip;

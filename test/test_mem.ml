@@ -62,6 +62,93 @@ let test_load_bytes () =
   Memory.load_bytes m ~addr:0x10 "\x01\x02\x03\x04";
   check_int "bulk load" 0x01020304 (Memory.read m ~addr:0x10 ~size:4 ~signed:false)
 
+(* The top word of the 32-bit address space, and address wraparound: an
+   aligned access at 0xFFFFFFFC is legal and must land in the same place
+   whether the address arrives masked or with bits above bit 31 set (the
+   fast word accessors mask exactly as the per-byte path does). *)
+let test_top_of_address_space () =
+  let m = Memory.create () in
+  Memory.write m ~addr:0xFFFFFFFC ~size:4 0x0A0B0C0D;
+  check_int "word back" 0x0A0B0C0D
+    (Memory.read m ~addr:0xFFFFFFFC ~size:4 ~signed:false);
+  check_int "read_u32 agrees" 0x0A0B0C0D (Memory.read_u32 m 0xFFFFFFFC);
+  check_int "last byte of the space" 0x0D
+    (Memory.read m ~addr:0xFFFFFFFF ~size:1 ~signed:false);
+  (* bits above the 32-bit space are masked off, not faulted or aliased
+     into a fresh page *)
+  check_int "2^32 + 0xFFFFFFFC aliases" 0x0A0B0C0D
+    (Memory.read m ~addr:0x1FFFFFFFC ~size:4 ~signed:false);
+  Memory.write m ~addr:0x1FFFFFFFC ~size:4 0x01020304;
+  check_int "aliased write lands at the masked address" 0x01020304
+    (Memory.read_u32 m 0xFFFFFFFC);
+  (* address 0 is a different location: no wraparound bleed *)
+  check_int "address 0 untouched" 0 (Memory.read_u32 m 0)
+
+(* load_bytes notifies word-granular consumers (the pre-decoded
+   instruction store) exactly once per touched 32-bit word, for any
+   alignment and length. *)
+let test_load_bytes_one_hook_per_word () =
+  let check_span ~addr s =
+    let m = Memory.create () in
+    let calls = ref [] in
+    Memory.add_write_hook m (fun a -> calls := a :: !calls);
+    Memory.load_bytes m ~addr s;
+    let expected =
+      if String.length s = 0 then []
+      else
+        let first = addr land lnot 3 in
+        let last = (addr + String.length s - 1) land lnot 3 in
+        List.init (((last - first) / 4) + 1) (fun i -> first + (i * 4))
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "words notified for addr=%#x len=%d" addr
+         (String.length s))
+      expected
+      (List.sort compare !calls)
+  in
+  check_span ~addr:0x100 "\x01\x02\x03\x04";
+  (* unaligned start, crossing into a second word *)
+  check_span ~addr:0x102 "\x01\x02\x03\x04";
+  (* single byte *)
+  check_span ~addr:0x203 "\xFF";
+  (* long span, unaligned both ends *)
+  check_span ~addr:0x301 (String.make 11 'x');
+  (* empty load notifies nothing *)
+  check_span ~addr:0x400 ""
+
+(* Cache.access victim selection. *)
+let test_cache_victim_all_invalid () =
+  (* 4-way set: four misses to aliasing tags must each claim an invalid
+     way, never evict a just-filled one — all four then hit *)
+  let c =
+    Cache.create ~size_bytes:1024 ~line_bytes:16 ~assoc:4 ~miss_penalty:10
+  in
+  let addrs = List.init 4 (fun i -> (i + 1) * 256) in
+  List.iter (fun a -> check_int "cold miss" 10 (Cache.access c a)) addrs;
+  List.iter (fun a -> check_int "resident after fill" 0 (Cache.access c a)) addrs;
+  check_int "misses" 4 (Cache.misses c);
+  check_int "hits" 4 (Cache.hits c)
+
+let test_cache_victim_true_lru () =
+  let c =
+    Cache.create ~size_bytes:1024 ~line_bytes:16 ~assoc:4 ~miss_penalty:10
+  in
+  let addr i = i * 256 in
+  (* fill the set in order A B C D, then refresh A: LRU is now B *)
+  List.iter (fun i -> ignore (Cache.access c (addr i))) [ 1; 2; 3; 4 ];
+  check_int "A still resident" 0 (Cache.access c (addr 1));
+  ignore (Cache.access c (addr 5));
+  check_bool "E resident" true (Cache.probe c (addr 5));
+  check_bool "B evicted (true LRU)" false (Cache.probe c (addr 2));
+  List.iter
+    (fun i ->
+      check_bool (Printf.sprintf "tag %d survives" i) true
+        (Cache.probe c (addr i)))
+    [ 1; 3; 4 ];
+  (* a second conflict evicts C, the next-oldest *)
+  ignore (Cache.access c (addr 6));
+  check_bool "C evicted next" false (Cache.probe c (addr 3))
+
 let prop_rw count =
   QCheck2.Test.make ~count ~name:"memory read-after-write"
     QCheck2.Gen.(
@@ -218,6 +305,13 @@ let suite =
     Alcotest.test_case "big endian" `Quick test_big_endian;
     Alcotest.test_case "zero default" `Quick test_zero_default;
     Alcotest.test_case "misaligned" `Quick test_misaligned;
+    Alcotest.test_case "top of address space" `Quick test_top_of_address_space;
+    Alcotest.test_case "load_bytes one hook per word" `Quick
+      test_load_bytes_one_hook_per_word;
+    Alcotest.test_case "cache victim: all-invalid set" `Quick
+      test_cache_victim_all_invalid;
+    Alcotest.test_case "cache victim: true LRU" `Quick
+      test_cache_victim_true_lru;
     Alcotest.test_case "negative word" `Quick test_negative_word;
     Alcotest.test_case "copy and equal" `Quick test_copy_and_equal;
     Alcotest.test_case "zero page equal" `Quick test_zero_page_equal;

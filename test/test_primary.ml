@@ -277,9 +277,55 @@ let test_window_underflow_fatal_agreement () =
   check_int "same instret at fault" gst.Dts_isa.State.instret
     pst.Dts_isa.State.instret
 
+(* Halt accounting (the obs sum invariant): Halt retires — instret and the
+   retirement count move — but its final fetch charges no cycles and does
+   not touch the instruction cache. The stall of that fetch can appear in
+   no retirement record, so charging either side would make total cycles
+   disagree with the sum of per-retirement cycles, or the cache hit/miss
+   counters disagree with the retirement stream the scheduler saw. *)
+let test_halt_accounting_obs_sum () =
+  let src = {|
+start:  mov 1, %o0
+        add %o0, 2, %o1
+        xor %o1, 3, %o2
+        halt
+|} in
+  let check_path fastpath =
+    let icache =
+      Dts_mem.Cache.create ~size_bytes:256 ~line_bytes:16 ~assoc:1
+        ~miss_penalty:6
+    in
+    let program = Dts_asm.Assembler.assemble src in
+    let st = Dts_asm.Program.boot program in
+    let p =
+      Dts_primary.Primary.create ~fastpath ~icache
+        ~dcache:(Dts_mem.Cache.perfect ()) st
+    in
+    let cycles = ref 0 and retired = ref 0 in
+    (try
+       while true do
+         let r = Dts_primary.Primary.step p in
+         cycles := !cycles + r.Dts_primary.Primary.cycles;
+         incr retired
+       done
+     with Dts_primary.Primary.Halted -> ());
+    (* the sum of per-retirement cycles is the total — nothing vanished *)
+    check_int "cycles = sum of retirement records" !cycles
+      (Dts_primary.Primary.total_cycles p);
+    (* halt retired architecturally... *)
+    check_int "instret counts halt" (!retired + 1) st.Dts_isa.State.instret;
+    (* ...but its fetch moved no cache counter: one access per record *)
+    check_int "icache accesses = retirement records" !retired
+      (Dts_mem.Cache.hits icache + Dts_mem.Cache.misses icache)
+  in
+  check_path true;
+  check_path false
+
 let suite =
   [
     Alcotest.test_case "straight-line CPI 1" `Quick test_straight_line_cpi_1;
+    Alcotest.test_case "halt accounting obs sum" `Quick
+      test_halt_accounting_obs_sum;
     Alcotest.test_case "not-taken branch bubble" `Quick
       test_not_taken_branch_bubble;
     Alcotest.test_case "taken branch free" `Quick test_taken_branch_free;
