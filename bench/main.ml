@@ -187,7 +187,7 @@ let part1 () =
   let baseline = read_baseline () in
   let started = Unix.gettimeofday () in
   let pool =
-    if jobs > 1 then Some (Dts_parallel.Pool.create ~jobs) else None
+    if jobs > 1 then Some (Dts_parallel.Pool.create ~jobs ()) else None
   in
   let figures =
     List.map

@@ -14,20 +14,14 @@
 
    Determinism: the same seed yields the same programs and the same
    verdicts, for any --jobs value. Exit status: 0 all programs agreed,
-   1 at least one divergence. *)
+   1 at least one divergence, 2 junk flag values.
+
+   A campaign is a Dts_job.Job fuzz batch evaluated through Dts_job.Run —
+   the same path the dtsvliw_serve campaign daemon shards across worker
+   processes, so CLI and server output are byte-identical. *)
 
 open Cmdliner
-
-let print_failure (f : Dts_fuzz.Driver.failure) =
-  Printf.printf "FAIL program %d (seed %d): %d divergent engine(s)\n"
-    f.f_index f.f_seed (List.length f.f_divs);
-  List.iter
-    (fun d -> Printf.printf "  %s\n" (Dts_fuzz.Driver.describe_div d))
-    f.f_divs;
-  Printf.printf "  shrunk to %d live instructions%s\n" f.f_live
-    (match f.f_path with
-    | Some p -> Printf.sprintf "; reproducer: %s" p
-    | None -> "")
+open Dts_job
 
 let run_replay ~geoms files =
   let failed = ref false in
@@ -47,28 +41,21 @@ let run_replay ~geoms files =
           divs;
         failed := true)
     files;
-  if !failed then 1 else 0
+  if !failed then Cli.task_failure else Cli.ok
 
-let run_campaign ~seed ~count ~max_insns ~geoms ~jobs ~out ~no_shrink =
-  let summary =
-    Dts_fuzz.Driver.run_campaign ~jobs ~geoms ~max_insns
-      ~shrink:(not no_shrink) ~out_dir:out ~seed ~count ()
+let run_campaign ~seed ~count ~max_insns ~config ~jobs ~backend ~out
+    ~no_shrink =
+  let job =
+    Job.fuzz_batch ~max_insns ~config ~shrink:(not no_shrink) ~out_dir:out
+      ~seed ~count ()
   in
-  List.iter print_failure summary.s_failures;
-  List.iter
-    (fun (i, pseed, reason) ->
-      Printf.printf "SKIP program %d (seed %d): %s\n" i pseed reason)
-    summary.s_skips;
-  Printf.printf
-    "fuzz: %d programs (seed %d, max-insns %d, config %s), %d passed, %d \
-     skipped, %d divergent, %d instructions compared\n"
-    summary.s_count seed max_insns
-    (Dts_fuzz.Diff.geoms_to_string geoms)
-    summary.s_passed
-    (List.length summary.s_skips)
-    (List.length summary.s_failures)
-    summary.s_instructions;
-  if summary.s_failures = [] then 0 else 1
+  Cli.check (Job.validate job);
+  let outcome =
+    Dts_parallel.Pool.with_pool ~backend ~jobs (fun pool ->
+        Run.run ~pool job)
+  in
+  print_string outcome.Run.text;
+  outcome.Run.exit_code
 
 let corpus_files dir =
   Sys.readdir dir |> Array.to_list
@@ -76,21 +63,21 @@ let corpus_files dir =
   |> List.sort compare
   |> List.map (Filename.concat dir)
 
-let main seed count max_insns config jobs replay replay_dir out no_shrink =
-  match Dts_fuzz.Diff.geoms_of_string config with
-  | None ->
-    Printf.eprintf "unknown --config %s (expected all, ideal or feasible)\n"
-      config;
-    2
-  | Some geoms ->
-    let replay =
-      replay @ List.concat_map corpus_files (Option.to_list replay_dir)
-    in
-    if replay <> [] then run_replay ~geoms replay
-    else run_campaign ~seed ~count ~max_insns ~geoms ~jobs ~out ~no_shrink
-
-let seed_t =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+let main seed count max_insns config jobs backend replay replay_dir out
+    no_shrink =
+  Cli.check_positive ~what:"--count" count;
+  Cli.check_positive ~what:"--max-insns" max_insns;
+  Cli.check_non_negative ~what:"--jobs" jobs;
+  let geoms = Cli.geoms_of_config config in
+  let backend = Cli.backend_of_flag backend in
+  let replay =
+    replay @ List.concat_map corpus_files (Option.to_list replay_dir)
+  in
+  if replay <> [] then run_replay ~geoms replay
+  else
+    run_campaign ~seed ~count ~max_insns ~config
+      ~jobs:(Dts_parallel.Pool.resolve_jobs jobs)
+      ~backend ~out ~no_shrink
 
 let count_t =
   Arg.(
@@ -104,19 +91,9 @@ let max_insns_t =
     & info [ "max-insns" ] ~docv:"N"
         ~doc:"Static instruction budget per generated program.")
 
-let config_t =
-  Arg.(
-    value & opt string "all"
-    & info [ "config" ] ~docv:"GEOM"
-        ~doc:"DTSVLIW geometries to exercise: all, ideal or feasible.")
-
-let jobs_t =
-  Arg.(
-    value & opt int 1
-    & info [ "jobs" ] ~docv:"N"
-        ~doc:
-          "Run programs on a pool of N domains (0 = one per core). Output \
-           is bit-identical for every value.")
+let jobs_doc =
+  "Run programs on a pool of N workers (0 = one per core). Output is \
+   bit-identical for every value."
 
 let replay_t =
   Arg.(
@@ -145,9 +122,10 @@ let no_shrink_t =
 
 let cmd =
   Cmd.v
-    (Cmd.info "dtsfuzz" ~doc:"Differential fuzzer for the DTSVLIW engines")
+    (Cli.cmd_info "dtsfuzz" ~doc:"Differential fuzzer for the DTSVLIW engines")
     Term.(
-      const main $ seed_t $ count_t $ max_insns_t $ config_t $ jobs_t
-      $ replay_t $ replay_dir_t $ out_t $ no_shrink_t)
+      const main $ Cli.seed_arg $ count_t $ max_insns_t $ Cli.config_arg
+      $ Cli.jobs_arg ~doc:jobs_doc ()
+      $ Cli.backend_arg $ replay_t $ replay_dir_t $ out_t $ no_shrink_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,317 @@
+(* The campaign server CLI.
+
+   `dtsvliw_serve daemon` runs a long-lived Unix-domain-socket server
+   that executes Job descriptors (figures, fuzz batches, workload runs)
+   on a pool of forked worker processes; the other subcommands are thin
+   protocol clients. `dtsvliw_serve worker` is the internal per-shard
+   worker entrypoint the daemon forks — not meant for interactive use.
+
+   Examples:
+     dtsvliw_serve daemon --socket /tmp/dts.sock --workers 4 &
+     dtsvliw_serve submit --socket /tmp/dts.sock --figure fig6 --budget 400
+     dtsvliw_serve submit --socket /tmp/dts.sock --fuzz --seed 1 --count 64
+     dtsvliw_serve results --socket /tmp/dts.sock --id 1 --text
+     dtsvliw_serve shutdown --socket /tmp/dts.sock
+
+   The streamed outcome text is byte-identical to the one-shot CLI
+   (experiments / dtsfuzz / dtsvliw_sim) at the same budget and seed,
+   whatever the worker count — `dune build @serve-smoke` enforces it. *)
+
+open Cmdliner
+open Dts_job
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "dtsvliw_serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path.")
+
+(* ---------- daemon ---------- *)
+
+let daemon socket workers retry_budget trace_file =
+  Cli.check_positive ~what:"--workers" workers;
+  Cli.check_non_negative ~what:"--retry-budget" retry_budget;
+  let trace_oc = Option.map open_out trace_file in
+  let tracer =
+    match trace_oc with
+    | None -> Dts_obs.Trace.null
+    | Some oc -> Dts_obs.Trace.to_channel oc
+  in
+  Dts_serve.Daemon.serve ~workers ~retry_budget ~tracer ~socket_path:socket ()
+
+let daemon_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Concurrent worker processes. Job outcomes are byte-identical \
+             for every value.")
+  in
+  let retry_arg =
+    Arg.(
+      value
+      & opt int Dts_serve.Daemon.default_retry_budget
+      & info [ "retry-budget" ] ~docv:"N"
+          ~doc:"Worker deaths tolerated per shard before the job fails.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the job lifecycle trace (submit, shard completions, \
+             retries, terminal states) as JSONL to $(docv).")
+  in
+  Cmd.v
+    (Cli.cmd_info "daemon" ~doc:"run the campaign daemon (blocks until shutdown)")
+    Term.(const daemon $ socket_arg $ workers_arg $ retry_arg $ trace_arg)
+
+(* ---------- worker (internal) ---------- *)
+
+let worker_cmd =
+  Cmd.v
+    (Cli.cmd_info "worker"
+       ~doc:"internal per-shard worker entrypoint (forked by the daemon)")
+    Term.(const Dts_serve.Worker.main $ const ())
+
+(* ---------- submit ---------- *)
+
+let build_job ~figure ~fuzz ~workload ~file ~json ~budget ~scale ~seed ~count
+    ~max_insns ~config ~no_shrink ~out_dir =
+  Cli.check_positive ~what:"--budget" budget;
+  Cli.check_positive ~what:"--scale" scale;
+  match (figure, fuzz, workload, file, json) with
+  | Some name, false, None, None, None -> Job.figure ~budget ~scale name
+  | None, true, None, None, None ->
+    Cli.check_positive ~what:"--count" count;
+    Cli.check_positive ~what:"--max-insns" max_insns;
+    ignore (Cli.geoms_of_config config);
+    Job.fuzz_batch ~max_insns ~config ~shrink:(not no_shrink) ?out_dir ~seed
+      ~count ()
+  | None, false, Some name, None, None ->
+    Job.workload ~budget ~scale (Job.Builtin name)
+  | None, false, None, Some path, None ->
+    Job.workload ~budget ~scale (Job.File path)
+  | None, false, None, None, Some j -> (
+    match Job.of_string j with Ok job -> job | Error msg -> Cli.die "%s" msg)
+  | _ ->
+    Cli.die
+      "specify exactly one of --figure NAME, --fuzz, --workload NAME, --file \
+       PATH or --job JSON"
+
+let submit socket figure fuzz workload file json budget scale seed count
+    max_insns config no_shrink out_dir priority fault_kills =
+  let job =
+    build_job ~figure ~fuzz ~workload ~file ~json ~budget ~scale ~seed ~count
+      ~max_insns ~config ~no_shrink ~out_dir
+  in
+  Cli.check (Job.validate job);
+  Cli.check_non_negative ~what:"--fault-kills" fault_kills;
+  match Dts_serve.Client.submit socket ~job ~priority ~fault_kills with
+  | Ok id ->
+    Printf.printf "%d\n" id;
+    Cli.ok
+  | Error msg ->
+    prerr_endline ("submit: " ^ msg);
+    Cli.task_failure
+
+let submit_cmd =
+  let figure_arg =
+    let names =
+      String.concat ", " (List.map fst Dts_experiments.Experiments.by_name)
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "figure" ] ~docv:"NAME"
+          ~doc:("Submit a figure job: " ^ names ^ "."))
+  in
+  let fuzz_arg =
+    Arg.(value & flag & info [ "fuzz" ] ~doc:"Submit a fuzz batch job.")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:"Submit a single built-in-workload simulation job.")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"PROGRAM"
+          ~doc:"Submit a program-file simulation job (.s or .c).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "job" ] ~docv:"JSON" ~doc:"Submit a raw job descriptor.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Fuzz batch: programs to generate.")
+  in
+  let max_insns_arg =
+    Arg.(
+      value
+      & opt int Dts_fuzz.Gen.default_max_insns
+      & info [ "max-insns" ] ~docv:"N"
+          ~doc:"Fuzz batch: static instruction budget per program.")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Fuzz batch: emit failures unminimised.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Fuzz batch: reproducer directory (server-side; default: don't \
+             write reproducers).")
+  in
+  let priority_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "priority" ] ~docv:"N"
+          ~doc:"Queue priority (higher runs first; default 0).")
+  in
+  let fault_kills_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fault-kills" ] ~docv:"N"
+          ~doc:
+            "Fault injection: the first N workers launched for this job are \
+             killed mid-shard. The outcome must be unaffected (retries).")
+  in
+  Cmd.v
+    (Cli.cmd_info "submit" ~doc:"submit a job; prints the job id")
+    Term.(
+      const submit $ socket_arg $ figure_arg $ fuzz_arg $ workload_arg
+      $ file_arg $ json_arg
+      $ Cli.budget_arg ()
+      $ Cli.scale_arg $ Cli.seed_arg $ count_arg $ max_insns_arg
+      $ Cli.config_arg $ no_shrink_arg $ out_arg $ priority_arg
+      $ fault_kills_arg)
+
+(* ---------- status / cancel / results / shutdown ---------- *)
+
+let status socket id =
+  match Dts_serve.Client.status socket ?id () with
+  | Ok jobs ->
+    List.iter
+      (fun s ->
+        print_endline
+          (Dts_obs.Json.to_string (Dts_serve.Protocol.status_to_json s)))
+      jobs;
+    Cli.ok
+  | Error msg ->
+    prerr_endline ("status: " ^ msg);
+    Cli.task_failure
+
+let id_opt_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "id" ] ~docv:"ID" ~doc:"Job id (default: every job).")
+
+let id_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "id" ] ~docv:"ID" ~doc:"Job id.")
+
+let status_cmd =
+  Cmd.v
+    (Cli.cmd_info "status" ~doc:"print job statuses, one JSON object per line")
+    Term.(const status $ socket_arg $ id_opt_arg)
+
+let cancel socket id =
+  match Dts_serve.Client.cancel socket ~id with
+  | Ok () -> Cli.ok
+  | Error msg ->
+    prerr_endline ("cancel: " ^ msg);
+    Cli.task_failure
+
+let cancel_cmd =
+  Cmd.v
+    (Cli.cmd_info "cancel" ~doc:"cancel a queued or running job")
+    Term.(const cancel $ socket_arg $ id_arg)
+
+let results socket id text =
+  if text then begin
+    (* --text: print only the final outcome text, byte-identical to the
+       one-shot CLI; exit with the job's exit code. *)
+    match Dts_serve.Client.outcome socket ~id ~on_event:(fun _ -> ()) with
+    | Ok (o : Run.outcome) ->
+      print_string o.text;
+      o.exit_code
+    | Error msg ->
+      prerr_endline ("results: " ^ msg);
+      Cli.task_failure
+  end
+  else
+    match
+      Dts_serve.Client.results socket ~id ~on_event:(fun ev ->
+          print_endline
+            (Dts_obs.Json.to_string (Dts_serve.Protocol.event_to_json ~id ev)))
+    with
+    | Ok (Dts_serve.Protocol.Done o) -> o.Run.exit_code
+    | Ok _ -> Cli.task_failure
+    | Error msg ->
+      prerr_endline ("results: " ^ msg);
+      Cli.task_failure
+
+let results_cmd =
+  let text_arg =
+    Arg.(
+      value & flag
+      & info [ "text" ]
+          ~doc:
+            "Print only the job's final text output (exactly the one-shot \
+             CLI's stdout) instead of the JSONL event stream.")
+  in
+  Cmd.v
+    (Cli.cmd_info "results"
+       ~doc:"stream a job's progress and result (blocks until terminal)")
+    Term.(const results $ socket_arg $ id_arg $ text_arg)
+
+let shutdown socket now =
+  match Dts_serve.Client.shutdown socket ~drain:(not now) with
+  | Ok () -> Cli.ok
+  | Error msg ->
+    prerr_endline ("shutdown: " ^ msg);
+    Cli.task_failure
+
+let shutdown_cmd =
+  let now_arg =
+    Arg.(
+      value & flag
+      & info [ "now" ]
+          ~doc:
+            "Cancel queued and running jobs instead of draining them first.")
+  in
+  Cmd.v
+    (Cli.cmd_info "shutdown"
+       ~doc:"stop the daemon (drains jobs unless --now), removing its socket")
+    Term.(const shutdown $ socket_arg $ now_arg)
+
+(* ---------- group ---------- *)
+
+let cmd =
+  Cmd.group
+    (Cli.cmd_info "dtsvliw_serve"
+       ~doc:"campaign server for DTSVLIW jobs over a Unix domain socket")
+    [
+      daemon_cmd; worker_cmd; submit_cmd; status_cmd; cancel_cmd; results_cmd;
+      shutdown_cmd;
+    ]
+
+let () = exit (Cmd.eval' cmd)

@@ -12,211 +12,93 @@
      dtsvliw_sim prog.c --dif
 
    --workload repeats; several workloads run concurrently over --jobs
-   domains, with the reports printed in the order given. *)
+   workers, with the reports printed in the order given.
+
+   The CLI is a thin flag -> Dts_job.Job.t adapter: the simulation and the
+   report text live in Dts_job.Run, shared byte-for-byte with the
+   dtsvliw_serve campaign daemon. *)
 
 open Cmdliner
+open Dts_job
 
-let load_program ~workload ~file ~scale =
-  match (workload, file) with
-  | Some name, None ->
-    Dts_workloads.Workloads.program ~scale (Dts_workloads.Workloads.find name)
-  | None, Some path ->
-    let src = In_channel.with_open_text path In_channel.input_all in
-    if Filename.check_suffix path ".c" then Dts_tinyc.Tinyc.compile src
-    else Dts_asm.Assembler.assemble src
-  | _ ->
-    prerr_endline "specify exactly one of --workload NAME or a program file";
-    exit 1
+let usage_one_source () =
+  prerr_endline "specify exactly one of --workload NAME or a program file";
+  exit 1
 
-let build_config ~feasible ~width ~height ~vcache_kb ~vcache_assoc ~no_renaming
-    ~store_list ~predict_next ~multicycle =
-  let base =
-    if feasible then Dts_core.Config.feasible ()
-    else Dts_core.Config.ideal ?width ?height ()
-  in
-  let base =
-    match (vcache_kb, vcache_assoc) with
-    | None, None -> base
-    | kb, assoc ->
-      {
-        base with
-        vliw_cache =
-          {
-            kb = Option.value kb ~default:base.vliw_cache.kb;
-            assoc = Option.value assoc ~default:base.vliw_cache.assoc;
-          };
-      }
-  in
-  let base =
-    if no_renaming then { base with sched = { base.sched with renaming = false } }
-    else base
-  in
-  let base =
-    if store_list then
-      { base with store_scheme = Dts_vliw.Engine.Data_store_list }
-    else base
-  in
-  let base = { base with next_li_prediction = predict_next } in
-  if multicycle then
-    {
-      base with
-      sched = { base.sched with latencies = Dts_isa.Instr.multicycle_latencies };
-      primary_timing =
-        {
-          base.primary_timing with
-          latencies = Dts_isa.Instr.multicycle_latencies;
-        };
-    }
-  else base
+let write_stats_json path outcome =
+  match (path, outcome.Run.stats_json) with
+  | Some path, Some doc ->
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc doc)
+  | _ -> ()
 
-let print_stats (m : Dts_core.Machine.t) instructions =
-  let s = Dts_core.Machine.stats m in
-  Printf.printf "instructions (sequential): %d\n" instructions;
-  Printf.printf "cycles:                    %d\n" s.cycles;
-  Printf.printf "IPC:                       %.3f\n"
-    (float_of_int instructions /. float_of_int (max 1 s.cycles));
-  Printf.printf "VLIW execution cycles:     %.1f%%\n"
-    (100. *. Dts_obs.Stats.vliw_cycle_fraction s);
-  Printf.printf "slot utilisation:          %.1f%%\n"
-    (100. *. Dts_obs.Stats.slot_utilisation s);
-  Printf.printf "blocks built:              %d\n" s.blocks_flushed;
-  Printf.printf "engine switches:           %d\n" s.engine_switches;
-  Printf.printf "renaming registers (max):  %d int, %d fp, %d flag, %d mem\n"
-    s.rr_max.(0) s.rr_max.(1) s.rr_max.(2) s.rr_max.(3);
-  Printf.printf "load/store lists (max):    %d / %d\n" s.max_load_list
-    s.max_store_list;
-  Printf.printf "checkpoint recovery (max): %d\n" s.max_recovery_list;
-  Printf.printf "branch mispredictions:     %d\n" s.mispredicts;
-  Printf.printf "aliasing exceptions:       %d\n" s.aliasing_exceptions;
-  Printf.printf "block exceptions:          %d\n" s.block_exceptions;
-  Printf.printf "VLIW cache: %d hits, %d misses, %d insertions, %d evictions\n"
-    s.vcache_hits s.vcache_misses s.vcache_insertions s.vcache_evictions;
-  if m.cfg.next_li_prediction then
-    Printf.printf "next-li predictor:         %d hits, %d misses\n" s.nlp_hits
-      s.nlp_misses;
-  if s.max_data_store_list > 0 then
-    Printf.printf "data store list (max):     %d\n" s.max_data_store_list;
-  Printf.printf "cycle attribution:\n";
-  List.iter
-    (fun cat ->
-      let n = Dts_obs.Attribution.sum_of s.attribution [ cat ] in
-      if n > 0 then
-        Printf.printf "  %-28s %9d  (%.1f%%)\n"
-          (Dts_obs.Attribution.label cat)
-          n
-          (100. *. float_of_int n /. float_of_int (max 1 s.cycles)))
-    Dts_obs.Attribution.all
-
-let dump_blocks (m : Dts_core.Machine.t) n =
-  let blocks = ref [] in
-  Dts_mem.Blockcache.iter (fun _ b -> blocks := b :: !blocks) m.vcache;
-  let blocks =
-    List.sort (fun a b -> compare a.Dts_sched.Schedtypes.tag_addr b.tag_addr) !blocks
-  in
-  Printf.printf "\n%d blocks resident in the VLIW Cache (showing up to %d):\n"
-    (List.length blocks) n;
-  List.iteri
-    (fun i b ->
-      if i < n then Format.printf "%a" Dts_sched.Schedtypes.pp_block b)
-    blocks
-
-let write_stats_json path (m : Dts_core.Machine.t) =
-  match path with
-  | None -> ()
-  | Some path ->
-    let s = Dts_core.Machine.stats m in
-    Out_channel.with_open_text path (fun oc ->
-        Out_channel.output_string oc (Dts_obs.Stats.to_json_string s))
-
-let run_single ~workload ~file ~scale ~budget ~dif ~compile ~fastpath ~cfg
-    ~show_blocks ~trace_file ~trace_limit ~stats_json =
-  let program = load_program ~workload ~file ~scale in
+let run_single ~job ~trace_file ~trace_limit ~stats_json =
   let trace_oc = Option.map open_out trace_file in
   let tracer =
     match trace_oc with
     | None -> Dts_obs.Trace.null
     | Some oc -> Dts_obs.Trace.to_channel ~limit:trace_limit oc
   in
-  let finish m =
-    write_stats_json stats_json m;
-    Dts_obs.Trace.close tracer;
-    Option.iter close_out trace_oc
-  in
-  if dif then begin
-    let machine_cfg = Dts_dif.Dif.fig9_machine_cfg () in
-    let m, d = Dts_dif.Dif.machine ~tracer ~machine_cfg program in
-    let n = Dts_core.Machine.run ~max_instructions:budget m in
-    print_endline "[DIF machine]";
-    print_stats m n;
-    Printf.printf "DIF exit points:           %d\n" d.total_exits;
-    Printf.printf "DIF cache bytes built:     %d\n" d.cache_bytes;
-    if show_blocks > 0 then dump_blocks m show_blocks;
-    finish m
-  end
-  else begin
-    Printf.printf "[DTSVLIW: %s]\n" (Dts_core.Config.describe cfg);
-    let m = Dts_core.Machine.create ~compile ~fastpath ~tracer cfg program in
-    let n = Dts_core.Machine.run ~max_instructions:budget m in
-    print_stats m n;
-    if show_blocks > 0 then dump_blocks m show_blocks;
-    finish m
-  end
+  let outcome = Run.run ~tracer job in
+  print_string outcome.Run.text;
+  write_stats_json stats_json outcome;
+  Dts_obs.Trace.close tracer;
+  Option.iter close_out trace_oc
 
 (* Several workloads: simulate concurrently on the pool, print the reports
    sequentially in the order the workloads were given. *)
-let run_many ~workloads ~scale ~budget ~jobs ~dif ~compile ~fastpath ~cfg
-    ~show_blocks =
-  let simulate name =
-    let program =
-      Dts_workloads.Workloads.program ~scale (Dts_workloads.Workloads.find name)
-    in
-    if dif then
-      let machine_cfg = Dts_dif.Dif.fig9_machine_cfg () in
-      let m, d = Dts_dif.Dif.machine ~machine_cfg program in
-      let n = Dts_core.Machine.run ~max_instructions:budget m in
-      (name, m, n, Some d)
-    else
-      let m = Dts_core.Machine.create ~compile ~fastpath cfg program in
-      let n = Dts_core.Machine.run ~max_instructions:budget m in
-      (name, m, n, None)
-  in
-  let results =
-    Dts_parallel.Pool.with_pool ~jobs (fun pool ->
-        Dts_parallel.Pool.map pool simulate workloads)
+let run_many ~job_of ~workloads ~jobs ~backend =
+  let outcomes =
+    Dts_parallel.Pool.with_pool ~backend ~jobs (fun pool ->
+        Dts_parallel.Pool.map pool
+          (fun name -> Run.run (job_of (Job.Builtin name)))
+          workloads)
   in
   List.iteri
-    (fun i (name, m, n, d) ->
+    (fun i (name, outcome) ->
       if i > 0 then print_newline ();
       Printf.printf "=== %s ===\n" name;
-      (match d with
-      | Some _ -> print_endline "[DIF machine]"
-      | None -> Printf.printf "[DTSVLIW: %s]\n" (Dts_core.Config.describe cfg));
-      print_stats m n;
-      (match d with
-      | Some (d : Dts_dif.Dif.t) ->
-        Printf.printf "DIF exit points:           %d\n" d.total_exits;
-        Printf.printf "DIF cache bytes built:     %d\n" d.cache_bytes
-      | None -> ());
-      if show_blocks > 0 then dump_blocks m show_blocks)
-    results
+      print_string outcome.Run.text)
+    (List.combine workloads outcomes)
 
-let run workloads file scale budget jobs feasible dif no_compile no_fastpath
-    width height vcache_kb vcache_assoc no_renaming store_list predict_next
-    multicycle show_blocks trace_file trace_limit stats_json =
-  let cfg =
-    build_config ~feasible ~width ~height ~vcache_kb ~vcache_assoc ~no_renaming
-      ~store_list ~predict_next ~multicycle
+let run workloads file scale budget jobs backend feasible dif no_compile
+    no_fastpath width height vcache_kb vcache_assoc no_renaming store_list
+    predict_next multicycle show_blocks trace_file trace_limit stats_json =
+  Cli.check_positive ~what:"--budget" budget;
+  Cli.check_positive ~what:"--scale" scale;
+  Cli.check_non_negative ~what:"--jobs" jobs;
+  Cli.check_non_negative ~what:"--dump-blocks" show_blocks;
+  Cli.check_non_negative ~what:"--trace-limit" trace_limit;
+  let backend = Cli.backend_of_flag backend in
+  let machine =
+    {
+      Machine_opts.feasible;
+      dif;
+      compile = not no_compile;
+      fastpath = not no_fastpath;
+      width;
+      height;
+      vcache_kb;
+      vcache_assoc;
+      renaming = not no_renaming;
+      store_list;
+      predict_next;
+      multicycle;
+    }
   in
-  let compile = not no_compile in
-  let fastpath = not no_fastpath in
+  let job_of source =
+    let job = Job.workload ~budget ~scale ~machine ~dump_blocks:show_blocks source in
+    Cli.check (Job.validate job);
+    job
+  in
   match (workloads, file) with
-  | ([] | [ _ ]), _ ->
-    let workload = match workloads with [ w ] -> Some w | _ -> None in
-    run_single ~workload ~file ~scale ~budget ~dif ~compile ~fastpath ~cfg
-      ~show_blocks ~trace_file ~trace_limit ~stats_json
-  | _ :: _ :: _, Some _ ->
-    prerr_endline "specify exactly one of --workload NAME or a program file";
-    exit 1
+  | [], None | [ _ ], Some _ -> usage_one_source ()
+  | [ w ], None ->
+    run_single ~job:(job_of (Job.Builtin w)) ~trace_file ~trace_limit
+      ~stats_json
+  | [], Some path ->
+    run_single ~job:(job_of (Job.File path)) ~trace_file ~trace_limit
+      ~stats_json
+  | _ :: _ :: _, Some _ -> usage_one_source ()
   | (_ :: _ :: _ as workloads), None ->
     if trace_file <> None || stats_json <> None then begin
       prerr_endline
@@ -224,9 +106,9 @@ let run workloads file scale budget jobs feasible dif no_compile no_fastpath
          --workload only";
       exit 1
     end;
-    run_many ~workloads ~scale ~budget
+    run_many ~job_of ~workloads
       ~jobs:(Dts_parallel.Pool.resolve_jobs jobs)
-      ~dif ~compile ~fastpath ~cfg ~show_blocks
+      ~backend
 
 let workload_arg =
   let names = String.concat ", " (List.map (fun (w : Dts_workloads.Workloads.t) -> w.name) Dts_workloads.Workloads.all) in
@@ -234,21 +116,15 @@ let workload_arg =
        & info [ "w"; "workload" ]
            ~doc:
              ("Built-in workload (repeatable; several run concurrently over \
-               --jobs domains): " ^ names))
+               --jobs workers): " ^ names))
 
 let file_arg =
   Arg.(value & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Program file (.s assembly or .c tinyc)")
 
-let scale_arg = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Workload scale")
-let budget_arg = Arg.(value & opt int 500_000 & info [ "budget" ] ~doc:"Instruction budget")
-let jobs_arg =
-  Arg.(
-    value & opt int 0
-    & info [ "j"; "jobs" ]
-        ~doc:
-          "Worker domains when several workloads are given (0 = one per host \
-           core). Reports are printed in the order the workloads were named, \
-           whatever the value.")
+let jobs_doc =
+  "Workers when several workloads are given (0 = one per host core). \
+   Reports are printed in the order the workloads were named, whatever the \
+   value."
 let feasible_arg = Arg.(value & flag & info [ "feasible" ] ~doc:"Use the feasible machine of section 4.4")
 let dif_arg = Arg.(value & flag & info [ "dif" ] ~doc:"Simulate the DIF baseline instead")
 let nocompile_arg = Arg.(value & flag & info [ "no-compile" ] ~doc:"Execute cached blocks through the VLIW engine's interpreter instead of install-time-compiled plans (slower; differentially tested to be bit-identical)")
@@ -269,13 +145,14 @@ let stats_json_arg = Arg.(value & opt (some string) None & info [ "stats-json" ]
 let cmd =
   let doc = "execution-driven DTSVLIW simulator (always in test mode)" in
   Cmd.v
-    (Cmd.info "dtsvliw_sim" ~doc)
+    (Cli.cmd_info "dtsvliw_sim" ~doc)
     Term.(
-      const run $ workload_arg $ file_arg $ scale_arg $ budget_arg $ jobs_arg
-      $ feasible_arg $ dif_arg $ nocompile_arg $ nofastpath_arg $ width_arg
-      $ height_arg
-      $ vkb_arg $ vassoc_arg $ noren_arg $ storelist_arg $ predict_arg
-      $ multicycle_arg $ blocks_arg $ trace_arg $ trace_limit_arg
-      $ stats_json_arg)
+      const run $ workload_arg $ file_arg $ Cli.scale_arg
+      $ Cli.budget_arg ()
+      $ Cli.jobs_arg ~default:0 ~doc:jobs_doc ()
+      $ Cli.backend_arg $ feasible_arg $ dif_arg $ nocompile_arg
+      $ nofastpath_arg $ width_arg $ height_arg $ vkb_arg $ vassoc_arg
+      $ noren_arg $ storelist_arg $ predict_arg $ multicycle_arg $ blocks_arg
+      $ trace_arg $ trace_limit_arg $ stats_json_arg)
 
 let () = exit (Cmd.eval cmd)

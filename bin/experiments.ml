@@ -5,8 +5,11 @@
      experiments fig5
      experiments table3 fig9 --jobs 4
 
-   --jobs fans each figure's simulations out over that many domains; the
-   rendered output is bit-identical to a sequential run.
+   --jobs fans each figure's simulations out over that many workers; the
+   rendered output is bit-identical to a sequential run. Each named
+   experiment becomes a Dts_job.Job figure descriptor evaluated through
+   Dts_job.Run — the same path the dtsvliw_serve campaign daemon uses, so
+   CLI and server output are byte-identical by construction.
 
    --alloc-json FILE additionally records, per experiment, the number of
    instructions simulated and the minor/major heap words allocated while
@@ -17,6 +20,7 @@
    meaningful sequentially; combining it with --jobs > 1 is an error. *)
 
 open Cmdliner
+open Dts_job
 
 type alloc_row = {
   a_name : string;
@@ -45,8 +49,23 @@ let write_alloc_json path ~budget rows =
     (String.concat ",\n" (List.map row rows));
   close_out oc
 
-let run_experiments names scale budget jobs alloc_json =
+let run_experiments names scale budget jobs backend alloc_json =
+  Cli.check_positive ~what:"--budget" budget;
+  Cli.check_positive ~what:"--scale" scale;
+  Cli.check_non_negative ~what:"--jobs" jobs;
+  let backend = Cli.backend_of_flag backend in
   let names = if names = [] then [ "all" ] else names in
+  let jobs_of name =
+    let job = Job.figure ~budget ~scale name in
+    match Job.validate job with
+    | Ok () -> job
+    | Error _ ->
+      Printf.eprintf "unknown experiment %s; available: %s\n" name
+        (String.concat ", "
+           (List.map fst Dts_experiments.Experiments.by_name));
+      exit Cli.usage_error
+  in
+  let job_list = List.map jobs_of names in
   let jobs = Dts_parallel.Pool.resolve_jobs jobs in
   if alloc_json <> None && jobs > 1 then begin
     prerr_endline
@@ -55,38 +74,29 @@ let run_experiments names scale budget jobs alloc_json =
   end;
   let alloc_rows = ref [] in
   let render pool =
-    List.iter
-      (fun name ->
-        match List.assoc_opt name Dts_experiments.Experiments.by_name with
-        | Some f ->
-          let instr0 = Dts_experiments.Experiments.simulated_instructions () in
-          let gc0 = Gc.quick_stat () in
-          let fig = f ?pool ~scale ~budget () in
-          let gc1 = Gc.quick_stat () in
-          print_string (fig.Dts_experiments.Experiments.render ());
-          print_newline ();
-          if alloc_json <> None then
-            alloc_rows :=
-              {
-                a_name = name;
-                a_instructions =
-                  Dts_experiments.Experiments.simulated_instructions ()
-                  - instr0;
-                a_minor_words =
-                  int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words);
-                a_major_words =
-                  int_of_float (gc1.Gc.major_words -. gc0.Gc.major_words);
-              }
-              :: !alloc_rows
-        | None ->
-          Printf.eprintf "unknown experiment %s; available: %s\n" name
-            (String.concat ", "
-               (List.map fst Dts_experiments.Experiments.by_name));
-          exit 1)
-      names
+    List.iter2
+      (fun name job ->
+        let instr0 = Dts_experiments.Experiments.simulated_instructions () in
+        let gc0 = Gc.quick_stat () in
+        let outcome = Run.run ?pool job in
+        let gc1 = Gc.quick_stat () in
+        print_string outcome.Run.text;
+        if alloc_json <> None then
+          alloc_rows :=
+            {
+              a_name = name;
+              a_instructions =
+                Dts_experiments.Experiments.simulated_instructions () - instr0;
+              a_minor_words =
+                int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words);
+              a_major_words =
+                int_of_float (gc1.Gc.major_words -. gc0.Gc.major_words);
+            }
+            :: !alloc_rows)
+      names job_list
   in
   if jobs > 1 then
-    Dts_parallel.Pool.with_pool ~jobs (fun pool -> render (Some pool))
+    Dts_parallel.Pool.with_pool ~backend ~jobs (fun pool -> render (Some pool))
   else render None;
   match alloc_json with
   | Some path -> write_alloc_json path ~budget (List.rev !alloc_rows)
@@ -99,21 +109,9 @@ let names_arg =
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
-let scale_arg =
-  let doc = "Workload scale multiplier (outer iteration counts)." in
-  Arg.(value & opt int 1 & info [ "scale" ] ~doc)
-
-let budget_arg =
-  let doc = "Sequential-instruction budget per run (test-machine count)." in
-  Arg.(value & opt int 150_000 & info [ "budget" ] ~doc)
-
-let jobs_arg =
-  let doc =
-    "Worker domains for each figure's simulations (default 1 = sequential; \
-     0 = one per host core). The rendered output is bit-identical for any \
-     value."
-  in
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
+let jobs_doc =
+  "Workers for each figure's simulations (default 1 = sequential; 0 = one \
+   per host core). The rendered output is bit-identical for any value."
 
 let alloc_json_arg =
   let doc =
@@ -128,9 +126,11 @@ let alloc_json_arg =
 let cmd =
   let doc = "regenerate the DTSVLIW paper's tables and figures" in
   Cmd.v
-    (Cmd.info "experiments" ~doc)
+    (Cli.cmd_info "experiments" ~doc)
     Term.(
-      const run_experiments $ names_arg $ scale_arg $ budget_arg $ jobs_arg
-      $ alloc_json_arg)
+      const run_experiments $ names_arg $ Cli.scale_arg
+      $ Cli.budget_arg ~default:150_000 ()
+      $ Cli.jobs_arg ~doc:jobs_doc ()
+      $ Cli.backend_arg $ alloc_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,139 @@
+(* End-to-end smoke test of the dtsvliw_serve campaign daemon.
+
+   Usage: serve_smoke DTSVLIW_SERVE_EXE FIG_CLI_OUT FUZZ_CLI_OUT STREAM_OUT
+
+   For worker counts 1, 2 and 4 (the last round with injected worker
+   kills): start a daemon, submit a fig6 figure job (budget 400) and a
+   16-seed fuzz batch, stream both jobs' results, and require the final
+   text to be byte-identical to the one-shot CLI outputs captured in
+   FIG_CLI_OUT / FUZZ_CLI_OUT. Also exercises status, cancel on a
+   terminal job, and drain shutdown (daemon exits 0, socket removed).
+   Every streamed event is appended to STREAM_OUT for `stats_check
+   --serve` validation. *)
+
+open Dts_job
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("serve_smoke: " ^ msg);
+      exit 1)
+    fmt
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let ok_or_die what = function
+  | Ok v -> v
+  | Error msg -> die "%s: %s" what msg
+
+let round ~exe ~fig_expected ~fuzz_expected ~stream_oc ~workers ~fault_kills =
+  let socket = Printf.sprintf "serve-smoke-%d.sock" workers in
+  let pid =
+    Unix.create_process exe
+      [| exe; "daemon"; "--socket"; socket; "--workers"; string_of_int workers |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* belt and braces: never leave a daemon behind *)
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* wait for the daemon to open its socket *)
+      let c = Dts_serve.Client.connect_retry socket in
+      Dts_serve.Client.close c;
+      let fig_job = Job.figure ~budget:400 "fig6" in
+      let fuzz_job = Job.fuzz_batch ~seed:1 ~count:16 ~config:"all" () in
+      let fig_id =
+        ok_or_die "submit fig6"
+          (Dts_serve.Client.submit socket ~job:fig_job ~priority:0 ~fault_kills)
+      in
+      let fuzz_id =
+        ok_or_die "submit fuzz"
+          (Dts_serve.Client.submit socket ~job:fuzz_job ~priority:1
+             ~fault_kills)
+      in
+      let record id ev =
+        (* STREAM_OUT concatenates every round; namespace the ids so the
+           rounds' job 1/2 don't collide under stats_check --serve *)
+        let id = (workers * 1000) + id in
+        output_string stream_oc
+          (Dts_obs.Json.to_string (Dts_serve.Protocol.event_to_json ~id ev));
+        output_char stream_oc '\n'
+      in
+      let retries = ref 0 in
+      let count_retry ev =
+        match ev with Dts_serve.Protocol.Retry _ -> incr retries | _ -> ()
+      in
+      let fig_out =
+        ok_or_die "fig6 results"
+          (Dts_serve.Client.outcome socket ~id:fig_id ~on_event:(fun ev ->
+               count_retry ev;
+               record fig_id ev))
+      in
+      let fuzz_out =
+        ok_or_die "fuzz results"
+          (Dts_serve.Client.outcome socket ~id:fuzz_id ~on_event:(fun ev ->
+               count_retry ev;
+               record fuzz_id ev))
+      in
+      if fig_out.Run.text <> fig_expected then
+        die "workers=%d: fig6 text differs from the one-shot CLI" workers;
+      if fig_out.Run.exit_code <> 0 then
+        die "workers=%d: fig6 exit code %d" workers fig_out.Run.exit_code;
+      if fuzz_out.Run.text <> fuzz_expected then
+        die "workers=%d: fuzz text differs from the one-shot CLI" workers;
+      if fuzz_out.Run.exit_code <> 0 then
+        die "workers=%d: fuzz exit code %d" workers fuzz_out.Run.exit_code;
+      if fault_kills > 0 && !retries = 0 then
+        die "workers=%d: fault_kills=%d injected but no retry event seen"
+          workers fault_kills;
+      (* status must report both jobs done *)
+      let statuses =
+        ok_or_die "status" (Dts_serve.Client.status socket ())
+      in
+      if List.length statuses <> 2 then
+        die "workers=%d: expected 2 jobs in status, got %d" workers
+          (List.length statuses);
+      List.iter
+        (fun (s : Dts_serve.Protocol.job_status) ->
+          if s.state <> Dts_serve.Protocol.Done then
+            die "workers=%d: job %d not done in status" workers s.id;
+          if s.exit_code <> Some 0 then
+            die "workers=%d: job %d exit code not 0 in status" workers s.id)
+        statuses;
+      (* cancel on a terminal job is a harmless no-op *)
+      ok_or_die "cancel" (Dts_serve.Client.cancel socket ~id:fig_id);
+      (* unknown ids are rejected with a descriptive error *)
+      (match Dts_serve.Client.status socket ~id:999 () with
+      | Error _ -> ()
+      | Ok _ -> die "workers=%d: status of unknown id succeeded" workers);
+      (* drain shutdown: daemon exits 0 and removes its socket *)
+      ok_or_die "shutdown" (Dts_serve.Client.shutdown socket ~drain:true);
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED code ->
+        die "workers=%d: daemon exited with code %d" workers code
+      | _, (Unix.WSIGNALED sg | Unix.WSTOPPED sg) ->
+        die "workers=%d: daemon killed by signal %d" workers sg);
+      if Sys.file_exists socket then
+        die "workers=%d: socket file not removed on shutdown" workers;
+      Printf.printf
+        "serve_smoke: workers=%d fault_kills=%d ok (%d retries observed)\n%!"
+        workers fault_kills !retries)
+
+let () =
+  match Sys.argv with
+  | [| _; exe; fig_cli; fuzz_cli; stream_path |] ->
+    (* create_process uses execvp: a bare filename would be a PATH lookup *)
+    let exe = if String.contains exe '/' then exe else "./" ^ exe in
+    let fig_expected = read_file fig_cli in
+    let fuzz_expected = read_file fuzz_cli in
+    let stream_oc = open_out stream_path in
+    List.iter
+      (fun (workers, fault_kills) ->
+        round ~exe ~fig_expected ~fuzz_expected ~stream_oc ~workers
+          ~fault_kills)
+      [ (1, 0); (2, 0); (4, 2) ];
+    close_out stream_oc
+  | _ -> die "usage: serve_smoke SERVE_EXE FIG_CLI_OUT FUZZ_CLI_OUT STREAM_OUT"

@@ -74,18 +74,23 @@ let process_failure ~geoms ~fuel ~shrink ~out_dir ~index ~seed program divs =
     f_path = path;
   }
 
-let run_campaign ?(jobs = 1) ?(geoms = `All) ?(max_insns = Gen.default_max_insns)
-    ?(shrink = true) ?out_dir ~seed ~count () =
+(** Evaluate campaign item [i]: generate program [derive seed i] and run
+    it on every engine. Returns [(i, per-program seed, verdict)] — plain
+    data, so shards of a campaign can be evaluated in separate processes
+    and reassembled by index. *)
+let item ~geoms ~max_insns ~seed i =
   let fuel = Gen.dynamic_bound ~max_insns in
-  let verdicts =
-    Dts_parallel.Pool.with_pool ~jobs (fun pool ->
-        Dts_parallel.Pool.map pool
-          (fun i ->
-            let pseed = Sprng.derive seed i in
-            let program = Gen.generate ~max_insns ~seed:pseed () in
-            (i, pseed, Diff.run ~geoms ~fuel program))
-          (List.init count Fun.id))
-  in
+  let pseed = Sprng.derive seed i in
+  let program = Gen.generate ~max_insns ~seed:pseed () in
+  (i, pseed, Diff.run ~geoms ~fuel program)
+
+(** Fold index-ordered verdicts into a campaign {!summary}. Failing
+    programs are regenerated from their per-program seed, shrunk and
+    (optionally) written out — sequentially, in index order, so the
+    summary depends only on the verdict list. *)
+let summarize ?(geoms = `All) ?(max_insns = Gen.default_max_insns)
+    ?(shrink = true) ?out_dir ~count verdicts =
+  let fuel = Gen.dynamic_bound ~max_insns in
   let passed = ref 0 and skips = ref [] and instructions = ref 0 in
   let failures =
     List.filter_map
@@ -112,6 +117,16 @@ let run_campaign ?(jobs = 1) ?(geoms = `All) ?(max_insns = Gen.default_max_insns
     s_instructions = !instructions;
     s_failures = failures;
   }
+
+let run_campaign ?(jobs = 1) ?(geoms = `All) ?(max_insns = Gen.default_max_insns)
+    ?(shrink = true) ?out_dir ~seed ~count () =
+  let verdicts =
+    Dts_parallel.Pool.with_pool ~jobs (fun pool ->
+        Dts_parallel.Pool.map pool
+          (item ~geoms ~max_insns ~seed)
+          (List.init count Fun.id))
+  in
+  summarize ~geoms ~max_insns ~shrink ?out_dir ~count verdicts
 
 (** Replay a reproducer file on the full roster. *)
 let replay ?(geoms = `All) path =

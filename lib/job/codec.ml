@@ -1,0 +1,91 @@
+(** Strict JSON record decoding on top of {!Dts_obs.Json}.
+
+    Every decoder in the Job API is *total and strict*: a record must be a
+    JSON object, every expected field must be present with the expected
+    type (absent fields are never silently defaulted), and any field the
+    decoder did not consume is an error naming the offender. Encoders
+    always emit every field, so [decode (encode v) = Ok v] and unknown or
+    misspelled input is rejected with a descriptive message rather than
+    half-understood. *)
+
+open Dts_obs
+
+type fields = {
+  ctx : string;  (** what is being decoded, for error messages *)
+  mutable remaining : (string * Json.t) list;
+}
+
+let ( let* ) r f = Result.bind r f
+
+let error ctx fmt = Printf.ksprintf (fun s -> Error (ctx ^ ": " ^ s)) fmt
+
+let start ~ctx = function
+  | Json.Obj kvs ->
+    let dup =
+      List.find_opt
+        (fun (k, _) -> List.length (List.filter (fun (k', _) -> k' = k) kvs) > 1)
+        kvs
+    in
+    (match dup with
+    | Some (k, _) -> error ctx "duplicate field %S" k
+    | None -> Ok { ctx; remaining = kvs })
+  | j -> error ctx "expected an object, got %s" (Json.to_string j)
+
+(** Consume field [key]; an error if absent. *)
+let take f key =
+  match List.assoc_opt key f.remaining with
+  | Some v ->
+    f.remaining <- List.filter (fun (k, _) -> k <> key) f.remaining;
+    Ok v
+  | None -> error f.ctx "missing field %S" key
+
+(** After all [take]s: any field left over is unknown input. *)
+let finish f v =
+  match f.remaining with
+  | [] -> Ok v
+  | (k, _) :: _ -> error f.ctx "unknown field %S" k
+
+let int_field f key =
+  let* v = take f key in
+  match Json.to_int v with
+  | Some n -> Ok n
+  | None -> error f.ctx "field %S must be an integer" key
+
+let bool_field f key =
+  let* v = take f key in
+  match v with
+  | Json.Bool b -> Ok b
+  | _ -> error f.ctx "field %S must be a boolean" key
+
+let string_field f key =
+  let* v = take f key in
+  match Json.to_str v with
+  | Some s -> Ok s
+  | None -> error f.ctx "field %S must be a string" key
+
+(** [null] or an integer. *)
+let int_opt_field f key =
+  let* v = take f key in
+  match v with
+  | Json.Null -> Ok None
+  | _ -> (
+    match Json.to_int v with
+    | Some n -> Ok (Some n)
+    | None -> error f.ctx "field %S must be an integer or null" key)
+
+(** [null] or a string. *)
+let string_opt_field f key =
+  let* v = take f key in
+  match v with
+  | Json.Null -> Ok None
+  | Json.String s -> Ok (Some s)
+  | _ -> error f.ctx "field %S must be a string or null" key
+
+let obj_field f key =
+  let* v = take f key in
+  match v with
+  | Json.Obj _ -> Ok v
+  | _ -> error f.ctx "field %S must be an object" key
+
+let int_opt_json = function None -> Json.Null | Some n -> Json.Int n
+let string_opt_json = function None -> Json.Null | Some s -> Json.String s

@@ -1,0 +1,183 @@
+open Dts_obs
+open Codec
+
+type source = Builtin of string | File of string
+
+type kind =
+  | Figure of { figure : string }
+  | Fuzz_batch of {
+      seed : int;
+      count : int;
+      max_insns : int;
+      config : string;
+      shrink : bool;
+      out_dir : string option;
+    }
+  | Workload of {
+      source : source;
+      machine : Machine_opts.t;
+      dump_blocks : int;
+    }
+
+type t = { kind : kind; budget : int; scale : int }
+
+let default_budget = 500_000
+let default_scale = 1
+
+let figure ?(budget = default_budget) ?(scale = default_scale) name =
+  { kind = Figure { figure = name }; budget; scale }
+
+let fuzz_batch ?(max_insns = Dts_fuzz.Gen.default_max_insns)
+    ?(config = "all") ?(shrink = true) ?out_dir ~seed ~count () =
+  {
+    kind = Fuzz_batch { seed; count; max_insns; config; shrink; out_dir };
+    budget = default_budget;
+    scale = default_scale;
+  }
+
+let workload ?(budget = default_budget) ?(scale = default_scale)
+    ?(machine = Machine_opts.default) ?(dump_blocks = 0) source =
+  { kind = Workload { source; machine; dump_blocks }; budget; scale }
+
+let kind_name t =
+  match t.kind with
+  | Figure _ -> "figure"
+  | Fuzz_batch _ -> "fuzz_batch"
+  | Workload _ -> "workload"
+
+let equal (a : t) (b : t) = a = b
+
+let figure_names = List.map fst Dts_experiments.Experiments.by_name
+
+let workload_names =
+  List.map
+    (fun (w : Dts_workloads.Workloads.t) -> w.name)
+    Dts_workloads.Workloads.all
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let positive what n =
+    if n > 0 then Ok ()
+    else Error (Printf.sprintf "%s must be positive (got %d)" what n)
+  in
+  let* () = positive "budget" t.budget in
+  let* () = positive "scale" t.scale in
+  match t.kind with
+  | Figure { figure } ->
+    if List.mem figure figure_names then Ok ()
+    else
+      Error
+        (Printf.sprintf "unknown figure %S (expected one of %s)" figure
+           (String.concat ", " figure_names))
+  | Fuzz_batch { seed = _; count; max_insns; config; shrink = _; out_dir = _ }
+    -> (
+    let* () = positive "count" count in
+    let* () = positive "max_insns" max_insns in
+    match Dts_fuzz.Diff.geoms_of_string config with
+    | Some _ -> Ok ()
+    | None ->
+      Error
+        (Printf.sprintf "unknown config %S (expected all, ideal or feasible)"
+           config))
+  | Workload { source; machine; dump_blocks } -> (
+    let* () =
+      if dump_blocks >= 0 then Ok ()
+      else Error (Printf.sprintf "dump_blocks must be >= 0 (got %d)" dump_blocks)
+    in
+    let* () = Machine_opts.validate machine in
+    match source with
+    | Builtin name ->
+      if List.mem name workload_names then Ok ()
+      else
+        Error
+          (Printf.sprintf "unknown workload %S (expected one of %s)" name
+             (String.concat ", " workload_names))
+    | File "" -> Error "workload file path must not be empty"
+    | File _ -> Ok ())
+
+(* ---------- JSON ---------- *)
+
+let source_to_json = function
+  | Builtin name -> Json.Obj [ ("builtin", Json.String name) ]
+  | File path -> Json.Obj [ ("file", Json.String path) ]
+
+let source_of_json j =
+  let* f = start ~ctx:"job source" j in
+  match f.remaining with
+  | [ ("builtin", _) ] ->
+    let* name = string_field f "builtin" in
+    finish f (Builtin name)
+  | [ ("file", _) ] ->
+    let* path = string_field f "file" in
+    finish f (File path)
+  | _ ->
+    Error
+      "job source: expected exactly one of field \"builtin\" or field \"file\""
+
+let to_json t =
+  let common = [ ("budget", Json.Int t.budget); ("scale", Json.Int t.scale) ] in
+  match t.kind with
+  | Figure { figure } ->
+    Json.Obj
+      ([ ("kind", Json.String "figure"); ("figure", Json.String figure) ]
+      @ common)
+  | Fuzz_batch { seed; count; max_insns; config; shrink; out_dir } ->
+    Json.Obj
+      ([
+         ("kind", Json.String "fuzz_batch");
+         ("seed", Json.Int seed);
+         ("count", Json.Int count);
+         ("max_insns", Json.Int max_insns);
+         ("config", Json.String config);
+         ("shrink", Json.Bool shrink);
+         ("out_dir", string_opt_json out_dir);
+       ]
+      @ common)
+  | Workload { source; machine; dump_blocks } ->
+    Json.Obj
+      ([
+         ("kind", Json.String "workload");
+         ("source", source_to_json source);
+         ("machine", Machine_opts.to_json machine);
+         ("dump_blocks", Json.Int dump_blocks);
+       ]
+      @ common)
+
+let of_json j =
+  let* f = start ~ctx:"job" j in
+  let* kind_tag = string_field f "kind" in
+  let* kind =
+    match kind_tag with
+    | "figure" ->
+      let* figure = string_field f "figure" in
+      Ok (Figure { figure })
+    | "fuzz_batch" ->
+      let* seed = int_field f "seed" in
+      let* count = int_field f "count" in
+      let* max_insns = int_field f "max_insns" in
+      let* config = string_field f "config" in
+      let* shrink = bool_field f "shrink" in
+      let* out_dir = string_opt_field f "out_dir" in
+      Ok (Fuzz_batch { seed; count; max_insns; config; shrink; out_dir })
+    | "workload" ->
+      let* src = obj_field f "source" in
+      let* source = source_of_json src in
+      let* m = obj_field f "machine" in
+      let* machine = Machine_opts.of_json m in
+      let* dump_blocks = int_field f "dump_blocks" in
+      Ok (Workload { source; machine; dump_blocks })
+    | other ->
+      error "job" "unknown kind %S (expected figure, fuzz_batch or workload)"
+        other
+  in
+  let* budget = int_field f "budget" in
+  let* scale = int_field f "scale" in
+  let* t = finish f { kind; budget; scale } in
+  match validate t with Ok () -> Ok t | Error e -> Error ("job: " ^ e)
+
+let to_string t = Json.to_string (to_json t)
+
+let of_string s =
+  match Json.of_string s with
+  | j -> of_json j
+  | exception Json.Parse_error msg -> Error ("job: invalid JSON: " ^ msg)

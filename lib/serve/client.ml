@@ -1,0 +1,116 @@
+(** Client side of the [dtsvliw_serve] protocol: connect, send one
+    request per line, read responses/event streams. Used by the
+    [dtsvliw_serve] submit/status/cancel/results/shutdown subcommands and
+    by the end-to-end tests. *)
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+(** Retry {!connect} until the daemon answers or [timeout_s] elapses —
+    covers the startup race right after spawning the daemon. *)
+let connect_retry ?(timeout_s = 10.0) path =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match connect path with
+    | conn -> conn
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when Unix.gettimeofday () < deadline ->
+      ignore (Unix.select [] [] [] 0.05);
+      go ()
+  in
+  go ()
+
+let close conn =
+  (try flush conn.oc with Sys_error _ -> ());
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let with_conn path f =
+  let conn = connect path in
+  Fun.protect ~finally:(fun () -> close conn) (fun () -> f conn)
+
+let request conn req =
+  Protocol.write_line conn.oc (Protocol.request_to_json req);
+  match input_line conn.ic with
+  | exception End_of_file -> Error "server closed the connection"
+  | line -> Protocol.parse_line ~ctx:"response" line Protocol.response_of_json
+
+(* ---------- one-shot helpers ---------- *)
+
+let submit path ~job ~priority ~fault_kills =
+  with_conn path (fun conn ->
+      match request conn (Protocol.Submit { job; priority; fault_kills }) with
+      | Ok (Protocol.Ok_id id) -> Ok id
+      | Ok (Protocol.Err msg) -> Error msg
+      | Ok _ -> Error "unexpected response to submit"
+      | Error msg -> Error msg)
+
+let status path ?id () =
+  with_conn path (fun conn ->
+      match request conn (Protocol.Status { id }) with
+      | Ok (Protocol.Ok_status jobs) -> Ok jobs
+      | Ok (Protocol.Err msg) -> Error msg
+      | Ok _ -> Error "unexpected response to status"
+      | Error msg -> Error msg)
+
+let cancel path ~id =
+  with_conn path (fun conn ->
+      match request conn (Protocol.Cancel { id }) with
+      | Ok Protocol.Ok_unit -> Ok ()
+      | Ok (Protocol.Err msg) -> Error msg
+      | Ok _ -> Error "unexpected response to cancel"
+      | Error msg -> Error msg)
+
+let shutdown path ~drain =
+  with_conn path (fun conn ->
+      match request conn (Protocol.Shutdown { drain }) with
+      | Ok Protocol.Ok_unit -> Ok ()
+      | Ok (Protocol.Err msg) -> Error msg
+      | Ok _ -> Error "unexpected response to shutdown"
+      | Error msg -> Error msg)
+
+(** Stream the job's result events, calling [on_event] on each (terminal
+    event included), and return the terminal event. Blocks until the job
+    reaches a terminal state. *)
+let results path ~id ~on_event =
+  with_conn path (fun conn ->
+      Protocol.write_line conn.oc
+        (Protocol.request_to_json (Protocol.Results { id }));
+      let rec loop () =
+        match input_line conn.ic with
+        | exception End_of_file -> Error "stream ended before a terminal event"
+        | line -> (
+          match Protocol.parse_line ~ctx:"event" line Protocol.event_of_json with
+          | Ok (eid, ev) ->
+            if eid <> id then
+              Error (Printf.sprintf "event for job %d on job %d's stream" eid id)
+            else begin
+              on_event ev;
+              if Protocol.terminal ev then Ok ev else loop ()
+            end
+          | Error _ -> (
+            (* The server answers an unknown id with an error response. *)
+            match
+              Protocol.parse_line ~ctx:"response" line
+                Protocol.response_of_json
+            with
+            | Ok (Protocol.Err msg) -> Error msg
+            | _ -> Error ("unparsable stream line: " ^ line)))
+      in
+      loop ())
+
+(** {!results}, returning the final {!Run.outcome} — [Error] if the job
+    failed or was canceled. *)
+let outcome path ~id ~on_event =
+  match results path ~id ~on_event with
+  | Ok (Protocol.Done o) -> Ok o
+  | Ok (Protocol.Failed { error }) -> Error ("job failed: " ^ error)
+  | Ok Protocol.Canceled -> Error "job was canceled"
+  | Ok _ -> Error "stream ended on a non-terminal event"
+  | Error msg -> Error msg

@@ -1,0 +1,498 @@
+(** The campaign daemon behind [dtsvliw_serve daemon].
+
+    A long-lived Unix-domain-socket server: clients submit {!Dts_job.Job}
+    descriptors, a priority queue hands the jobs' shards to a fixed pool
+    of runner threads, and each runner evaluates one shard at a time in a
+    {e forked worker process} (fork/exec of this same binary's [worker]
+    subcommand — see {!Worker}). Shard results are collected by index and
+    reassembled with {!Dts_job.Run.assemble}, so a job's outcome is
+    byte-identical to the one-shot CLI whatever the worker count and
+    whatever order shards finish in.
+
+    Fault tolerance: a worker that dies (signal, nonzero exit, truncated
+    reply) costs one retry from the shard's bounded budget and the shard
+    is re-queued; because shard evaluation is pure, the re-run result is
+    identical and the final outcome is unaffected. A worker that {e
+    reports} an evaluation error fails the job permanently — rerunning a
+    deterministic failure would only waste the budget.
+
+    Concurrency model: one mutex guards all job state, one condition
+    variable is broadcast on every change (shard done, retry, terminal
+    state); [results] streams block on it. Signals (SIGTERM/SIGINT) are
+    converted to a cancel-everything shutdown via a self-pipe watcher
+    thread — the handler itself only writes one byte. *)
+
+open Dts_job
+
+type jrec = {
+  id : int;
+  job : Job.t;
+  priority : int;
+  shards : Run.shard array;
+  results : Run.shard_result option array;
+  attempts : int array;  (** worker deaths per shard *)
+  mutable fault_kills : int;
+      (** worker launches for this job that must still self-kill *)
+  mutable done_count : int;
+  mutable running : int;  (** shards currently on a worker *)
+  mutable retries : int;
+  mutable state : Protocol.job_state;
+  mutable exit_code : int option;
+  mutable events : Protocol.event list;  (** newest first *)
+  mutable n_events : int;
+}
+
+type t = {
+  socket_path : string;
+  workers : int;
+  retry_budget : int;
+  worker_exe : string;
+  tracer : Dts_obs.Trace.t;
+  m : Mutex.t;
+  c : Condition.t;
+  jobs : (int, jrec) Hashtbl.t;
+  queue : (int * int) Taskq.t;  (** (job id, shard index) *)
+  pids : (int, int) Hashtbl.t;  (** live worker pid -> job id *)
+  mutable next_id : int;
+  mutable accepting : bool;
+  mutable trace_seq : int;
+  listen_fd : Unix.file_descr;
+}
+
+let default_retry_budget = 3
+
+(* ---------- locked helpers ---------- *)
+
+let trace d ev =
+  if Dts_obs.Trace.enabled d.tracer then begin
+    d.trace_seq <- d.trace_seq + 1;
+    Dts_obs.Trace.stamp d.tracer d.trace_seq;
+    Dts_obs.Trace.emit d.tracer ev
+  end
+
+let append_event d jr ev =
+  jr.events <- ev :: jr.events;
+  jr.n_events <- jr.n_events + 1;
+  Condition.broadcast d.c
+
+let kill_job_workers d id =
+  Hashtbl.iter
+    (fun pid job_id ->
+      if job_id = id then try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    d.pids
+
+let status_of jr =
+  {
+    Protocol.id = jr.id;
+    kind = Job.kind_name jr.job;
+    state = jr.state;
+    priority = jr.priority;
+    shards_done = jr.done_count;
+    shards = Array.length jr.shards;
+    retries = jr.retries;
+    exit_code = jr.exit_code;
+  }
+
+(* ---------- request handlers (each locks internally) ---------- *)
+
+let submit d ~job ~priority ~fault_kills =
+  Mutex.lock d.m;
+  let r =
+    if not d.accepting then Protocol.Err "server is shutting down"
+    else begin
+      let id = d.next_id in
+      d.next_id <- d.next_id + 1;
+      let shards = Array.of_list (Run.shards job) in
+      let n = Array.length shards in
+      let jr =
+        {
+          id;
+          job;
+          priority;
+          shards;
+          results = Array.make n None;
+          attempts = Array.make n 0;
+          fault_kills;
+          done_count = 0;
+          running = 0;
+          retries = 0;
+          state = Protocol.Queued;
+          exit_code = None;
+          events = [];
+          n_events = 0;
+        }
+      in
+      Hashtbl.add d.jobs id jr;
+      trace d (Dts_obs.Trace.Job_submitted { id; kind = Job.kind_name job });
+      Array.iteri (fun i _ -> Taskq.push d.queue ~priority (id, i)) shards;
+      Condition.broadcast d.c;
+      Protocol.Ok_id id
+    end
+  in
+  Mutex.unlock d.m;
+  r
+
+let status d ~id =
+  Mutex.lock d.m;
+  let r =
+    match id with
+    | Some id -> (
+      match Hashtbl.find_opt d.jobs id with
+      | Some jr -> Protocol.Ok_status [ status_of jr ]
+      | None -> Protocol.Err (Printf.sprintf "unknown job id %d" id))
+    | None ->
+      let all = Hashtbl.fold (fun _ jr acc -> jr :: acc) d.jobs [] in
+      let all = List.sort (fun a b -> compare a.id b.id) all in
+      Protocol.Ok_status (List.map status_of all)
+  in
+  Mutex.unlock d.m;
+  r
+
+let cancel d ~id =
+  Mutex.lock d.m;
+  let r =
+    match Hashtbl.find_opt d.jobs id with
+    | None -> Protocol.Err (Printf.sprintf "unknown job id %d" id)
+    | Some jr ->
+      (match jr.state with
+      | Protocol.Queued | Protocol.Running ->
+        jr.state <- Protocol.Canceled;
+        append_event d jr Protocol.Canceled;
+        trace d (Dts_obs.Trace.Job_canceled { id });
+        kill_job_workers d id
+      | Protocol.Done | Protocol.Failed | Protocol.Canceled -> ());
+      Protocol.Ok_unit
+  in
+  Mutex.unlock d.m;
+  r
+
+(* ---------- worker spawning ---------- *)
+
+(* Launch one worker process for [shard], feed it, read its reply and reap
+   it. Returns [`Delivered result] only for a clean exit with a complete
+   reply; everything else is [`Died reason]. *)
+let run_worker d ~job_id ~job ~shard ~fault =
+  let in_r, in_w = Unix.pipe () in
+  let out_r, out_w = Unix.pipe () in
+  let pid =
+    Unix.create_process d.worker_exe
+      [| d.worker_exe; "worker" |]
+      in_r out_w Unix.stderr
+  in
+  Unix.close in_r;
+  Unix.close out_w;
+  Mutex.lock d.m;
+  Hashtbl.replace d.pids pid job_id;
+  Mutex.unlock d.m;
+  let oc = Unix.out_channel_of_descr in_w in
+  let ic = Unix.in_channel_of_descr out_r in
+  let reply =
+    try
+      Protocol.write_line oc
+        (Protocol.worker_input_to_json { Protocol.job; shard; fault_kill = fault });
+      Some (Marshal.from_channel ic : (Run.shard_result, string) result)
+    with End_of_file | Sys_error _ | Failure _ | Unix.Unix_error _ -> None
+  in
+  let _, wstatus = Unix.waitpid [] pid in
+  Mutex.lock d.m;
+  Hashtbl.remove d.pids pid;
+  Mutex.unlock d.m;
+  close_out_noerr oc;
+  close_in_noerr ic;
+  match (reply, wstatus) with
+  | Some result, Unix.WEXITED 0 -> `Delivered result
+  | _, Unix.WSIGNALED sg -> `Died (Printf.sprintf "killed by signal %d" sg)
+  | _, Unix.WEXITED code -> `Died (Printf.sprintf "exited with code %d" code)
+  | _, Unix.WSTOPPED sg -> `Died (Printf.sprintf "stopped by signal %d" sg)
+
+let finish_job d jr =
+  (* All shards delivered: assemble outside the lock (fuzz assembly may
+     shrink programs and write reproducer files). *)
+  let results =
+    Array.to_list (Array.map (fun r -> Option.get r) jr.results)
+  in
+  let outcome =
+    try Ok (Run.assemble jr.job results)
+    with e -> Error (Printexc.to_string e)
+  in
+  Mutex.lock d.m;
+  if jr.state = Protocol.Running then begin
+    match outcome with
+    | Ok (o : Run.outcome) ->
+      jr.state <- Protocol.Done;
+      jr.exit_code <- Some o.exit_code;
+      append_event d jr (Protocol.Done o);
+      trace d (Dts_obs.Trace.Job_done { id = jr.id; ok = o.exit_code = 0 })
+    | Error msg ->
+      jr.state <- Protocol.Failed;
+      append_event d jr (Protocol.Failed { error = "assembly failed: " ^ msg });
+      trace d (Dts_obs.Trace.Job_done { id = jr.id; ok = false })
+  end;
+  Mutex.unlock d.m
+
+let handle_delivery d jr shard_idx = function
+  | Ok shard_result ->
+    let all_done = ref false in
+    Mutex.lock d.m;
+    jr.running <- jr.running - 1;
+    if jr.state = Protocol.Running then begin
+      jr.results.(shard_idx) <- Some shard_result;
+      jr.done_count <- jr.done_count + 1;
+      append_event d jr
+        (Protocol.Shard_done
+           { shard = shard_idx; shards = Array.length jr.shards });
+      trace d
+        (Dts_obs.Trace.Job_shard_done
+           { id = jr.id; shard = shard_idx; shards = Array.length jr.shards });
+      all_done := jr.done_count = Array.length jr.shards
+    end;
+    Condition.broadcast d.c;
+    Mutex.unlock d.m;
+    if !all_done then finish_job d jr
+  | Error msg ->
+    (* The evaluation itself raised: deterministic, so no retry. *)
+    Mutex.lock d.m;
+    jr.running <- jr.running - 1;
+    if jr.state = Protocol.Running then begin
+      jr.state <- Protocol.Failed;
+      append_event d jr
+        (Protocol.Failed
+           { error = Printf.sprintf "shard %d failed: %s" shard_idx msg });
+      trace d (Dts_obs.Trace.Job_done { id = jr.id; ok = false });
+      kill_job_workers d jr.id
+    end;
+    Condition.broadcast d.c;
+    Mutex.unlock d.m
+
+let handle_death d jr shard_idx reason =
+  Mutex.lock d.m;
+  jr.running <- jr.running - 1;
+  if jr.state = Protocol.Running then begin
+    jr.attempts.(shard_idx) <- jr.attempts.(shard_idx) + 1;
+    jr.retries <- jr.retries + 1;
+    if jr.attempts.(shard_idx) > d.retry_budget then begin
+      jr.state <- Protocol.Failed;
+      append_event d jr
+        (Protocol.Failed
+           {
+             error =
+               Printf.sprintf
+                 "shard %d: worker died %d times (last: %s); retry budget \
+                  exhausted"
+                 shard_idx jr.attempts.(shard_idx) reason;
+           });
+      trace d (Dts_obs.Trace.Job_done { id = jr.id; ok = false });
+      kill_job_workers d jr.id
+    end
+    else begin
+      append_event d jr
+        (Protocol.Retry { shard = shard_idx; attempt = jr.attempts.(shard_idx) });
+      trace d
+        (Dts_obs.Trace.Job_retry
+           { id = jr.id; shard = shard_idx; attempt = jr.attempts.(shard_idx) });
+      Taskq.push d.queue ~priority:jr.priority (jr.id, shard_idx)
+    end
+  end;
+  Condition.broadcast d.c;
+  Mutex.unlock d.m
+
+(* One runner thread: pop a shard task, run a worker for it, record the
+   result, repeat until the queue closes. *)
+let rec runner d =
+  match Taskq.pop d.queue with
+  | None -> ()
+  | Some (job_id, shard_idx) ->
+    let jr = ref None in
+    let fault = ref false in
+    Mutex.lock d.m;
+    (match Hashtbl.find_opt d.jobs job_id with
+    | Some j when j.state = Protocol.Queued || j.state = Protocol.Running ->
+      if j.state = Protocol.Queued then j.state <- Protocol.Running;
+      j.running <- j.running + 1;
+      if j.fault_kills > 0 then begin
+        j.fault_kills <- j.fault_kills - 1;
+        fault := true
+      end;
+      jr := Some j
+    | _ -> ());
+    Mutex.unlock d.m;
+    (match !jr with
+    | None -> ()
+    | Some jr -> (
+      match
+        run_worker d ~job_id ~job:jr.job ~shard:jr.shards.(shard_idx)
+          ~fault:!fault
+      with
+      | `Delivered result -> handle_delivery d jr shard_idx result
+      | `Died reason -> handle_death d jr shard_idx reason));
+    runner d
+
+(* ---------- shutdown ---------- *)
+
+let shutdown_and_exit d ~drain =
+  Mutex.lock d.m;
+  d.accepting <- false;
+  if not drain then
+    Hashtbl.iter
+      (fun id jr ->
+        match jr.state with
+        | Protocol.Queued | Protocol.Running ->
+          jr.state <- Protocol.Canceled;
+          append_event d jr Protocol.Canceled;
+          trace d (Dts_obs.Trace.Job_canceled { id });
+          kill_job_workers d id
+        | Protocol.Done | Protocol.Failed | Protocol.Canceled -> ())
+      d.jobs;
+  Condition.broadcast d.c;
+  let pending () =
+    Hashtbl.fold
+      (fun _ jr acc ->
+        acc
+        || jr.state = Protocol.Queued
+        || jr.state = Protocol.Running
+        || jr.running > 0)
+      d.jobs false
+  in
+  while pending () do
+    Condition.wait d.c d.m
+  done;
+  Mutex.unlock d.m;
+  Taskq.close d.queue;
+  (try Unix.close d.listen_fd with Unix.Unix_error _ -> ());
+  (try Sys.remove d.socket_path with Sys_error _ -> ());
+  Dts_obs.Trace.close d.tracer;
+  exit 0
+
+(* ---------- connections ---------- *)
+
+let stream_results d oc ~id =
+  let jr =
+    Mutex.lock d.m;
+    let jr = Hashtbl.find_opt d.jobs id in
+    Mutex.unlock d.m;
+    jr
+  in
+  match jr with
+  | None ->
+    Protocol.write_line oc
+      (Protocol.response_to_json
+         (Protocol.Err (Printf.sprintf "unknown job id %d" id)))
+  | Some jr ->
+    let sent = ref 0 in
+    let finished = ref false in
+    while not !finished do
+      Mutex.lock d.m;
+      while jr.n_events = !sent do
+        Condition.wait d.c d.m
+      done;
+      let fresh =
+        (* [events] is newest-first; replay the ones the cursor hasn't
+           seen, oldest first. *)
+        List.filteri (fun i _ -> i < jr.n_events - !sent) jr.events |> List.rev
+      in
+      sent := jr.n_events;
+      Mutex.unlock d.m;
+      List.iter
+        (fun ev ->
+          Protocol.write_line oc (Protocol.event_to_json ~id ev);
+          if Protocol.terminal ev then finished := true)
+        fresh
+    done
+
+let handle_connection d fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let respond r = Protocol.write_line oc (Protocol.response_to_json r) in
+  (try
+     let rec loop () =
+       match input_line ic with
+       | exception End_of_file -> ()
+       | line -> (
+         match
+           Protocol.parse_line ~ctx:"request" line Protocol.request_of_json
+         with
+         | Error msg ->
+           respond (Protocol.Err msg);
+           loop ()
+         | Ok (Protocol.Submit { job; priority; fault_kills }) ->
+           respond (submit d ~job ~priority ~fault_kills);
+           loop ()
+         | Ok (Protocol.Status { id }) ->
+           respond (status d ~id);
+           loop ()
+         | Ok (Protocol.Cancel { id }) ->
+           respond (cancel d ~id);
+           loop ()
+         | Ok (Protocol.Results { id }) ->
+           (* A results stream takes over the connection. *)
+           stream_results d oc ~id
+         | Ok (Protocol.Shutdown { drain }) ->
+           respond Protocol.Ok_unit;
+           (try flush oc with Sys_error _ -> ());
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           shutdown_and_exit d ~drain)
+     in
+     loop ()
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  (try flush oc with Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---------- entry point ---------- *)
+
+let install_signal_shutdown d =
+  let r, w = Unix.pipe () in
+  let on_signal _ = ignore (Unix.write w (Bytes.make 1 'x') 0 1) in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  ignore
+    (Thread.create
+       (fun () ->
+         let b = Bytes.create 1 in
+         match Unix.read r b 0 1 with
+         | _ -> shutdown_and_exit d ~drain:false
+         | exception Unix.Unix_error _ -> ())
+       ())
+
+(** Run the daemon on [socket_path]. Never returns: exits 0 on [shutdown]
+    or SIGTERM/SIGINT, raises on unrecoverable setup errors (socket path
+    in use by a live server, ...). *)
+let serve ?(workers = 1) ?(retry_budget = default_retry_budget)
+    ?(worker_exe = Sys.executable_name) ?(tracer = Dts_obs.Trace.null)
+    ~socket_path () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if Sys.file_exists socket_path then Unix.unlink socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen listen_fd 16;
+  let d =
+    {
+      socket_path;
+      workers = max 1 workers;
+      retry_budget = max 0 retry_budget;
+      worker_exe;
+      tracer;
+      m = Mutex.create ();
+      c = Condition.create ();
+      jobs = Hashtbl.create 16;
+      queue = Taskq.create ();
+      pids = Hashtbl.create 16;
+      next_id = 1;
+      accepting = true;
+      trace_seq = 0;
+      listen_fd;
+    }
+  in
+  install_signal_shutdown d;
+  for _ = 1 to d.workers do
+    ignore (Thread.create runner d)
+  done;
+  Printf.eprintf "dtsvliw_serve: listening on %s (workers=%d)\n%!" socket_path
+    d.workers;
+  let rec accept_loop () =
+    match Unix.accept listen_fd with
+    | fd, _ ->
+      ignore (Thread.create (handle_connection d) fd);
+      accept_loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+  in
+  accept_loop ()

@@ -1,0 +1,328 @@
+(** The [dtsvliw_serve] wire protocol: newline-delimited JSON over a Unix
+    domain socket.
+
+    One request object per line. [submit]/[status]/[cancel]/[shutdown] get
+    exactly one response line; [results] gets a {e stream} of event lines
+    — the job's progress replayed from the beginning, then live — ending
+    with a terminal event ([done], [failed] or [canceled]), after which
+    the server closes the stream.
+
+    Grammar (all fields required — the codecs are strict, like
+    {!Dts_job.Job}'s):
+
+    {v
+    request  := {"op":"submit","job":JOB,"priority":INT,"fault_kills":INT}
+              | {"op":"status","id":INT|null}
+              | {"op":"cancel","id":INT}
+              | {"op":"results","id":INT}
+              | {"op":"shutdown","drain":BOOL}
+    response := {"ok":true,"id":INT}            submit
+              | {"ok":true}                     cancel, shutdown
+              | {"ok":true,"jobs":[STATUS...]}  status
+              | {"ok":false,"error":STRING}     any failed request
+    STATUS   := {"id":INT,"kind":STRING,"state":STATE,"priority":INT,
+                 "shards_done":INT,"shards":INT,"retries":INT,
+                 "exit_code":INT|null}
+    STATE    := "queued"|"running"|"done"|"failed"|"canceled"
+    event    := {"id":INT,"ev":"shard_done","shard":INT,"shards":INT}
+              | {"id":INT,"ev":"retry","shard":INT,"attempt":INT}
+              | {"id":INT,"ev":"done","exit_code":INT,"text":STRING,
+                 "stats_json":STRING|null}
+              | {"id":INT,"ev":"failed","error":STRING}
+              | {"id":INT,"ev":"canceled"}
+    v} *)
+
+open Dts_obs
+open Dts_job
+open Dts_job.Codec
+
+type request =
+  | Submit of { job : Job.t; priority : int; fault_kills : int }
+      (** [priority]: higher runs first; [fault_kills]: the first N worker
+          processes launched for this job kill themselves mid-shard (fault
+          injection for the retry path — results must be unaffected) *)
+  | Status of { id : int option }  (** [None] = every job *)
+  | Cancel of { id : int }
+  | Results of { id : int }
+  | Shutdown of { drain : bool }
+      (** [drain]: finish queued and running jobs first; otherwise cancel
+          everything in flight *)
+
+type job_state = Queued | Running | Done | Failed | Canceled
+
+let state_to_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed -> "failed"
+  | Canceled -> "canceled"
+
+let state_of_string = function
+  | "queued" -> Some Queued
+  | "running" -> Some Running
+  | "done" -> Some Done
+  | "failed" -> Some Failed
+  | "canceled" -> Some Canceled
+  | _ -> None
+
+type job_status = {
+  id : int;
+  kind : string;
+  state : job_state;
+  priority : int;
+  shards_done : int;
+  shards : int;
+  retries : int;
+  exit_code : int option;  (** set once terminal (never for [canceled]) *)
+}
+
+type response =
+  | Ok_id of int
+  | Ok_unit
+  | Ok_status of job_status list
+  | Err of string
+
+type event =
+  | Shard_done of { shard : int; shards : int }
+  | Retry of { shard : int; attempt : int }
+  | Done of Run.outcome
+  | Failed of { error : string }
+  | Canceled
+
+let terminal = function
+  | Done _ | Failed _ | Canceled -> true
+  | Shard_done _ | Retry _ -> false
+
+(* ---------- requests ---------- *)
+
+let request_to_json = function
+  | Submit { job; priority; fault_kills } ->
+    Json.Obj
+      [
+        ("op", Json.String "submit");
+        ("job", Job.to_json job);
+        ("priority", Json.Int priority);
+        ("fault_kills", Json.Int fault_kills);
+      ]
+  | Status { id } ->
+    Json.Obj [ ("op", Json.String "status"); ("id", int_opt_json id) ]
+  | Cancel { id } ->
+    Json.Obj [ ("op", Json.String "cancel"); ("id", Json.Int id) ]
+  | Results { id } ->
+    Json.Obj [ ("op", Json.String "results"); ("id", Json.Int id) ]
+  | Shutdown { drain } ->
+    Json.Obj [ ("op", Json.String "shutdown"); ("drain", Json.Bool drain) ]
+
+let request_of_json j =
+  let* f = start ~ctx:"request" j in
+  let* op = string_field f "op" in
+  match op with
+  | "submit" ->
+    let* job_json = take f "job" in
+    let* job = Job.of_json job_json in
+    let* priority = int_field f "priority" in
+    let* fault_kills = int_field f "fault_kills" in
+    let* () =
+      if fault_kills < 0 then
+        error "request" "fault_kills must be >= 0 (got %d)" fault_kills
+      else Ok ()
+    in
+    finish f (Submit { job; priority; fault_kills })
+  | "status" ->
+    let* id = int_opt_field f "id" in
+    finish f (Status { id })
+  | "cancel" ->
+    let* id = int_field f "id" in
+    finish f (Cancel { id })
+  | "results" ->
+    let* id = int_field f "id" in
+    finish f (Results { id })
+  | "shutdown" ->
+    let* drain = bool_field f "drain" in
+    finish f (Shutdown { drain })
+  | other ->
+    error "request"
+      "unknown op %S (expected submit, status, cancel, results or shutdown)"
+      other
+
+(* ---------- responses ---------- *)
+
+let status_to_json s =
+  Json.Obj
+    [
+      ("id", Json.Int s.id);
+      ("kind", Json.String s.kind);
+      ("state", Json.String (state_to_string s.state));
+      ("priority", Json.Int s.priority);
+      ("shards_done", Json.Int s.shards_done);
+      ("shards", Json.Int s.shards);
+      ("retries", Json.Int s.retries);
+      ("exit_code", int_opt_json s.exit_code);
+    ]
+
+let status_of_json j =
+  let* f = start ~ctx:"job status" j in
+  let* id = int_field f "id" in
+  let* kind = string_field f "kind" in
+  let* state_s = string_field f "state" in
+  let* state =
+    match state_of_string state_s with
+    | Some s -> Ok s
+    | None -> error "job status" "unknown state %S" state_s
+  in
+  let* priority = int_field f "priority" in
+  let* shards_done = int_field f "shards_done" in
+  let* shards = int_field f "shards" in
+  let* retries = int_field f "retries" in
+  let* exit_code = int_opt_field f "exit_code" in
+  finish f
+    { id; kind; state; priority; shards_done; shards; retries; exit_code }
+
+let response_to_json = function
+  | Ok_id id -> Json.Obj [ ("ok", Json.Bool true); ("id", Json.Int id) ]
+  | Ok_unit -> Json.Obj [ ("ok", Json.Bool true) ]
+  | Ok_status jobs ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("jobs", Json.List (List.map status_to_json jobs)) ]
+  | Err msg -> Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let response_of_json j =
+  let* f = start ~ctx:"response" j in
+  let* ok = bool_field f "ok" in
+  if not ok then
+    let* msg = string_field f "error" in
+    finish f (Err msg)
+  else
+    match f.remaining with
+    | [] -> finish f Ok_unit
+    | [ ("id", _) ] ->
+      let* id = int_field f "id" in
+      finish f (Ok_id id)
+    | [ ("jobs", _) ] -> (
+      let* jobs = take f "jobs" in
+      match jobs with
+      | Json.List js ->
+        let* statuses =
+          List.fold_left
+            (fun acc j ->
+              let* acc = acc in
+              let* s = status_of_json j in
+              Ok (s :: acc))
+            (Ok []) js
+        in
+        finish f (Ok_status (List.rev statuses))
+      | _ -> error "response" "field \"jobs\" must be a list")
+    | (k, _) :: _ -> error "response" "unknown field %S" k
+
+(* ---------- result-stream events ---------- *)
+
+let event_to_json ~id ev =
+  let base = ("id", Json.Int id) in
+  match ev with
+  | Shard_done { shard; shards } ->
+    Json.Obj
+      [
+        base;
+        ("ev", Json.String "shard_done");
+        ("shard", Json.Int shard);
+        ("shards", Json.Int shards);
+      ]
+  | Retry { shard; attempt } ->
+    Json.Obj
+      [
+        base;
+        ("ev", Json.String "retry");
+        ("shard", Json.Int shard);
+        ("attempt", Json.Int attempt);
+      ]
+  | Done (o : Run.outcome) ->
+    Json.Obj
+      [
+        base;
+        ("ev", Json.String "done");
+        ("exit_code", Json.Int o.exit_code);
+        ("text", Json.String o.text);
+        ("stats_json", string_opt_json o.stats_json);
+      ]
+  | Failed { error } ->
+    Json.Obj [ base; ("ev", Json.String "failed"); ("error", Json.String error) ]
+  | Canceled -> Json.Obj [ base; ("ev", Json.String "canceled") ]
+
+let event_of_json j =
+  let* f = start ~ctx:"event" j in
+  let* id = int_field f "id" in
+  let* ev = string_field f "ev" in
+  let* event =
+    match ev with
+    | "shard_done" ->
+      let* shard = int_field f "shard" in
+      let* shards = int_field f "shards" in
+      Ok (Shard_done { shard; shards })
+    | "retry" ->
+      let* shard = int_field f "shard" in
+      let* attempt = int_field f "attempt" in
+      Ok (Retry { shard; attempt })
+    | "done" ->
+      let* exit_code = int_field f "exit_code" in
+      let* text = string_field f "text" in
+      let* stats_json = string_opt_field f "stats_json" in
+      Ok (Done { Run.text; stats_json; exit_code })
+    | "failed" ->
+      let* error = string_field f "error" in
+      Ok (Failed { error })
+    | "canceled" -> Ok Canceled
+    | other -> error "event" "unknown ev %S" other
+  in
+  finish f (id, event)
+
+(* ---------- worker handshake ---------- *)
+
+(** What the daemon writes on a worker's stdin: one JSON line. The worker
+    answers with a [Marshal]ed [(Run.shard_result, string) result] on
+    stdout ([Error] = the evaluation itself failed: permanent, no retry)
+    and exits 0. [fault_kill] makes the worker SIGKILL itself instead of
+    answering — the injected crash the retry machinery is tested with. *)
+type worker_input = { job : Job.t; shard : Run.shard; fault_kill : bool }
+
+let shard_to_json = function
+  | Run.Whole -> Json.String "whole"
+  | Run.Slice { lo; hi } ->
+    Json.Obj [ ("lo", Json.Int lo); ("hi", Json.Int hi) ]
+
+let shard_of_json = function
+  | Json.String "whole" -> Ok Run.Whole
+  | Json.Obj _ as j ->
+    let* f = start ~ctx:"shard" j in
+    let* lo = int_field f "lo" in
+    let* hi = int_field f "hi" in
+    finish f (Run.Slice { lo; hi })
+  | _ -> Error "shard: expected \"whole\" or {\"lo\":..,\"hi\":..}"
+
+let worker_input_to_json w =
+  Json.Obj
+    [
+      ("job", Job.to_json w.job);
+      ("shard", shard_to_json w.shard);
+      ("fault_kill", Json.Bool w.fault_kill);
+    ]
+
+let worker_input_of_json j =
+  let* f = start ~ctx:"worker input" j in
+  let* job_json = take f "job" in
+  let* job = Job.of_json job_json in
+  let* shard_json = take f "shard" in
+  let* shard = shard_of_json shard_json in
+  let* fault_kill = bool_field f "fault_kill" in
+  finish f { job; shard; fault_kill }
+
+(* ---------- line framing ---------- *)
+
+let write_line oc j =
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  flush oc
+
+let parse_line ~ctx line decode =
+  match Json.of_string line with
+  | j -> decode j
+  | exception Json.Parse_error msg -> Error (ctx ^ ": invalid JSON: " ^ msg)

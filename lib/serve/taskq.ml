@@ -1,0 +1,66 @@
+(** A blocking priority queue for the daemon's shard tasks.
+
+    Higher [priority] pops first; within a priority, tasks pop in push
+    order (a monotone sequence number breaks ties), so scheduling is
+    deterministic given the submit order. [pop] blocks until an item is
+    available or the queue is closed. *)
+
+type 'a t = {
+  mutable items : (int * int * 'a) list;
+      (** (priority, seq, payload), kept sorted pop-first *)
+  mutable seq : int;
+  mutable closed : bool;
+  m : Mutex.t;
+  c : Condition.t;
+}
+
+let create () =
+  { items = []; seq = 0; closed = false; m = Mutex.create (); c = Condition.create () }
+
+let before (p1, s1, _) (p2, s2, _) = p1 > p2 || (p1 = p2 && s1 < s2)
+
+let rec insert item = function
+  | [] -> [ item ]
+  | hd :: tl as items ->
+    if before item hd then item :: items else hd :: insert item tl
+
+let push t ~priority x =
+  Mutex.lock t.m;
+  if not t.closed then begin
+    t.items <- insert (priority, t.seq, x) t.items;
+    t.seq <- t.seq + 1;
+    Condition.signal t.c
+  end;
+  Mutex.unlock t.m
+
+(** [None] once the queue is closed and drained. *)
+let pop t =
+  Mutex.lock t.m;
+  let rec wait () =
+    match t.items with
+    | (_, _, x) :: rest ->
+      t.items <- rest;
+      Some x
+    | [] ->
+      if t.closed then None
+      else begin
+        Condition.wait t.c t.m;
+        wait ()
+      end
+  in
+  let r = wait () in
+  Mutex.unlock t.m;
+  r
+
+(** Wake every blocked {!pop}; pending items still drain. *)
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.c;
+  Mutex.unlock t.m
+
+let length t =
+  Mutex.lock t.m;
+  let n = List.length t.items in
+  Mutex.unlock t.m;
+  n

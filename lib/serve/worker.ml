@@ -1,0 +1,41 @@
+(** The worker-process entrypoint ([dtsvliw_serve worker]).
+
+    The daemon forks/execs one worker per shard attempt. The handshake:
+    one {!Protocol.worker_input} JSON line on stdin; a [Marshal]ed
+    [(Run.shard_result, string) result] on stdout; exit 0. Anything else
+    — a signal, a nonzero exit, a truncated marshal — reads as a dead
+    worker and the daemon retries the shard.
+
+    [Error msg] means the evaluation {e itself} failed (a raised
+    exception): that is deterministic, so the daemon fails the job
+    permanently instead of burning retries. *)
+
+open Dts_job
+
+let main () =
+  (* Reserve the real stdout for the marshaled reply and point fd 1 at
+     stderr, so a stray [print_string] anywhere in the engines cannot
+     corrupt the result stream. *)
+  let reply_fd = Unix.dup Unix.stdout in
+  Unix.dup2 Unix.stderr Unix.stdout;
+  let exit_usage msg =
+    prerr_endline ("dtsvliw_serve worker: " ^ msg);
+    exit Cli.usage_error
+  in
+  match input_line stdin with
+  | exception End_of_file -> exit_usage "expected a worker-input line on stdin"
+  | line -> (
+    match
+      Protocol.parse_line ~ctx:"worker input" line Protocol.worker_input_of_json
+    with
+    | Error msg -> exit_usage msg
+    | Ok { job; shard; fault_kill } ->
+      if fault_kill then Unix.kill (Unix.getpid ()) Sys.sigkill;
+      let result =
+        try Ok (Run.eval_shard job shard)
+        with e -> Error (Printexc.to_string e)
+      in
+      let oc = Unix.out_channel_of_descr reply_fd in
+      Marshal.to_channel oc (result : (Run.shard_result, string) result) [];
+      flush oc;
+      exit 0)
