@@ -8,7 +8,10 @@
    worker-domain count for each figure's simulations (default 1 =
    sequential; 0 = one per host core); with BENCH_JOBS > 1 every figure is
    measured twice — sequentially (seq_wall_s) and on the pool (wall_s) —
-   and the rendered output of the two passes is asserted identical. Each
+   and the rendered output of the two passes is asserted identical. A
+   final "primary_only" row (schema v5) times the golden interpreter and
+   the primary processor standalone over all eight workloads, isolating
+   raw interpreter throughput from machine-level overheads. Each
    figure is timed, compared against the checked-in baseline's sequential
    wall-clock, and the machine-readable baseline — per-figure wall-clock,
    simulated instructions/sec, budget, jobs, git revision — is written to
@@ -150,7 +153,7 @@ let write_results ~started figures =
   in
   Printf.fprintf oc
     "{\n\
-    \  \"schema_version\": 4,\n\
+    \  \"schema_version\": 5,\n\
     \  \"generated_at\": \"%s\",\n\
     \  \"git_rev\": \"%s\",\n\
     \  \"budget\": %d,\n\
@@ -175,6 +178,47 @@ let figure_names =
     "table1"; "table2"; "fig5a"; "fig5"; "fig6"; "fig7"; "fig8"; "table3";
     "fig9"; "ablation"; "extensions";
   ]
+
+(* The "primary_only" row (schema v5): the golden interpreter and the
+   primary processor run standalone — no VLIW engine, no scheduler, no
+   co-simulation — over all eight workloads at the same budget. This is
+   the ceiling of the trace-production side: machine-level figures divide
+   their instr/s by scheduling and sync overheads, so tracking the bare
+   engines separately tells regressions in the interpreters apart from
+   regressions in the machine plumbing. *)
+let primary_only () =
+  let gc0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let instructions = ref 0 in
+  let runs = ref 0 in
+  List.iter
+    (fun w ->
+      let p = Dts_workloads.Workloads.program ~scale:1 w in
+      let st = Dts_asm.Program.boot p in
+      let g = Dts_golden.Golden.of_state st in
+      instructions := !instructions + Dts_golden.Golden.run ~max_instructions:budget g;
+      incr runs;
+      let st = Dts_asm.Program.boot p in
+      let icache = Dts_core.Config.make_cache Dts_core.Config.Perfect in
+      let dcache = Dts_core.Config.make_cache Dts_core.Config.Perfect in
+      let pr = Dts_primary.Primary.create ~icache ~dcache st in
+      instructions := !instructions + Dts_primary.Primary.run ~max_instructions:budget pr;
+      incr runs)
+    Dts_workloads.Workloads.all;
+  let wall = Unix.gettimeofday () -. t0 in
+  let gc1 = Gc.quick_stat () in
+  {
+    fr_name = "primary_only";
+    fr_wall_s = wall;
+    fr_seq_wall_s = wall;
+    fr_instructions = !instructions;
+    fr_runs = !runs;
+    fr_mean_ipc = 0.;
+    fr_cycles = 0;
+    fr_attributed = 0;
+    fr_minor_words = int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words);
+    fr_major_words = int_of_float (gc1.Gc.major_words -. gc0.Gc.major_words);
+  }
 
 let part1 () =
   Printf.printf
@@ -267,6 +311,7 @@ let part1 () =
       figure_names
   in
   (match pool with Some p -> Dts_parallel.Pool.shutdown p | None -> ());
+  let figures = figures @ [ primary_only () ] in
   write_results ~started figures;
   (* summary: the speedup column compares this run's sequential wall with
      the checked-in baseline's sequential wall (seq-to-seq; jobs never

@@ -7,11 +7,14 @@
    VLIW-side categories to the VLIW cycle count).
 
    `--bench` mode validates a BENCH_RESULTS.json baseline instead
-   (schema v4): top-level budget/jobs/host_cores, one entry per figure
+   (schema v5): top-level budget/jobs/host_cores, one entry per figure
    with both wall clocks (parallel wall and the sequential pass) and the
-   sequential pass's allocation counts (minor/major heap words), and
+   sequential pass's allocation counts (minor/major heap words),
    per-figure consistency (positive walls, attributed = cycles,
-   non-negative allocation).
+   non-negative allocation), and the mandatory "primary_only" row of
+   standalone golden/primary interpreter throughput. A baseline written
+   under a different schema version fails loudly — cross-schema baselines
+   are not comparable and must be regenerated, not hand-edited.
 
    `--bench BASELINE --alloc FRESH` additionally gates allocation: FRESH
    is a document written by `experiments --alloc-json` at the baseline's
@@ -81,7 +84,7 @@ let check_stats path =
       vliw_cycles;
   Printf.printf "stats_check: %s ok (%d cycles fully attributed)\n" path cycles
 
-let bench_schema_version = 4
+let bench_schema_version = 5
 let alloc_slack = 1.25
 
 (* Gate a fresh `experiments --alloc-json` document against the committed
@@ -141,7 +144,11 @@ let check_bench ?alloc path =
   and str_of = str_of ~path in
   let schema = int_of doc "schema_version" in
   if schema <> bench_schema_version then
-    fail "schema_version %d, expected %d" schema bench_schema_version;
+    fail
+      "%s: bench schema_version %d, expected %d — baselines are not \
+       comparable across schemas; regenerate the baseline with the current \
+       `bench` binary rather than editing the version field"
+      path schema bench_schema_version;
   ignore (str_of doc "generated_at");
   ignore (str_of doc "git_rev");
   if int_of doc "budget" <= 0 then fail "budget must be positive";
@@ -179,6 +186,11 @@ let check_bench ?alloc path =
     name
   in
   let names = List.map check_figure figures in
+  (* schema v5: the standalone-engine throughput row is mandatory — a
+     baseline without it cannot gate interpreter regressions *)
+  if not (List.mem "primary_only" names) then
+    fail "%s: schema v%d requires a \"primary_only\" figure row" path
+      bench_schema_version;
   let total = get doc "total" in
   ignore (float_of total "wall_s");
   ignore (float_of total "seq_wall_s");

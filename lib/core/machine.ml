@@ -15,7 +15,10 @@ module Trace = Dts_obs.Trace
 exception
   Test_mode_mismatch of { cycle : int; pc : int; detail : string }
 
-type mode = M_primary | M_vliw of { mutable block : block; mutable idx : int }
+type vstate = { mutable block : block; mutable idx : int }
+(** named, not inline: [run]'s burst loop passes the record to a helper *)
+
+type mode = M_primary | M_vliw of vstate
 
 (** Pluggable trace scheduler: the DTSVLIW Scheduler Unit by default, or the
     DIF greedy scheduler ({!Dts_dif}) for the Figure 9 baseline. *)
@@ -97,6 +100,11 @@ let block_words (b : block) =
 let register_block_words t (b : block) =
   List.iter
     (fun w ->
+      (* the SMC hook below is a watched hook: make sure every page hosting
+         an installed block's code words is under write watch (normally
+         already true — the words were fetched through the pre-decoded
+         store, which watches as it caches) *)
+      Dts_mem.Memory.watch t.st.mem w;
       match Hashtbl.find_opt t.code_index w with
       | Some r -> if not (List.mem b.tag_addr !r) then r := b.tag_addr :: !r
       | None -> Hashtbl.add t.code_index w (ref [ b.tag_addr ]))
@@ -181,8 +189,17 @@ let create ?(compile = true) ?(fastpath = true) ?scheduler ?tracer cfg program =
   Dts_mem.Blockcache.set_on_drop t.vcache (fun _key b -> on_block_drop t b);
   (* registered after the golden state was copied, so only this machine's
      memory notifies (the golden machine executes unmodified semantics on
-     its own copy) *)
-  Dts_mem.Memory.add_write_hook st.mem (fun addr -> on_code_write t addr);
+     its own copy). A watched hook: {!register_block_words} puts every page
+     hosting installed-block code under watch, so ordinary data stores pay
+     no hook dispatch at all. *)
+  Dts_mem.Memory.add_watched_write_hook st.mem (fun addr -> on_code_write t addr);
+  (* the two states (and their memories) are bit-identical right now:
+     anchor the register and dirty-page journals here so every subsequent
+     sync can compare only what was written since *)
+  Dts_isa.State.dirty_clear st;
+  Dts_isa.State.dirty_clear golden_st;
+  Dts_mem.Memory.dirty_clear st.mem;
+  Dts_mem.Memory.dirty_clear golden_st.mem;
   t
 
 (* Cycle attribution: every [t.cycles] increment below is paired with a
@@ -217,16 +234,22 @@ let state_diff a b =
     when the golden machine is a copy), and every register write since is
     journalled, so only the written registers need comparing. *)
 let rec sync_loop t (gst : Dts_isa.State.t) target fuel =
+  (* run to the next occurrence of [target] in one tight loop (the fast
+     path steps with a single exception handler for the whole run), then
+     apply the machine-side acceptance predicate at the stop point *)
+  let fuel = Dts_golden.Golden.advance_to_pc t.golden ~pc:target ~fuel in
   if
     gst.pc = target
     && gst.halted = t.st.halted
     && Dts_isa.State.dirty_regs_equal gst t.st
   then true
-  else if gst.halted then false
+  else if gst.halted || fuel <= 0 then false
   else begin
+    (* same PC, different registers: a loop brought the golden machine to
+       [target] early — step past this occurrence and keep searching *)
     (try Dts_golden.Golden.step t.golden
      with Dts_golden.Golden.Program_halted -> ());
-    if fuel <= 1 then false else sync_loop t gst target (fuel - 1)
+    sync_loop t gst target (fuel - 1)
   end
 
 let sync t =
@@ -239,18 +262,23 @@ let sync t =
   t.syncs <- t.syncs + 1;
   if t.cfg.memcmp_interval > 0 && t.syncs mod t.cfg.memcmp_interval = 0
   then begin
-    (* periodic full sweep: the whole register file — a safety net under
-       the journalled per-sync compare — and the memories *)
+    (* periodic sweep: the whole register file — a safety net under the
+       journalled per-sync compare — and the memories. The memory compare
+       is batched: both memories were equal at the last sweep (or at boot),
+       so only pages either side dirtied since then are compared, page by
+       page, and the dirty journals reset on success. *)
     if not (Dts_isa.State.regs_equal gst t.st) then
       mismatch t
         (Printf.sprintf "golden model diverged at pc=%#x:\n%s" target
            (state_diff t.st gst));
-    if not (Dts_mem.Memory.equal t.st.mem gst.mem) then
+    if not (Dts_mem.Memory.dirty_equal t.st.mem gst.mem) then
       mismatch t
         (Printf.sprintf "memory diverged near %s"
            (match Dts_mem.Memory.first_difference t.st.mem gst.mem with
            | Some a -> Printf.sprintf "%#x" a
-           | None -> "?"))
+           | None -> "?"));
+    Dts_mem.Memory.dirty_clear t.st.mem;
+    Dts_mem.Memory.dirty_clear gst.mem
   end;
   Dts_isa.State.dirty_clear gst;
   Dts_isa.State.dirty_clear t.st
@@ -466,23 +494,17 @@ let step_primary t =
           | `Full -> assert false)
       end)
 
+type machine = t
+(** alias: [open Dts_vliw.Engine] below shadows [t] *)
+
 open Dts_vliw.Engine
 
-let step t =
-  Trace.stamp t.obs.tracer t.cycles;
-  match t.mode with
-  | M_primary -> step_primary t
-  | M_vliw ({ block; _ } as v) -> (
-    let res = Dts_vliw.Engine.exec_li_fast t.engine block v.idx in
-    let penalty = t.engine.Dts_vliw.Engine.pen in
-    let c = 1 + penalty in
-    t.cycles <- t.cycles + c;
-    t.vliw_cycles <- t.vliw_cycles + c;
-    charge t Attr.Vliw_execute 1;
-    charge t Attr.Vliw_dcache_stall penalty;
-    match res with
-    | R_next -> v.idx <- v.idx + 1
-    | R_block_end { next_addr } -> (
+(* Handling of a long instruction's non-[R_next] outcome; [t.cycles] and
+   the execute/stall attribution for the li itself are already charged. *)
+let li_outcome (t : machine) (block : block) res =
+  match res with
+  | R_next -> assert false
+  | R_block_end { next_addr } -> (
       t.st.pc <- next_addr;
       let drain = Dts_vliw.Engine.commit_block t.engine in
       t.cycles <- t.cycles + drain;
@@ -500,7 +522,7 @@ let step t =
         charge t Attr.Next_li_penalty penalty;
         enter_vliw t b2
       | None -> to_primary t Attr.Switch_to_primary)
-    | R_redirect { target } -> (
+  | R_redirect { target } -> (
       t.st.pc <- target;
       let drain = Dts_vliw.Engine.commit_block t.engine in
       t.cycles <- t.cycles + drain;
@@ -518,7 +540,7 @@ let step t =
       match probe t target with
       | Some b2 -> enter_vliw t b2
       | None -> to_primary t Attr.Switch_to_primary)
-    | R_exn kind ->
+  | R_exn kind ->
       (* rollback already happened; PC is back at the block start and the
          golden machine is already there, so compare directly *)
       (if not (Dts_isa.State.regs_equal (Dts_golden.Golden.state t.golden) t.st)
@@ -530,17 +552,66 @@ let step t =
       | Dts_vliw.Engine.E_aliasing ->
         ignore (Dts_mem.Blockcache.invalidate t.vcache block.tag_addr)
       | E_trap _ -> t.exception_mode <- true);
-      to_primary t Attr.Recovery_switch)
+    to_primary t Attr.Recovery_switch
+
+let step t =
+  Trace.stamp t.obs.tracer t.cycles;
+  match t.mode with
+  | M_primary -> step_primary t
+  | M_vliw ({ block; _ } as v) -> (
+    let res = Dts_vliw.Engine.exec_li_fast t.engine block v.idx in
+    let penalty = t.engine.Dts_vliw.Engine.pen in
+    let c = 1 + penalty in
+    t.cycles <- t.cycles + c;
+    t.vliw_cycles <- t.vliw_cycles + c;
+    charge t Attr.Vliw_execute 1;
+    charge t Attr.Vliw_dcache_stall penalty;
+    match res with
+    | R_next -> v.idx <- v.idx + 1
+    | r -> li_outcome t block r)
+
+(* Execute long instructions back-to-back until the block ends (or the
+   instruction budget is hit), batching the cycle counters and attribution
+   into one update per burst. Equivalent to iterating [step] in [M_vliw]
+   mode: within a block, [R_next] outcomes touch neither the golden machine
+   nor the mode, so only the sequential instruction count needs a
+   per-iteration guard. Used by [run] when tracing is off — the tracer
+   wants a [Trace.stamp] before every long instruction. *)
+let rec vliw_burst (t : machine) (v : vstate) max_instructions cyc stall =
+  let block = v.block in
+  let res = Dts_vliw.Engine.exec_li_fast t.engine block v.idx in
+  let penalty = t.engine.Dts_vliw.Engine.pen in
+  let cyc = cyc + 1 + penalty in
+  let stall = stall + penalty in
+  match res with
+  | R_next ->
+    v.idx <- v.idx + 1;
+    if t.st.Dts_isa.State.instret < max_instructions then
+      vliw_burst t v max_instructions cyc stall
+    else burst_charge t cyc stall
+  | r ->
+    burst_charge t cyc stall;
+    li_outcome t block r
+
+and burst_charge (t : machine) cyc stall =
+  t.cycles <- t.cycles + cyc;
+  t.vliw_cycles <- t.vliw_cycles + cyc;
+  charge t Attr.Vliw_execute (cyc - stall);
+  charge t Attr.Vliw_dcache_stall stall
 
 (** Run until the program halts or the golden machine has retired at least
     [max_instructions]. Returns the sequential instruction count. *)
 let run ?(max_instructions = max_int) t =
+  let g = Dts_golden.Golden.state t.golden in
+  let traced = tracing t in
   while
     (not t.halted)
-    && (Dts_golden.Golden.state t.golden).instret < max_instructions
+    && g.instret < max_instructions
     && t.st.instret < max_instructions
   do
-    step t
+    match t.mode with
+    | M_vliw v when not traced -> vliw_burst t v max_instructions 0 0
+    | _ -> step t
   done;
   (* drain: finish with a final golden sync and a full memory comparison *)
   if t.halted then begin

@@ -12,9 +12,12 @@ exception Test_mode_mismatch of { cycle : int; pc : int; detail : string }
 (** The dynamically scheduled execution diverged from the sequential
     semantics — always a simulator bug, never expected. *)
 
-type mode =
-  | M_primary
-  | M_vliw of { mutable block : Dts_sched.Schedtypes.block; mutable idx : int }
+type vstate = {
+  mutable block : Dts_sched.Schedtypes.block;
+  mutable idx : int;
+}
+
+type mode = M_primary | M_vliw of vstate
 
 (** Pluggable trace scheduler: the DTSVLIW Scheduler Unit by default, or
     the DIF greedy scheduler ({!Dts_dif}) for the Figure 9 baseline. *)

@@ -73,13 +73,23 @@ let step t =
     retired; returns the number retired by this call. *)
 let run ?max_instructions t =
   let budget = match max_instructions with Some n -> n | None -> max_int in
-  let start = t.st.instret in
+  let st = t.st in
+  let start = st.instret in
+  let stop = if budget > max_int - start then max_int else start + budget in
+  (* halt test and path dispatch hoisted out of the loop, as in
+     {!advance_to_pc} *)
   (try
-     while t.st.instret - start < budget do
-       step t
-     done
+     if st.halted then raise Program_halted
+     else if t.fastpath then
+       while st.instret < stop do
+         step_fast t
+       done
+     else
+       while st.instret < stop do
+         step_ref t
+       done
    with Program_halted -> ());
-  t.st.instret - start
+  st.instret - start
 
 (** Step until the golden PC equals [pc] or the budget runs out — the test
     mode synchronisation primitive ("runs until its PC becomes equal to the
@@ -97,3 +107,29 @@ let run_until_pc ?(fuel = 10_000_000) t ~pc =
     end
   in
   go fuel
+
+(** Advance to the next occurrence of [pc] (a no-op if already there),
+    stopping early on halt or when [fuel] runs out; returns the unspent
+    fuel. The inner loop is the test-mode sync hot path: on the fast path
+    it runs {!step_fast} directly — one exception handler around the whole
+    run instead of a handler, a halt test and a dispatch per step. *)
+let advance_to_pc t ~pc ~fuel =
+  let st = t.st in
+  let fuel = ref fuel in
+  if t.fastpath then begin
+    try
+      while st.pc <> pc && not st.halted && !fuel > 0 do
+        step_fast t;
+        decr fuel
+      done
+    with Program_halted -> decr fuel
+  end
+  else begin
+    try
+      while st.pc <> pc && not st.halted && !fuel > 0 do
+        step_ref t;
+        decr fuel
+      done
+    with Program_halted -> decr fuel
+  end;
+  !fuel

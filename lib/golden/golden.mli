@@ -35,3 +35,9 @@ val run_until_pc : ?fuel:int -> t -> pc:int -> bool
     the machine halted elsewhere) — the test-mode synchronisation
     primitive. Halted {e at} [pc] counts as reached whether the halt
     predates the call or happens during it. *)
+
+val advance_to_pc : t -> pc:int -> fuel:int -> int
+(** Advance to the next occurrence of [pc] (a no-op if already there),
+    stopping on halt or fuel exhaustion; returns the unspent fuel. The
+    co-simulation sync loop's inner primitive: one exception handler per
+    run instead of per step. *)

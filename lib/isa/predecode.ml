@@ -9,13 +9,15 @@
     the recorded [Instr.t] without touching memory.
 
     Correctness under self-modifying code: the store registers a
-    {!Dts_mem.Memory.add_write_hook} observer at creation, and any memory
-    write overlapping a cached word invalidates exactly that word's entry
-    (an aligned 1/2/4-byte write never spans a word, so the word containing
-    the written byte is the only one affected). The next fetch of that
-    address re-reads memory and re-decodes. Writes to never-fetched
-    addresses (ordinary data stores) cost one hash probe of a table that
-    only contains code pages, and no invalidation.
+    {!Dts_mem.Memory.add_watched_write_hook} observer at creation and puts
+    every page it caches a decode for under {!Dts_mem.Memory.watch}; any
+    memory write overlapping a cached word then invalidates exactly that
+    word's entry (an aligned 1/2/4-byte write never spans a word, so the
+    word containing the written byte is the only one affected). The next
+    fetch of that address re-reads memory and re-decodes. Writes to pages
+    that never hosted a decode (ordinary data stores) skip hook dispatch
+    entirely — the watched-page test is part of the memory's own write
+    path.
 
     Decoded entries are held in per-page arrays (1024 instruction slots per
     4 KiB page) with a one-page lookaside, so the hot path — refetching the
@@ -80,7 +82,11 @@ let create mem =
       invalidations = 0;
     }
   in
-  Dts_mem.Memory.add_write_hook mem (invalidate t);
+  (* A watched hook, not a whole-memory one: {!decode_slot} marks each page
+     it caches a decode for, so SMC invalidation sees every store into a
+     code-hosting page while ordinary data stores skip hook dispatch
+     entirely. *)
+  Dts_mem.Memory.add_watched_write_hook mem (invalidate t);
   Dts_mem.Memory.add_reset_hook mem (fun () -> clear t);
   t
 
@@ -103,12 +109,14 @@ let page_at t idx =
     p
   end
 
-(* decode the word at [addr] and fill both forms of its slot *)
+(* decode the word at [addr] and fill both forms of its slot; the page now
+   hosts a cached decode, so put it under write watch *)
 let decode_slot t pg ~addr ~slot =
   let instr = Encode.fetch t.mem ~addr in
   pg.insns.(slot) <- Some instr;
   pg.uops.(slot) <- Uop.of_instr ~pc:addr instr;
   t.decodes <- t.decodes + 1;
+  Dts_mem.Memory.watch t.mem addr;
   instr
 
 (** Fetch and decode the instruction at [addr], reusing a previous decode of

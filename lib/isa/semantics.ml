@@ -83,6 +83,62 @@ let alu_result (op : Instr.alu) a b =
   | Sdiv -> if b = 0 then 0 else norm32 (a / b)
   | Udiv -> if b = 0 then 0 else norm32 (u32 a / u32 b)
 
+(* Int-coded twins of {!alu_result} / {!alu_icc} / {!eval_cond} operating
+   directly on the {!Encode.alu_code} / [cond_code] numbering cached in
+   packed uops: the fast path dispatches once on the code instead of
+   rebuilding the variant and matching it again. Order must match
+   {!Encode.alu_code}: Add Sub And Andn Or Orn Xor Xnor Sll Srl Sra Smul
+   Umul Sdiv Udiv. *)
+let[@inline] alu_result_code code a b =
+  match code with
+  | 0 -> norm32 (a + b)
+  | 1 -> norm32 (a - b)
+  | 2 -> a land b
+  | 3 -> a land lnot b
+  | 4 -> a lor b
+  | 5 -> norm32 (a lor lnot b)
+  | 6 -> a lxor b
+  | 7 -> norm32 (lnot (a lxor b))
+  | 8 -> norm32 (a lsl (b land 31))
+  | 9 -> norm32 (u32 a lsr (b land 31))
+  | 10 -> norm32 a asr (b land 31)
+  | 11 | 12 -> norm32 (a * b)
+  | 13 -> if b = 0 then 0 else norm32 (a / b)
+  | _ -> if b = 0 then 0 else norm32 (u32 a / u32 b)
+
+let[@inline] alu_icc_code code a b r =
+  let n = r < 0 and z = r = 0 in
+  if code = 0 then
+    let c = u32 a + u32 b > 0xFFFFFFFF in
+    let v = a >= 0 = (b >= 0) && r >= 0 <> (a >= 0) in
+    State.make_icc ~n ~z ~v ~c
+  else if code = 1 then
+    let c = u32 a < u32 b in
+    let v = a >= 0 <> (b >= 0) && r >= 0 <> (a >= 0) in
+    State.make_icc ~n ~z ~v ~c
+  else State.make_icc ~n ~z ~v:false ~c:false
+
+(* {!Encode.cond_code} order: A E NE L LE G GE LU LEU GU GEU Neg Pos. *)
+let[@inline] eval_cond_code icc code =
+  let n = State.icc_n icc
+  and z = State.icc_z icc
+  and v = State.icc_v icc
+  and c = State.icc_c icc in
+  match code with
+  | 0 -> true
+  | 1 -> z
+  | 2 -> not z
+  | 3 -> n <> v
+  | 4 -> z || n <> v
+  | 5 -> not (z || n <> v)
+  | 6 -> n = v
+  | 7 -> c
+  | 8 -> c || z
+  | 9 -> not (c || z)
+  | 10 -> not c
+  | 11 -> n
+  | _ -> not n
+
 let alu_icc (op : Instr.alu) a b r =
   let n = r < 0 and z = r = 0 in
   match op with
@@ -503,20 +559,26 @@ let exec_into_ov st (ov : read_ov_fast option) ~cwp ~pc u b =
   buf_reset ~pc b;
   let nwindows = st.State.nwindows in
   let opc = Uop.opcode u in
-  if opc <= Uop.u_last_alu then begin
-    let a = read_reg st ov ~nwindows ~cwp (Uop.rs1 u) and b2 = read_op2 st ov ~nwindows ~cwp u in
-    let code = Encode.alu_of_code (opc land 15) in
-    let r = alu_result code a b2 in
+  (* Dense two-level dispatch on the class-structured opcode space
+     ([Uop]): the outer match on [opc lsr 4] and the class-6 inner match on
+     [opc land 15] both compile to jump tables — no comparison chains on
+     the hot path. *)
+  match opc lsr 4 with
+  | 0 | 1 ->
+    (* alu; class 1 also sets the condition codes *)
+    let a = read_reg st ov ~nwindows ~cwp (Uop.rs1 u)
+    and b2 = read_op2 st ov ~nwindows ~cwp u in
+    let code = opc land 15 in
+    let r = alu_result_code code a b2 in
     let rd = Uop.rd u in
     if rd <> 0 then begin
       b.b_w0 <- State.phys_fast ~nwindows ~cwp rd;
       b.b_w0v <- r
     end;
-    if opc >= Uop.u_alu_cc then b.b_icc <- alu_icc code a b2 r
-  end
-  else if opc <= Uop.u_last_load && opc >= Uop.u_load then begin
+    if opc >= Uop.u_alu_cc then b.b_icc <- alu_icc_code code a b2 r
+  | 2 ->
     let addr = u32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
-    let idx = opc - Uop.u_load in
+    let idx = opc land 15 in
     let bytes = 1 lsl (idx lsr 1) in
     if addr land (bytes - 1) <> 0 then buf_trap b t_misaligned addr
     else begin
@@ -530,65 +592,47 @@ let exec_into_ov st (ov : read_ov_fast option) ~cwp ~pc u b =
       b.b_load_size <- bytes;
       b.b_load_addr <- addr
     end
-  end
-  else if opc <= Uop.u_last_store && opc >= Uop.u_store then begin
+  | 3 ->
     let addr = u32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
-    let bytes = 1 lsl (opc - Uop.u_store) in
+    let bytes = 1 lsl (opc land 15) in
     if addr land (bytes - 1) <> 0 then buf_trap b t_misaligned addr
     else begin
       b.b_store_size <- bytes;
       b.b_store_addr <- addr;
       b.b_store_val <- read_reg st ov ~nwindows ~cwp (Uop.rd u)
     end
-  end
-  else if opc <= Uop.u_last_branch && opc >= Uop.u_branch then begin
-    let taken =
-      opc = Uop.u_branch
-      || eval_cond (read_icc st ov) (Encode.cond_of_code (opc - Uop.u_branch))
-    in
+  | 4 ->
+    (* cond A has code 0 = always taken *)
+    let code = opc land 15 in
+    let taken = code = 0 || eval_cond_code (read_icc st ov) code in
     if taken then b.b_next_pc <- pc + Uop.imm u;
     b.b_taken <- taken
-  end
-  else
-    match opc with
-    | o when o = Uop.u_sethi ->
+  | 5 ->
+    let r =
+      fpu_result
+        (Encode.fpu_of_code (opc land 15))
+        (read_freg st ov (Uop.rs1 u))
+        (read_freg st ov (Uop.rs2 u))
+    in
+    b.b_fw <- Uop.rd u;
+    b.b_fwv <- r
+  | _ -> (
+    match opc land 15 with
+    | 0 ->
+      (* sethi *)
       let rd = Uop.rd u in
       if rd <> 0 then begin
         b.b_w0 <- State.phys_fast ~nwindows ~cwp rd;
         b.b_w0v <- Uop.imm u
       end
-    | o when o >= Uop.u_fpop && o <= Uop.u_last_fpop ->
-      let r =
-        fpu_result
-          (Encode.fpu_of_code (opc - Uop.u_fpop))
-          (read_freg st ov (Uop.rs1 u))
-          (read_freg st ov (Uop.rs2 u))
-      in
-      b.b_fw <- Uop.rd u;
-      b.b_fwv <- r
-    | o when o = Uop.u_fload ->
-      let addr = u32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
-      if addr land 3 <> 0 then buf_trap b t_misaligned addr
-      else begin
-        b.b_fw <- Uop.rd u;
-        b.b_fwv <- read_mem st ov ~addr ~size:4 ~signed:true;
-        b.b_load_size <- 4;
-        b.b_load_addr <- addr
-      end
-    | o when o = Uop.u_fstore ->
-      let addr = u32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
-      if addr land 3 <> 0 then buf_trap b t_misaligned addr
-      else begin
-        b.b_store_size <- 4;
-        b.b_store_addr <- addr;
-        b.b_store_val <- read_freg st ov (Uop.rd u)
-      end
-    | o when o = Uop.u_call ->
+    | 1 ->
+      (* call *)
       b.b_w0 <- State.phys_fast ~nwindows ~cwp 15;
       b.b_w0v <- pc;
       b.b_next_pc <- pc + Uop.imm u;
       b.b_taken <- true
-    | o when o = Uop.u_jmpl ->
+    | 2 ->
+      (* jmpl *)
       let target = u32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
       if target land 3 <> 0 then buf_trap b t_misaligned target
       else begin
@@ -600,7 +644,8 @@ let exec_into_ov st (ov : read_ov_fast option) ~cwp ~pc u b =
         b.b_next_pc <- target;
         b.b_taken <- true
       end
-    | o when o = Uop.u_save ->
+    | 3 ->
+      (* save *)
       if resident_depth st >= nwindows - 2 then buf_trap b t_overflow 0
       else begin
         let v = norm32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
@@ -614,7 +659,8 @@ let exec_into_ov st (ov : read_ov_fast option) ~cwp ~pc u b =
           b.b_w0v <- v
         end
       end
-    | o when o = Uop.u_restore ->
+    | 4 ->
+      (* restore *)
       if resident_depth st = 0 then buf_trap b t_underflow 0
       else begin
         let v = norm32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
@@ -628,9 +674,28 @@ let exec_into_ov st (ov : read_ov_fast option) ~cwp ~pc u b =
           b.b_w0v <- v
         end
       end
-    | o when o = Uop.u_trap -> buf_trap b t_software (Uop.imm u)
-    | o when o = Uop.u_halt -> b.b_next_pc <- pc
-    | _ -> (* Nop *) ()
+    | 5 ->
+      (* fload *)
+      let addr = u32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
+      if addr land 3 <> 0 then buf_trap b t_misaligned addr
+      else begin
+        b.b_fw <- Uop.rd u;
+        b.b_fwv <- read_mem st ov ~addr ~size:4 ~signed:true;
+        b.b_load_size <- 4;
+        b.b_load_addr <- addr
+      end
+    | 6 ->
+      (* fstore *)
+      let addr = u32 (read_reg st ov ~nwindows ~cwp (Uop.rs1 u) + read_op2 st ov ~nwindows ~cwp u) in
+      if addr land 3 <> 0 then buf_trap b t_misaligned addr
+      else begin
+        b.b_store_size <- 4;
+        b.b_store_addr <- addr;
+        b.b_store_val <- read_freg st ov (Uop.rd u)
+      end
+    | 7 -> buf_trap b t_software (Uop.imm u)
+    | 8 -> (* halt *) b.b_next_pc <- pc
+    | _ -> (* Nop *) ())
 
 (** {!exec_into_ov} with no overrides — the sequential engines' entry. *)
 let exec_into st ~cwp ~pc u b = exec_into_ov st None ~cwp ~pc u b

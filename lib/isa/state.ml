@@ -32,7 +32,11 @@ type t = {
      wrote since the previous successful compare instead of walking the
      whole windowed register file. The journal is conservative: an
      overflow flips [dirty_all] and the next comparison falls back to the
-     full scan. *)
+     full scan. A state starts with [dirty_all] set — journaling off —
+     because standalone engines (golden runs, Primary-only benchmarks)
+     never compare and should not pay the per-write journal append; the
+     co-simulation turns journaling on by calling {!dirty_clear} on both
+     states at the moment it establishes their equality. *)
   dirty_idx : int array;
   mutable n_dirty : int;
   mutable dirty_all : bool;
@@ -59,7 +63,7 @@ let create ?(nwindows = 32) ?mem () =
     traps = 0;
     dirty_idx = Array.make 1024 0;
     n_dirty = 0;
-    dirty_all = false;
+    dirty_all = true;
   }
 
 let n_phys_iregs st = Array.length st.iregs
@@ -102,12 +106,14 @@ let get_reg st ~cwp r =
    {!set_freg}, so the journal is complete; on overflow the state just
    degrades to full-scan comparison. *)
 let[@inline] mark_dirty st i =
-  let n = st.n_dirty in
-  if n < Array.length st.dirty_idx then begin
-    Array.unsafe_set st.dirty_idx n i;
-    st.n_dirty <- n + 1
+  if not st.dirty_all then begin
+    let n = st.n_dirty in
+    if n < Array.length st.dirty_idx then begin
+      Array.unsafe_set st.dirty_idx n i;
+      st.n_dirty <- n + 1
+    end
+    else st.dirty_all <- true
   end
-  else st.dirty_all <- true
 
 let get_phys st p = if p = 0 then 0 else st.iregs.(p)
 

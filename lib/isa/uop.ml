@@ -23,30 +23,37 @@ let rd_shift = 42
 let imm_flag = 1 lsl 47
 let opc_shift = 48
 
-(* Flat opcode space. ALU codes keep {!Encode.alu_code} order in their low
-   four bits, so [opc land 15] recovers the operation and the cc variant is
-   a range test; loads/stores/branches/fpops are likewise base + code. *)
-let u_alu = 0 (* 0..14: alu without cc *)
-let u_alu_cc = 16 (* 16..30: alu with cc, same low-bit op code *)
-let u_last_alu = 30
-let u_sethi = 31
-let u_load = 32 (* + lsize_code: Lsb Lub Lsh Luh Lw *)
-let u_last_load = 36
-let u_store = 38 (* + ssize_code: Sb Sh Sw *)
-let u_last_store = 40
-let u_branch = 42 (* + cond_code; cond A is [u_branch] itself *)
-let u_last_branch = 54
-let u_call = 56
-let u_jmpl = 57
-let u_save = 58
-let u_restore = 59
-let u_fpop = 60 (* + fpu_code: Fadd Fsub Fmul Fdiv Fitos Fstoi *)
-let u_last_fpop = 65
-let u_fload = 66
-let u_fstore = 67
-let u_trap = 68
-let u_halt = 69
-let u_nop = 70
+(* Flat opcode space, class-structured: [opc lsr 4] is the instruction
+   class and [opc land 15] the per-class operation code, kept in
+   {!Encode.alu_code} / [lsize_code] / [ssize_code] / [cond_code] /
+   [fpu_code] order. {!Semantics.exec_into} dispatches on the class with a
+   dense 7-way match (a jump table), then decodes the low four bits
+   arithmetically — no secondary branch chains. The cc variant of an ALU op
+   is a class bit: class 0 is alu, class 1 is alu-with-cc, same low-bit op
+   code. *)
+let u_alu = 0x00 (* 0x00..0x0E: alu without cc *)
+let u_alu_cc = 0x10 (* 0x10..0x1E: alu with cc, same low-bit op code *)
+let u_last_alu = 0x1E
+let u_load = 0x20 (* + lsize_code: Lsb Lub Lsh Luh Lw *)
+let u_last_load = 0x24
+let u_store = 0x30 (* + ssize_code: Sb Sh Sw *)
+let u_last_store = 0x32
+let u_branch = 0x40 (* + cond_code; cond A is [u_branch] itself *)
+let u_last_branch = 0x4C
+let u_fpop = 0x50 (* + fpu_code: Fadd Fsub Fmul Fdiv Fitos Fstoi *)
+let u_last_fpop = 0x55
+
+(* Class 6: singleton operations, distinguished by the low four bits. *)
+let u_sethi = 0x60
+let u_call = 0x61
+let u_jmpl = 0x62
+let u_save = 0x63
+let u_restore = 0x64
+let u_fload = 0x65
+let u_fstore = 0x66
+let u_trap = 0x67
+let u_halt = 0x68
+let u_nop = 0x69
 
 (** Sentinel for an empty pre-decode slot; no packed op is ever negative. *)
 let none = -1
@@ -112,11 +119,12 @@ let of_instr ~pc (instr : Instr.t) =
     {!Instr.latency}. *)
 let latency (lat : Instr.latencies) u =
   let opc = opcode u in
-  if (opc >= u_load && opc <= u_last_load) || opc = u_fload then lat.l_load
-  else if opc >= u_fpop && opc <= u_last_fpop then lat.l_fp
-  else
+  match opc lsr 4 with
+  | 0 | 1 ->
+    (* Smul=11 Umul=12 Sdiv=13 Udiv=14 in Encode.alu_code order *)
     let code = opc land 15 in
-    if opc <= u_last_alu && code >= 11 then
-      (* Smul=11 Umul=12 Sdiv=13 Udiv=14 in Encode.alu_code order *)
-      if code <= 12 then lat.l_mul else lat.l_div
-    else 1
+    if code < 11 then 1 else if code <= 12 then lat.l_mul else lat.l_div
+  | 2 -> lat.l_load
+  | 5 -> lat.l_fp
+  | 6 -> if opc = u_fload then lat.l_load else 1
+  | _ -> 1

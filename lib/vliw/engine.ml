@@ -191,9 +191,8 @@ let dsl_read_fast t ~addr ~size ~signed =
       let v = ref 0 in
       for b = addr to addr + size - 1 do
         let byte =
-          if Hashtbl.mem t.dsl_bytes b then
-            Dts_mem.Memory.read t.dsl_mem ~addr:b ~size:1 ~signed:false
-          else Dts_mem.Memory.read t.st.mem ~addr:b ~size:1 ~signed:false
+          if Hashtbl.mem t.dsl_bytes b then Dts_mem.Memory.read_u8 t.dsl_mem b
+          else Dts_mem.Memory.read_u8 t.st.mem b
         in
         v := (!v lsl 8) lor byte
       done;
@@ -354,9 +353,16 @@ let push_dsl t addr size order =
     Hashtbl.replace t.dsl_bytes b ()
   done
 
+(* The data-store-list buffer is recycled, not reallocated: zero exactly
+   the (addr, size) entries recorded this block — typically a few words —
+   so the reset cost tracks the block's store count, not the buffer's page
+   footprint. *)
 let clear_dsl t =
   if t.dsl_n > 0 then begin
-    t.dsl_mem <- Dts_mem.Memory.create ();
+    for i = 0 to t.dsl_n - 1 do
+      Dts_mem.Memory.write t.dsl_mem ~addr:t.dsl_addr.(i) ~size:t.dsl_size.(i)
+        0
+    done;
     Hashtbl.reset t.dsl_bytes;
     t.dsl_n <- 0
   end
@@ -558,6 +564,19 @@ let log_store t ~order ~cross idx a sz =
 (* Plan executor                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Evaluate one planned op into its outcome buffer. Top-level, not a local
+   helper of [exec_li_plan]: without flambda a local function capturing the
+   loop state is a closure allocated on every long instruction. *)
+let eval_op t st bufs dsl_empty (o : Plan.xop) i =
+  if o.Plan.x_ovfree || (dsl_empty && o.Plan.subs == Plan.no_subs) then
+    Dts_isa.Semantics.exec_into_ov st None ~cwp:o.Plan.x_cwp
+      ~pc:o.Plan.op.addr o.Plan.x_uop (Array.unsafe_get bufs i)
+  else begin
+    t.cur_subs <- o.Plan.subs;
+    Dts_isa.Semantics.exec_into_ov st t.plan_ov ~cwp:o.Plan.x_cwp
+      ~pc:o.Plan.op.addr o.Plan.x_uop (Array.unsafe_get bufs i)
+  end
+
 let exec_li_plan t (block : block) (v : Plan.variant) idx :
     li_result =
   let st = t.st in
@@ -566,18 +585,19 @@ let exec_li_plan t (block : block) (v : Plan.variant) idx :
   let tags = pli.Plan.p_tags in
   let n = Array.length ops in
   let bufs = t.bufs in
-  (* phase 1: compute outcomes for every op, reading pre-li state *)
-  for i = 0 to n - 1 do
-    match Array.unsafe_get ops i with
-    | Plan.P_op o ->
-      t.cur_subs <- o.subs;
-      Dts_isa.Semantics.exec_into_ov st t.plan_ov ~cwp:o.x_cwp ~pc:o.op.addr
-        o.x_uop bufs.(i)
-    | Plan.P_copy _ -> ()
-  done;
-  (* phase 2: find the first mispredicted branch; ops with tag greater than
-     its tag do not commit. Only the precomputed conditional-op indices are
-     visited. *)
+  (* Every op of the li reads pre-li state, so execution order within the
+     li is free. Phases 1 and 2 exploit that: the conditional-control ops
+     (the precomputed [p_cond] indices) execute {e first} and resolve the
+     earliest mispredicted branch; the remaining ops then execute only if
+     they commit (tag at most the failing branch's) — squashed ops are
+     never evaluated at all. Ops with no substituted source also skip the
+     override closures entirely: a non-memory op reads architectural state
+     only, and a memory read needs the overrides only while the data store
+     list holds buffered bytes. *)
+  let dsl_empty = t.dsl_n = 0 in
+  (* phases 1+2 over the conditional ops: execute and find the first
+     (lowest-tag) mispredicted branch; ops with tag greater than its tag
+     do not commit *)
   let fail_tag = ref max_int in
   let fail_target = ref 0 in
   let cond = pli.Plan.p_cond in
@@ -585,6 +605,7 @@ let exec_li_plan t (block : block) (v : Plan.variant) idx :
     let i = Array.unsafe_get cond k in
     match Array.unsafe_get ops i with
     | Plan.P_op o ->
+      eval_op t st bufs dsl_empty o i;
       let b = bufs.(i) in
       if b.Dts_isa.Semantics.b_next_pc <> o.op.obs_next_pc && tags.(i) < !fail_tag
       then begin
@@ -594,6 +615,13 @@ let exec_li_plan t (block : block) (v : Plan.variant) idx :
     | Plan.P_copy _ -> ()
   done;
   let ft = !fail_tag in
+  (* phase 1 over everything else, committing ops only *)
+  for i = 0 to n - 1 do
+    if Array.unsafe_get tags i <= ft then
+      match Array.unsafe_get ops i with
+      | Plan.P_op o -> if not o.is_cond then eval_op t st bufs dsl_empty o i
+      | Plan.P_copy _ -> ()
+  done;
   (* phase 3: gather effects of valid ops. Effects are pushed in the exact
      order {!Dts_isa.Semantics.exec}'s [writes] list applies them (icc
      before the destination register for flag-setting ALU ops, destination

@@ -55,27 +55,36 @@ let no_subs =
     first-match semantics are preserved), and the per-op facts the
     interpreter recomputes each cycle — conditional-control?, trap
     deferrable?, store redirected?, execution cwp — are baked in. *)
+type xop = {
+  op : sop;
+  x_cwp : int;  (** cwp this op executes under (shifted) *)
+  x_uop : int;  (** packed decode of [op.instr] at [op.addr], for the
+                    allocation-free {!Dts_isa.Semantics.exec_into_ov} *)
+  subs : subs;  (** source-substitution context, shared when empty *)
+  x_ovfree : bool;
+      (** no substituted source and no memory read: the op reads
+          architectural state only, so execution can skip the override
+          closures entirely (the engine also skips them for
+          substitution-free memory reads while the data store list is
+          empty) *)
+  red_phys_pos : int array;  (** redirected outputs, by kind *)
+  red_phys_rr : rref array;
+  red_freg_pos : int array;
+  red_freg_rr : rref array;
+  red_icc : rref option;
+  red_win : bool;  (** a window-pointer output is redirected *)
+  red_mem : rref option;  (** head-of-redirect memory output (§3.8) *)
+  red_all : rref array;  (** every redirect target, for trap deferral *)
+  deferrable : bool;
+      (** every architectural output renamed — a trap defers into the
+          renaming registers instead of ending the block (§3.11) *)
+  is_cond : bool;  (** conditional control, re-evaluated against
+                       [obs_next_pc] each execution (§3.5) *)
+}
+
 type pop =
-  | P_op of {
-      op : sop;
-      x_cwp : int;  (** cwp this op executes under (shifted) *)
-      x_uop : int;  (** packed decode of [op.instr] at [op.addr], for the
-                        allocation-free {!Dts_isa.Semantics.exec_into_ov} *)
-      subs : subs;  (** source-substitution context, shared when empty *)
-      red_phys_pos : int array;  (** redirected outputs, by kind *)
-      red_phys_rr : rref array;
-      red_freg_pos : int array;
-      red_freg_rr : rref array;
-      red_icc : rref option;
-      red_win : bool;  (** a window-pointer output is redirected *)
-      red_mem : rref option;  (** head-of-redirect memory output (§3.8) *)
-      red_all : rref array;  (** every redirect target, for trap deferral *)
-      deferrable : bool;
-          (** every architectural output renamed — a trap defers into the
-              renaming registers instead of ending the block (§3.11) *)
-      is_cond : bool;  (** conditional control, re-evaluated against
-                           [obs_next_pc] each execution (§3.5) *)
-    }
+  | P_op of xop  (** named, not inline: the executor passes the op record
+                     to its evaluation helper *)
   | P_copy of { moves : pmove array; c_order : int }
 
 (** One long instruction: ops in occupancy order with their branch tags.
@@ -160,12 +169,18 @@ let build_op ~nwindows ~wdelta (s : sop) =
     s.redirect <> []
     && List.for_all (fun w -> List.mem_assoc w s.redirect) s.arch_writes
   in
+  let x_uop = Dts_isa.Uop.of_instr ~pc:s.addr s.instr in
+  let reads_mem =
+    let opc = Dts_isa.Uop.opcode x_uop in
+    opc lsr 4 = 2 || opc = Dts_isa.Uop.u_fload
+  in
   P_op
     {
       op = s;
       x_cwp = (s.cwp + wdelta) mod nwindows;
-      x_uop = Dts_isa.Uop.of_instr ~pc:s.addr s.instr;
+      x_uop;
       subs;
+      x_ovfree = subs == no_subs && not reads_mem;
       red_phys_pos;
       red_phys_rr;
       red_freg_pos;

@@ -548,5 +548,21 @@ let find name =
   | Some w -> w
   | None -> invalid_arg ("Workloads.find: unknown workload " ^ name)
 
-(** Compile a workload at a given scale. *)
-let program ?(scale = 1) w = Dts_tinyc.Tinyc.compile (w.source scale)
+(* Compiled images keyed by (workload, scale). [Program.t] is immutable
+   (booting loads it into a fresh state), so one image can serve every
+   simulation; without the memo a figure sweeping N configurations over the
+   workload set pays the tinyc compile + assembly (milliseconds) N times
+   per workload, which at small per-run budgets rivals the simulation
+   itself. Guarded by a mutex: experiment pools run jobs on domains. *)
+let memo : (string * int, Dts_asm.Program.t) Hashtbl.t = Hashtbl.create 16
+let memo_lock = Mutex.create ()
+
+(** Compile a workload at a given scale (memoized). *)
+let program ?(scale = 1) w =
+  Mutex.protect memo_lock (fun () ->
+      match Hashtbl.find_opt memo (w.name, scale) with
+      | Some p -> p
+      | None ->
+        let p = Dts_tinyc.Tinyc.compile (w.source scale) in
+        Hashtbl.add memo (w.name, scale) p;
+        p)

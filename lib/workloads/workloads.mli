@@ -20,4 +20,7 @@ val find : string -> t
 
 val program : ?scale:int -> t -> Dts_asm.Program.t
 (** Compile a workload; [scale] multiplies the outer iteration counts
-    (default 1 ≈ 50–200k sequential instructions). *)
+    (default 1 ≈ 50–200k sequential instructions). Memoized per
+    (workload, scale): the returned image is shared — callers must treat
+    it as read-only (booting a state copies it into fresh memory, so
+    ordinary simulation never mutates it). *)

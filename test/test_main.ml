@@ -2,6 +2,7 @@ let () =
   Alcotest.run "dtsvliw"
     [
       ("mem", Test_mem.suite);
+      ("memdiff", Test_memdiff.suite);
       ("isa", Test_isa.suite);
       ("asm", Test_asm.suite);
       ("golden", Test_golden.suite);

@@ -51,6 +51,60 @@ let test_copy_and_equal () =
     "first difference" (Some 0x507)
     (Memory.first_difference m m2)
 
+(* ---- one-entry lookaside vs copy/clear ----
+
+   Page resolution caches the last (index, page) pair. [copy] and [clear]
+   must never let that cache alias across memories or resurrect stale
+   pages: a copy starts with a cold lookaside, and the source's warm entry
+   must keep pointing at the source's own page after the fork. *)
+
+let test_copy_lookaside_cold () =
+  let m = Memory.create () in
+  (* warm the source's lookaside on page 1 *)
+  Memory.write m ~addr:0x1000 ~size:4 0xAB;
+  let c = Memory.copy m in
+  check_bool "fork point equal" true (Memory.equal m c);
+  (* write through the copy into the page the source has cached *)
+  Memory.write c ~addr:0x1004 ~size:4 77;
+  check_int "source unchanged by copy's write" 0
+    (Memory.read m ~addr:0x1004 ~size:4 ~signed:false);
+  (* the source's warm lookaside still resolves to its own page *)
+  Memory.write m ~addr:0x1008 ~size:4 88;
+  check_int "copy unchanged by source's write" 0
+    (Memory.read c ~addr:0x1008 ~size:4 ~signed:false);
+  check_int "copy kept its own write" 77
+    (Memory.read c ~addr:0x1004 ~size:4 ~signed:false);
+  check_int "source kept the pre-fork write" 0xAB
+    (Memory.read c ~addr:0x1000 ~size:4 ~signed:false)
+
+let test_copy_fires_reset_hooks () =
+  (* derived caches on the source (pre-decode, plans) must be told to
+     flush at the fork point — [copy] fires the source's reset hooks *)
+  let m = Memory.create () in
+  let fired = ref 0 in
+  Memory.add_reset_hook m (fun () -> incr fired);
+  ignore (Memory.copy m);
+  check_int "reset hook fired once per copy" 1 !fired;
+  ignore (Memory.copy m);
+  check_int "and again on the next copy" 2 !fired
+
+let test_clear_cycles () =
+  let m = Memory.create () in
+  Memory.write m ~addr:0x3000 ~size:4 5;
+  Memory.write m ~addr:0xFFFFFFFC ~size:4 9;
+  Memory.clear m;
+  check_int "cleared low" 0 (Memory.read m ~addr:0x3000 ~size:4 ~signed:false);
+  check_int "cleared high" 0 (Memory.read_u32 m 0xFFFFFFFC);
+  (* the lookaside survives the sweep and still resolves correctly *)
+  Memory.write m ~addr:0x3000 ~size:4 6;
+  check_int "write after clear" 6
+    (Memory.read m ~addr:0x3000 ~size:4 ~signed:false);
+  Memory.clear m;
+  check_int "second cycle cleared" 0
+    (Memory.read m ~addr:0x3000 ~size:4 ~signed:false);
+  check_bool "clear leaves memory equal to fresh" true
+    (Memory.equal m (Memory.create ()))
+
 let test_zero_page_equal () =
   let m = Memory.create () in
   let m2 = Memory.create () in
@@ -314,6 +368,11 @@ let suite =
       test_cache_victim_true_lru;
     Alcotest.test_case "negative word" `Quick test_negative_word;
     Alcotest.test_case "copy and equal" `Quick test_copy_and_equal;
+    Alcotest.test_case "copy: lookaside stays cold" `Quick
+      test_copy_lookaside_cold;
+    Alcotest.test_case "copy fires reset hooks" `Quick
+      test_copy_fires_reset_hooks;
+    Alcotest.test_case "clear cycles" `Quick test_clear_cycles;
     Alcotest.test_case "zero page equal" `Quick test_zero_page_equal;
     Alcotest.test_case "load bytes" `Quick test_load_bytes;
     QCheck_alcotest.to_alcotest (prop_rw 200);
