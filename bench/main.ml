@@ -176,7 +176,7 @@ let write_results ~started figures =
 let figure_names =
   [
     "table1"; "table2"; "fig5a"; "fig5"; "fig6"; "fig7"; "fig8"; "table3";
-    "fig9"; "ablation"; "extensions";
+    "fig9"; "ablation"; "extensions"; "optgap";
   ]
 
 (* The "primary_only" row (schema v5): the golden interpreter and the

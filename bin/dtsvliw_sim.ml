@@ -31,26 +31,27 @@ let write_stats_json path outcome =
     Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc doc)
   | _ -> ()
 
-let run_single ~job ~trace_file ~trace_limit ~stats_json =
+let run_single ~job ~optcheck ~trace_file ~trace_limit ~stats_json =
   let trace_oc = Option.map open_out trace_file in
   let tracer =
     match trace_oc with
     | None -> Dts_obs.Trace.null
     | Some oc -> Dts_obs.Trace.to_channel ~limit:trace_limit oc
   in
-  let outcome = Run.run ~tracer job in
+  let outcome = Run.run ~tracer ~optcheck job in
   print_string outcome.Run.text;
   write_stats_json stats_json outcome;
   Dts_obs.Trace.close tracer;
-  Option.iter close_out trace_oc
+  Option.iter close_out trace_oc;
+  if outcome.Run.exit_code <> 0 then exit outcome.Run.exit_code
 
 (* Several workloads: simulate concurrently on the pool, print the reports
    sequentially in the order the workloads were given. *)
-let run_many ~job_of ~workloads ~jobs ~backend =
+let run_many ~job_of ~optcheck ~workloads ~jobs ~backend =
   let outcomes =
     Dts_parallel.Pool.with_pool ~backend ~jobs (fun pool ->
         Dts_parallel.Pool.map pool
-          (fun name -> Run.run (job_of (Job.Builtin name)))
+          (fun name -> Run.run ~optcheck (job_of (Job.Builtin name)))
           workloads)
   in
   List.iteri
@@ -58,11 +59,13 @@ let run_many ~job_of ~workloads ~jobs ~backend =
       if i > 0 then print_newline ();
       Printf.printf "=== %s ===\n" name;
       print_string outcome.Run.text)
-    (List.combine workloads outcomes)
+    (List.combine workloads outcomes);
+  if List.exists (fun o -> o.Run.exit_code <> 0) outcomes then exit 1
 
 let run workloads file scale budget jobs backend feasible dif no_compile
     no_fastpath width height vcache_kb vcache_assoc no_renaming store_list
-    predict_next multicycle show_blocks trace_file trace_limit stats_json =
+    predict_next multicycle show_blocks optcheck trace_file trace_limit
+    stats_json =
   Cli.check_positive ~what:"--budget" budget;
   Cli.check_positive ~what:"--scale" scale;
   Cli.check_non_negative ~what:"--jobs" jobs;
@@ -90,13 +93,17 @@ let run workloads file scale budget jobs backend feasible dif no_compile
     Cli.check (Job.validate job);
     job
   in
+  if optcheck && dif then begin
+    prerr_endline "--optcheck applies to DTSVLIW machines only (not --dif)";
+    exit 1
+  end;
   match (workloads, file) with
   | [], None | [ _ ], Some _ -> usage_one_source ()
   | [ w ], None ->
-    run_single ~job:(job_of (Job.Builtin w)) ~trace_file ~trace_limit
+    run_single ~job:(job_of (Job.Builtin w)) ~optcheck ~trace_file ~trace_limit
       ~stats_json
   | [], Some path ->
-    run_single ~job:(job_of (Job.File path)) ~trace_file ~trace_limit
+    run_single ~job:(job_of (Job.File path)) ~optcheck ~trace_file ~trace_limit
       ~stats_json
   | _ :: _ :: _, Some _ -> usage_one_source ()
   | (_ :: _ :: _ as workloads), None ->
@@ -106,7 +113,7 @@ let run workloads file scale budget jobs backend feasible dif no_compile
          --workload only";
       exit 1
     end;
-    run_many ~job_of ~workloads
+    run_many ~job_of ~optcheck ~workloads
       ~jobs:(Dts_parallel.Pool.resolve_jobs jobs)
       ~backend
 
@@ -138,6 +145,7 @@ let storelist_arg = Arg.(value & flag & info [ "store-list" ] ~doc:"Use the data
 let predict_arg = Arg.(value & flag & info [ "predict-next" ] ~doc:"Enable next-long-instruction prediction (the paper's section-5 future work)")
 let multicycle_arg = Arg.(value & flag & info [ "multicycle" ] ~doc:"Multicycle functional units: ld 2, mul 3, div 8, fp 3")
 let blocks_arg = Arg.(value & opt int 0 & info [ "dump-blocks" ] ~doc:"Print up to N scheduled blocks from the VLIW cache after the run")
+let optcheck_arg = Arg.(value & flag & info [ "optcheck" ] ~doc:"Check every block the Scheduler Unit finishes against the branch-and-bound optimality oracle: the block must pass the oracle's independent legality invariants and its greedy schedule must never beat the certified optimal lower bound. Appends a summary line; violations exit 1")
 let trace_arg = Arg.(value & opt (some string) None & info [ "trace" ] ~doc:"Write the structural event trace (engine switches, block flush/install/evict/fetch, aliasing violations, checkpoint recoveries) as JSONL to $(docv)" ~docv:"FILE")
 let trace_limit_arg = Arg.(value & opt int Dts_obs.Trace.default_limit & info [ "trace-limit" ] ~doc:"Stop recording trace events after N lines (the dropped count is reported in the stats)")
 let stats_json_arg = Arg.(value & opt (some string) None & info [ "stats-json" ] ~doc:"Write the consolidated run statistics (including the cycle attribution) as JSON to $(docv)" ~docv:"FILE")
@@ -153,6 +161,6 @@ let cmd =
       $ Cli.backend_arg $ feasible_arg $ dif_arg $ nocompile_arg
       $ nofastpath_arg $ width_arg $ height_arg $ vkb_arg $ vassoc_arg
       $ noren_arg $ storelist_arg $ predict_arg $ multicycle_arg $ blocks_arg
-      $ trace_arg $ trace_limit_arg $ stats_json_arg)
+      $ optcheck_arg $ trace_arg $ trace_limit_arg $ stats_json_arg)
 
 let () = exit (Cmd.eval cmd)

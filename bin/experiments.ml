@@ -17,7 +17,13 @@
    BASELINE --alloc FILE` gates those counts against the committed bench
    baseline, so the sequential fast path's allocation win cannot silently
    erode. Allocation accounting is per-domain in OCaml, so this is only
-   meaningful sequentially; combining it with --jobs > 1 is an error. *)
+   meaningful sequentially; combining it with --jobs > 1 is an error.
+
+   --optgap-json FILE records the optgap figure's per-row oracle numbers
+   (blocks, greedy long instructions, certified optimal lower/upper
+   bounds, certified block count, search nodes) as JSON, for the
+   `stats_check --optgap` gate. Only meaningful when the single requested
+   experiment is `optgap`; the printed text is unchanged. *)
 
 open Cmdliner
 open Dts_job
@@ -49,7 +55,42 @@ let write_alloc_json path ~budget rows =
     (String.concat ",\n" (List.map row rows));
   close_out oc
 
-let run_experiments names scale budget jobs backend alloc_json =
+let write_optgap_json path ~budget (fig : Dts_experiments.Experiments.figure) =
+  let oc = open_out path in
+  let nw = List.length Dts_experiments.Experiments.workload_names in
+  let row i (r : Dts_experiments.Experiments.run) =
+    let gs =
+      match r.Dts_experiments.Experiments.optgap with
+      | Some gs -> gs
+      | None ->
+        prerr_endline "experiments: optgap row without an oracle summary";
+        exit 1
+    in
+    Printf.sprintf
+      "    {\"geometry\": %S, \"workload\": %S, \"blocks\": %d, \"fcfs_lis\": \
+       %d, \"opt_lower\": %d, \"opt_upper\": %d, \"certified\": %d, \
+       \"search_nodes\": %d}"
+      (if i < nw then "ideal" else "feasible")
+      r.Dts_experiments.Experiments.workload gs.Dts_opt.Opt.gs_blocks
+      gs.Dts_opt.Opt.gs_fcfs_lis gs.Dts_opt.Opt.gs_opt_lower
+      gs.Dts_opt.Opt.gs_opt_upper gs.Dts_opt.Opt.gs_certified
+      gs.Dts_opt.Opt.gs_search_nodes
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"optgap_schema_version\": 1,\n\
+    \  \"budget\": %d,\n\
+    \  \"node_budget\": %d,\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    budget Dts_opt.Opt.default_node_budget
+    (String.concat ",\n"
+       (List.mapi row fig.Dts_experiments.Experiments.rows));
+  close_out oc
+
+let run_experiments names scale budget jobs backend alloc_json optgap_json =
   Cli.check_positive ~what:"--budget" budget;
   Cli.check_positive ~what:"--scale" scale;
   Cli.check_non_negative ~what:"--jobs" jobs;
@@ -72,6 +113,32 @@ let run_experiments names scale budget jobs backend alloc_json =
       "experiments: --alloc-json requires sequential execution (drop --jobs)";
     exit 1
   end;
+  if optgap_json <> None && alloc_json <> None then begin
+    prerr_endline "experiments: --optgap-json is incompatible with --alloc-json";
+    exit 1
+  end;
+  if optgap_json <> None && names <> [ "optgap" ] then begin
+    prerr_endline
+      "experiments: --optgap-json applies to exactly one experiment: optgap";
+    exit 1
+  end;
+  (match optgap_json with
+  | None -> ()
+  | Some path ->
+    (* the figure generator directly rather than Run.run — identical
+       rendered text, plus access to the per-row oracle summaries the
+       JSON document records *)
+    let gen ?pool () =
+      Dts_experiments.Experiments.optgap ?pool ~scale ~budget ()
+    in
+    let fig =
+      if jobs > 1 then
+        Dts_parallel.Pool.with_pool ~backend ~jobs (fun pool -> gen ~pool ())
+      else gen ()
+    in
+    print_string (fig.Dts_experiments.Experiments.render () ^ "\n");
+    write_optgap_json path ~budget fig;
+    exit 0);
   (* the alloc gate measures per-instruction simulation allocation, so the
      one-time tinyc compilations must not land inside the counted window:
      warm the workload memo first (a later figure in a bench run gets it
@@ -113,7 +180,8 @@ let run_experiments names scale budget jobs backend alloc_json =
 let names_arg =
   let doc =
     "Experiments to run: table1, table2, fig5, fig6, fig7, fig8, table3, \
-     fig9, ablation, extensions, breakdown (cycle attribution), or all."
+     fig9, ablation, extensions, breakdown (cycle attribution), optgap \
+     (greedy-vs-optimal scheduling gap), or all."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
@@ -131,6 +199,16 @@ let alloc_json_arg =
     & opt (some string) None
     & info [ "alloc-json" ] ~docv:"FILE" ~doc)
 
+let optgap_json_arg =
+  let doc =
+    "Write the optgap figure's per-row oracle numbers to $(docv) (for the \
+     `stats_check --optgap` gate). Requires the single experiment `optgap`."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "optgap-json" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "regenerate the DTSVLIW paper's tables and figures" in
   Cmd.v
@@ -139,6 +217,6 @@ let cmd =
       const run_experiments $ names_arg $ Cli.scale_arg
       $ Cli.budget_arg ~default:150_000 ()
       $ Cli.jobs_arg ~doc:jobs_doc ()
-      $ Cli.backend_arg $ alloc_json_arg)
+      $ Cli.backend_arg $ alloc_json_arg $ optgap_json_arg)
 
 let () = exit (Cmd.eval cmd)

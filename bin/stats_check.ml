@@ -24,6 +24,10 @@
    has no timing noise — it pins the sequential fast path's
    allocation-free property against silent erosion.
 
+   `--optgap` mode validates an `experiments optgap --optgap-json`
+   document: one row per workload under both geometries, every row's
+   certified oracle bounds internally consistent.
+
    Exits non-zero with a diagnostic on any failure — wired into
    `dune runtest` as a smoke test of the observability path. *)
 
@@ -210,6 +214,68 @@ let check_bench ?alloc path =
     check_alloc ~base_path:path ~base_budget:(int_of doc "budget") ~base_minor
       fresh
 
+(* --optgap: validate an `experiments optgap --optgap-json` document — one
+   row per workload under each of the two geometries, each row's oracle
+   numbers internally consistent: lower <= upper <= greedy lis, certified
+   blocks within the block count, and a fully certified row pinned to
+   lower = upper. *)
+let check_optgap path =
+  let doc = parse path in
+  let get = get ~path and int_of = int_of ~path and str_of = str_of ~path in
+  if int_of doc "optgap_schema_version" <> 1 then
+    fail "%s: unsupported optgap_schema_version" path;
+  if int_of doc "budget" <= 0 then fail "budget must be positive";
+  if int_of doc "node_budget" <= 0 then fail "node_budget must be positive";
+  let rows =
+    match get doc "rows" with
+    | Dts_obs.Json.List l -> l
+    | _ -> fail "%s: \"rows\" is not an array" path
+  in
+  let workloads =
+    List.map (fun (w : Dts_workloads.Workloads.t) -> w.name)
+      Dts_workloads.Workloads.all
+  in
+  let expected =
+    List.concat_map
+      (fun geometry -> List.map (fun w -> (geometry, w)) workloads)
+      [ "ideal"; "feasible" ]
+  in
+  if List.length rows <> List.length expected then
+    fail "%s: %d rows, expected %d (every workload under both geometries)"
+      path (List.length rows) (List.length expected);
+  let certified_rows = ref 0 in
+  List.iter2
+    (fun (geometry, workload) row ->
+      let where = Printf.sprintf "%s/%s" geometry workload in
+      if str_of row "geometry" <> geometry then
+        fail "%s: row %s: geometry %S out of order" path where
+          (str_of row "geometry");
+      if str_of row "workload" <> workload then
+        fail "%s: row %s: workload %S out of order" path where
+          (str_of row "workload");
+      let blocks = int_of row "blocks" in
+      let fcfs = int_of row "fcfs_lis" in
+      let lower = int_of row "opt_lower" in
+      let upper = int_of row "opt_upper" in
+      let certified = int_of row "certified" in
+      if blocks <= 0 then fail "%s: row %s: no blocks scheduled" path where;
+      if not (0 < lower && lower <= upper && upper <= fcfs) then
+        fail "%s: row %s: bounds %d <= %d <= %d violated" path where lower
+          upper fcfs;
+      if certified < 0 || certified > blocks then
+        fail "%s: row %s: %d certified of %d blocks" path where certified
+          blocks;
+      if certified = blocks && lower <> upper then
+        fail "%s: row %s: fully certified but lower %d <> upper %d" path
+          where lower upper;
+      if int_of row "search_nodes" < 0 then
+        fail "%s: row %s: negative search-node count" path where;
+      if certified = blocks then incr certified_rows)
+    expected rows;
+  Printf.printf
+    "stats_check: %s ok (optgap: %d rows, %d fully certified)\n" path
+    (List.length rows) !certified_rows
+
 (* --serve: validate a dtsvliw_serve results JSONL stream (the output of
    `dtsvliw_serve results --id N`, possibly several streams concatenated).
    Checks per line: parseable JSON with the documented event shape; per
@@ -289,7 +355,8 @@ let () =
   | [| _; "--bench"; path |] -> check_bench path
   | [| _; "--bench"; path; "--alloc"; fresh |] -> check_bench ~alloc:fresh path
   | [| _; "--serve"; path |] -> check_serve path
+  | [| _; "--optgap"; path |] -> check_optgap path
   | _ ->
     fail
       "usage: stats_check FILE.json | --bench FILE.json [--alloc FRESH.json] \
-       | --serve STREAM.jsonl"
+       | --serve STREAM.jsonl | --optgap FILE.json"

@@ -25,6 +25,9 @@ type run = {
   aliasing_exceptions : int;
   blocks : int;
   stats : Dts_obs.Stats.t;  (** the full machine snapshot of the run *)
+  optgap : Dts_opt.Opt.gap_summary option;
+      (** FCFS-vs-optimal schedule comparison over the run's finished
+          blocks — only filled by the [optgap] figure's runs *)
 }
 
 type figure = {
@@ -64,6 +67,7 @@ let collect (m : Dts_core.Machine.t) workload instructions =
     aliasing_exceptions = s.aliasing_exceptions;
     blocks = s.blocks_flushed;
     stats = s;
+    optgap = None;
   }
 
 let validate_run_args ~fn ~scale ~budget =
@@ -99,6 +103,26 @@ let run_dif ?(scale = 1) ?(budget = budget_default) ?dif_cfg ?tracer machine_cfg
   let n = Dts_core.Machine.run ~max_instructions:budget m in
   (collect m name n, dif)
 
+(* Per-block search budget of the optimality oracle (see {!Dts_opt.Opt}):
+   fixed rather than derived from [?budget], so a run's gap summary is a
+   deterministic function of its blocks alone. *)
+let optgap_node_budget = Dts_opt.Opt.default_node_budget
+
+(** Run one workload with the finished blocks captured, and attach the
+    oracle's FCFS-vs-optimal gap summary to the run record. *)
+let run_optgap ?(scale = 1) ?(budget = budget_default) cfg name =
+  validate_run_args ~fn:"run_optgap" ~scale ~budget;
+  let w = Dts_workloads.Workloads.find name in
+  let program = Dts_workloads.Workloads.program ~scale w in
+  let make, captured = Dts_opt.Opt.capturing_scheduler cfg in
+  let m = Dts_core.Machine.create ~scheduler:make cfg program in
+  let n = Dts_core.Machine.run ~max_instructions:budget m in
+  let summary =
+    Dts_opt.Opt.summarize_config ~node_budget:optgap_node_budget cfg
+      (List.rev !captured)
+  in
+  { (collect m name n) with optgap = Some summary }
+
 let workload_names = List.map (fun w -> w.Dts_workloads.Workloads.name) Dts_workloads.Workloads.all
 
 let avg xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
@@ -114,10 +138,12 @@ let avg xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 type job =
   | J_dtsvliw of Dts_core.Config.t * string
   | J_dif of Dts_core.Config.t * string
+  | J_optgap of Dts_core.Config.t * string
 
 let run_job ?scale ?budget = function
   | J_dtsvliw (cfg, name) -> run_dtsvliw ?scale ?budget cfg name
   | J_dif (cfg, name) -> fst (run_dif ?scale ?budget cfg name)
+  | J_optgap (cfg, name) -> run_optgap ?scale ?budget cfg name
 
 let run_jobs ?pool ?scale ?budget jobs =
   match pool with
@@ -573,6 +599,76 @@ let extensions ?pool ?scale ?budget () =
   extensions_core ~runner:(run_jobs ?pool ?scale ?budget) ()
 
 (* ------------------------------------------------------------------ *)
+(* Optimality gap: greedy FCFS vs branch-and-bound optimal schedules    *)
+(* ------------------------------------------------------------------ *)
+
+let optgap_geometries () =
+  [
+    ("ideal", Dts_core.Config.ideal ());
+    ("feasible", Dts_core.Config.feasible ());
+  ]
+
+(** How far from optimal is the paper's greedy FCFS list-scheduler? Every
+    workload runs once per geometry with its finished blocks captured;
+    each block is re-scheduled by the {!Dts_opt.Opt} branch-and-bound
+    oracle and the long-instruction counts are summed. [optimal (lower)]
+    and [optimal (upper)] are certified bounds; when every block certifies
+    ([certified] = [blocks]) they coincide and the gap is exact. *)
+let optgap_core ~(runner : runner) () =
+  let geoms = optgap_geometries () in
+  let jobs =
+    List.concat_map
+      (fun (_, cfg) -> List.map (fun nm -> J_optgap (cfg, nm)) workload_names)
+      geoms
+  in
+  let per_geom =
+    List.map2
+      (fun (label, _) runs -> (label, runs))
+      geoms
+      (chunk (List.length workload_names) (runner jobs))
+  in
+  let rows =
+    List.concat_map
+      (fun (label, runs) ->
+        List.map
+          (fun r ->
+            let g =
+              match r.optgap with Some g -> g | None -> assert false
+            in
+            let gap =
+              float_of_int (g.Dts_opt.Opt.gs_fcfs_lis - g.gs_opt_upper)
+              /. float_of_int (max 1 g.gs_fcfs_lis)
+            in
+            [
+              label;
+              r.workload;
+              string_of_int g.gs_blocks;
+              string_of_int g.gs_fcfs_lis;
+              string_of_int g.gs_opt_lower;
+              string_of_int g.gs_opt_upper;
+              Dts_report.Report.pct gap;
+              Printf.sprintf "%d/%d" g.gs_certified g.gs_blocks;
+              string_of_int g.gs_search_nodes;
+            ])
+          runs)
+      per_geom
+  in
+  table_figure ~name:"optgap"
+    ~title:
+      "Optimality gap: greedy FCFS scheduling vs branch-and-bound optimal \
+       block schedules (long instructions summed over blocks)"
+    ~headers:
+      [
+        "geometry"; "benchmark"; "blocks"; "fcfs lis"; "optimal (lower)";
+        "optimal (upper)"; "gap"; "certified"; "search nodes";
+      ]
+    ~runs:(List.concat_map snd per_geom)
+    rows
+
+let optgap ?pool ?scale ?budget () =
+  optgap_core ~runner:(run_jobs ?pool ?scale ?budget) ()
+
+(* ------------------------------------------------------------------ *)
 (* Cycle breakdown: the observability layer's own table                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -640,6 +736,7 @@ let cores : (string * (runner:runner -> unit -> figure)) list =
     ("ablation", ablation_core);
     ("extensions", extensions_core);
     ("breakdown", breakdown_core);
+    ("optgap", optgap_core);
   ]
 
 (* "all" concatenates these, in this order (see {!all_figures}). *)
@@ -755,5 +852,6 @@ let by_name =
     ("ablation", ablation);
     ("extensions", extensions);
     ("breakdown", breakdown);
+    ("optgap", optgap);
     ("all", all);
   ]

@@ -35,6 +35,9 @@ type run = {
   stats : Dts_obs.Stats.t;
       (** the full machine snapshot, including the per-category cycle
           attribution *)
+  optgap : Dts_opt.Opt.gap_summary option;
+      (** FCFS-vs-optimal schedule comparison over the run's finished
+          blocks — [None] except on the [optgap] figure's runs *)
 }
 
 (** One table or figure of the evaluation: structured data plus its exact
@@ -72,6 +75,14 @@ val run_dif :
   string ->
   run * Dts_dif.Dif.t
 (** Run one named workload on the DIF baseline.
+    @raise Invalid_argument if [scale] or [budget] is not positive. *)
+
+val run_optgap : ?scale:int -> ?budget:int -> Dts_core.Config.t -> string -> run
+(** Run one named workload with its finished blocks captured and the
+    {!Dts_opt.Opt} branch-and-bound oracle's FCFS-vs-optimal summary
+    attached ([run.optgap] is [Some _]). The oracle's per-block search
+    budget is fixed ({!Dts_opt.Opt.default_node_budget}), so the summary is
+    a deterministic function of the run's blocks.
     @raise Invalid_argument if [scale] or [budget] is not positive. *)
 
 val workload_names : string list
@@ -117,6 +128,15 @@ val breakdown :
     percentages of total machine cycles; the TOTAL row is the sum of all
     categories over machine cycles (the invariant: always 100.0%). Not part
     of {!all} (it is an observability artefact, not a paper figure). *)
+
+val optgap :
+  ?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure
+(** Optimality gap of the greedy FCFS scheduler: every workload under the
+    ideal and feasible geometries, each finished block re-scheduled by the
+    {!Dts_opt.Opt} branch-and-bound oracle; rows carry summed
+    long-instruction counts, certified lower/upper optimal bounds, and the
+    gap percentage. Not part of {!all} (a reproduction-quality study, not a
+    paper figure). *)
 
 val all :
   ?pool:Dts_parallel.Pool.t -> ?scale:int -> ?budget:int -> unit -> figure

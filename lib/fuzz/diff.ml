@@ -82,9 +82,9 @@ let finish_machine (m : Dts_core.Machine.t) =
     Finished { st = m.st; instret = (Dts_core.Machine.stats m).instructions }
   else Timeout
 
-let run_machine ~compile ~cfg program ~fuel =
+let run_machine ~compile ?scheduler ~cfg program ~fuel =
   match
-    let m = Dts_core.Machine.create ~compile cfg program in
+    let m = Dts_core.Machine.create ~compile ?scheduler cfg program in
     ignore (Dts_core.Machine.run ~max_instructions:fuel m);
     m
   with
@@ -150,9 +150,9 @@ let lockstep_primary program ~fuel =
 (** Re-run a machine engine with a full memory comparison at every
     synchronisation point; the mismatch exception then carries the PC of
     the first divergent sync. *)
-let localize_machine ~compile ~cfg program ~fuel =
+let localize_machine ~compile ?scheduler ~cfg program ~fuel =
   let cfg = { cfg with Dts_core.Config.memcmp_interval = 1 } in
-  match run_machine ~compile ~cfg program ~fuel with
+  match run_machine ~compile ?scheduler ~cfg program ~fuel with
   | Mismatch { pc; _ } -> Some pc
   | _ -> None
 
@@ -200,7 +200,27 @@ let engines (geoms : geoms) : engine list =
                e_localize =
                  (fun p ~fuel -> localize_machine ~compile ~cfg p ~fuel);
              })
-           [ false; true ])
+           [ false; true ]
+         (* The optimality-oracle backend: every block the Scheduler Unit
+            finishes is replaced by the branch-and-bound oracle's best
+            schedule (rebuilt, tags recomputed, independently re-checked)
+            before installation, so the machine executes oracle schedules
+            under golden co-simulation. A modelling error in the oracle
+            surfaces as a test-mode mismatch, a failed invariant check
+            (Fault), or a final-state divergence. Interpreted execution
+            only — the plan compiler has its own differential engines. *)
+         @ [
+             (let scheduler = Dts_opt.Opt.rescheduling_scheduler cfg in
+              {
+                e_name = Printf.sprintf "dtsvliw-opt-%s" gname;
+                e_run =
+                  (fun p ~fuel ->
+                    run_machine ~compile:false ~scheduler ~cfg p ~fuel);
+                e_localize =
+                  (fun p ~fuel ->
+                    localize_machine ~compile:false ~scheduler ~cfg p ~fuel);
+              });
+           ])
        cfgs
   @ [
       {

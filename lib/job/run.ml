@@ -73,12 +73,53 @@ let dump_blocks_text (m : Dts_core.Machine.t) n =
   Format.pp_print_flush fmt ();
   Buffer.contents buf
 
-let run_workload ?tracer ~budget ~scale ~source ~(machine : Machine_opts.t)
-    ~dump_blocks () =
+(* --optcheck: re-derive each finished block's constraint model through
+   the optimality oracle, check the greedy schedule against the oracle's
+   independent invariants, and assert its length is never below the
+   certified lower bound. Returns whether every block passed. *)
+let optcheck_text buf (cfg : Dts_core.Config.t) blocks =
+  let g = Dts_opt.Opt.geometry_of_config cfg in
+  let lat = cfg.sched.latencies in
+  let violations = ref 0 in
+  let certified = ref 0 in
+  let fcfs = ref 0 and lower = ref 0 in
+  List.iter
+    (fun (b : Dts_sched.Schedtypes.block) ->
+      (match Dts_opt.Opt.check_block g lat b with
+      | Ok () -> ()
+      | Error e ->
+        incr violations;
+        Printf.bprintf buf "optcheck: block %#x fails invariants: %s\n"
+          b.tag_addr e);
+      let s = Dts_opt.Opt.schedule g (Dts_opt.Opt.model_of_block lat b) in
+      fcfs := !fcfs + s.s_fcfs;
+      lower := !lower + s.s_lower;
+      if s.s_exact then incr certified;
+      if s.s_fcfs < s.s_lower then begin
+        incr violations;
+        Printf.bprintf buf
+          "optcheck: block %#x scheduled in %d lis, below the certified \
+           lower bound %d\n"
+          b.tag_addr s.s_fcfs s.s_lower
+      end)
+    blocks;
+  Printf.bprintf buf
+    "optimality check:          %d blocks, %d lis >= %d certified lower (%d \
+     exact), %d violations\n"
+    (List.length blocks) !fcfs !lower !certified !violations;
+  !violations = 0
+
+let run_workload ?tracer ?(optcheck = false) ~budget ~scale ~source
+    ~(machine : Machine_opts.t) ~dump_blocks () =
   let program = load_program ~scale source in
   let buf = Buffer.create 2048 in
+  let ok = ref true in
   let m =
     if machine.dif then begin
+      if optcheck then
+        invalid_arg
+          "Dts_job.Run: --optcheck applies to DTSVLIW machines only (not \
+           --dif)";
       let machine_cfg = Dts_dif.Dif.fig9_machine_cfg () in
       let m, d = Dts_dif.Dif.machine ?tracer ~machine_cfg program in
       let n = Dts_core.Machine.run ~max_instructions:budget m in
@@ -91,12 +132,23 @@ let run_workload ?tracer ~budget ~scale ~source ~(machine : Machine_opts.t)
     else begin
       let cfg = Machine_opts.to_config machine in
       Printf.bprintf buf "[DTSVLIW: %s]\n" (Dts_core.Config.describe cfg);
+      let scheduler, captured =
+        if optcheck then begin
+          let make, captured = Dts_opt.Opt.capturing_scheduler cfg in
+          (Some make, Some captured)
+        end
+        else (None, None)
+      in
       let m =
         Dts_core.Machine.create ~compile:machine.compile
-          ~fastpath:machine.fastpath ?tracer cfg program
+          ~fastpath:machine.fastpath ?scheduler ?tracer cfg program
       in
       let n = Dts_core.Machine.run ~max_instructions:budget m in
       stats_text buf m n;
+      (match captured with
+      | None -> ()
+      | Some captured ->
+        if not (optcheck_text buf cfg (List.rev !captured)) then ok := false);
       m
     end
   in
@@ -105,7 +157,7 @@ let run_workload ?tracer ~budget ~scale ~source ~(machine : Machine_opts.t)
     text = Buffer.contents buf;
     stats_json =
       Some (Dts_obs.Stats.to_json_string (Dts_core.Machine.stats m));
-    exit_code = 0;
+    exit_code = (if !ok then 0 else 1);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -242,7 +294,7 @@ let pool_map pool f xs =
   | None -> List.map f xs
   | Some pool -> Dts_parallel.Pool.map pool f xs
 
-let run ?pool ?tracer (job : Job.t) =
+let run ?pool ?tracer ?optcheck (job : Job.t) =
   match job.kind with
   | Job.Figure { figure } ->
     let gen = List.assoc figure Experiments.by_name in
@@ -261,5 +313,5 @@ let run ?pool ?tracer (job : Job.t) =
     in
     fuzz_outcome ~seed ~max_insns ~geoms summary
   | Job.Workload { source; machine; dump_blocks } ->
-    run_workload ?tracer ~budget:job.budget ~scale:job.scale ~source ~machine
-      ~dump_blocks ()
+    run_workload ?tracer ?optcheck ~budget:job.budget ~scale:job.scale ~source
+      ~machine ~dump_blocks ()

@@ -27,12 +27,26 @@ type outcome = {
 }
 
 val run :
-  ?pool:Dts_parallel.Pool.t -> ?tracer:Dts_obs.Trace.t -> Job.t -> outcome
+  ?pool:Dts_parallel.Pool.t ->
+  ?tracer:Dts_obs.Trace.t ->
+  ?optcheck:bool ->
+  Job.t ->
+  outcome
 (** Evaluate the job here. [pool] fans out a figure's simulations or a fuzz
     batch's programs (submission-order reassembly keeps the outcome
     bit-identical for any pool size); [tracer] applies to workload jobs.
+
+    [optcheck] (workload jobs on DTSVLIW machines only, default off):
+    capture every block the Scheduler Unit finishes, re-derive its
+    constraint model through the {!Dts_opt.Opt} oracle, check it against
+    the oracle's independent legality invariants, and assert the greedy
+    schedule's length is never below the certified optimal lower bound.
+    Appends a summary line to [text]; violations are reported and make
+    [exit_code] 1. Like [tracer], this is a CLI-side option — it is not
+    part of {!Job.t} and does not flow through the sharded route.
     @raise Invalid_argument on budget/scale violations (callers validate
-    first), [Sys_error] on an unreadable workload file. *)
+    first), on [optcheck] with a [--dif] machine, [Sys_error] on an
+    unreadable workload file. *)
 
 (** {2 Sharded evaluation} *)
 

@@ -1,0 +1,999 @@
+(** An offline optimality oracle for the Scheduler Unit: branch-and-bound
+    scheduling of a finished block's operations into the provably minimal
+    number of long instructions.
+
+    The greedy FCFS scheduler (§3.2) commits each retired instruction to
+    the first legal slot as the trace streams past; this module answers
+    "how many long instructions did that cost over the best possible?" for
+    the exact same operation set. The oracle does not re-derive renaming:
+    it takes the block as built — split operations, their COPYs, the
+    forwarded (substituted) read sets — and searches over cycle
+    assignments of those slot ops under the constraints the block's
+    execution semantics impose:
+
+    - value flow: every reader stays between the writer whose value it
+      observed and the next writer of that position (RAW with the
+      producer's functional-unit latency, WAR allowing same-cycle
+      placement, WAW in strict order) — positions include renaming
+      registers, so an op precedes its COPYs automatically;
+    - the §3.10 memory-order rule, exactly as {!Dts_vliw.Aliaslog.violates}
+      enforces it at runtime: overlapping store/store and store→load pairs
+      in strictly increasing long instructions, load→store free to share
+      one;
+    - control: an operation with an architectural effect (an unrenamed
+      write, or being a branch) never crosses a conditional branch —
+      same-cycle placement is legal because branch tags squash the younger
+      op on a mispredict (§3.8), which the rebuilt tags express;
+    - geometry: per-cycle slot capacity under the machine's functional-unit
+      classes. Dedicated slots are per-class and universal slots are the
+      only shared pool, so feasibility is the counting (Hall) condition
+      [sum_c max 0 (need_c - dedicated_c) <= universal], not first-fit.
+
+    The search enumerates only subsets that are maximal among the eligible
+    ops of each cycle (an exchange argument shows some optimal schedule is
+    cycle-wise maximal), prunes with a critical-path + resource lower bound
+    and a memoized dominance table keyed on latency-clamped ages, and
+    degrades to a certified [lower <= optimal <= upper] pair when the node
+    budget runs out. *)
+
+open Dts_sched.Schedtypes
+module Instr = Dts_isa.Instr
+module Storage = Dts_isa.Storage
+module SU = Dts_sched.Sched_unit
+
+(* Test-only fault injection (the PR-5 mutation-sanity convention, see
+   {!Dts_vliw.Aliaslog.fault_skip_store_check}): inflate the pruning bound
+   by one cycle, making the branch-and-bound discard subtrees that contain
+   the true optimum. The exhaustive cross-check corpus in test/test_opt.ml
+   must catch the resulting "certified optimal" over-estimates — proving
+   the property tests can detect an unsound oracle. *)
+let fault_weaken_pruning = ref false
+
+let fu_index = function
+  | Instr.Fu_int -> 0
+  | Instr.Fu_mem -> 1
+  | Instr.Fu_fp -> 2
+  | Instr.Fu_br -> 3
+
+(* ------------------------------------------------------------------ *)
+(* Geometry                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type geometry = {
+  g_width : int;
+  g_classes : Instr.fu_class option array option;
+  g_ded : int array;  (** dedicated slots per {!fu_index} class *)
+  g_uni : int;  (** universal slots *)
+}
+
+let geometry ~width ~(slot_classes : Instr.fu_class option array option) =
+  let ded = Array.make 4 0 in
+  let uni = ref 0 in
+  (match slot_classes with
+  | None -> uni := width
+  | Some classes ->
+    Array.iter
+      (function
+        | None -> incr uni
+        | Some c -> ded.(fu_index c) <- ded.(fu_index c) + 1)
+      classes);
+  { g_width = width; g_classes = slot_classes; g_ded = ded; g_uni = !uni }
+
+let geometry_of_sched (c : SU.config) =
+  geometry ~width:c.SU.width ~slot_classes:c.SU.slot_classes
+
+let geometry_of_config (cfg : Dts_core.Config.t) =
+  geometry_of_sched cfg.Dts_core.Config.sched
+
+(* Can one cycle host [counts] ops ([totals] in all)? Dedicated slots are
+   per-class; universal slots are the only shared resource. *)
+let caps_ok g counts total =
+  total <= g.g_width
+  &&
+  let spill = ref 0 in
+  for c = 0 to 3 do
+    spill := !spill + max 0 (counts.(c) - g.g_ded.(c))
+  done;
+  !spill <= g.g_uni
+
+(* ------------------------------------------------------------------ *)
+(* The constraint model                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type node = {
+  n_op : slot_op;
+  n_fu : Instr.fu_class;
+  n_lat : int;  (** producer latency (COPYs: 1) *)
+  n_trace : int;  (** trace position: op uid; a COPY carries its op's *)
+  n_branch : bool;
+  n_arch : bool;  (** architectural effect: unrenamed write or branch *)
+}
+
+type model = {
+  m_nodes : node array;
+  m_fcfs : int;  (** long instructions of the block as built *)
+  m_orig : int array;  (** the block's own assignment (node -> li index) *)
+  m_preds : (int * int) array array;
+      (** (u, w) in m_preds.(v): every schedule needs li v >= li u + w *)
+  m_succs : (int * int) array array;
+  m_maxlat : int;
+}
+
+let model_nodes m = Array.length m.m_nodes
+let model_fcfs m = m.m_fcfs
+let model_orig m = Array.copy m.m_orig
+
+let node_of_slot lat ~fu op =
+  let trace = match op with Op s -> s.uid | Copy c -> c.c_from in
+  let branch =
+    match op with
+    | Op s -> Instr.is_conditional_ctrl s.instr
+    | Copy _ -> false
+  in
+  let lat_n = match op with Op s -> Instr.latency lat s.instr | Copy _ -> 1 in
+  let arch =
+    branch
+    || List.exists
+         (fun w -> match w with Storage.Ren _ -> false | _ -> true)
+         (slot_arch_writes op)
+  in
+  {
+    n_op = op;
+    n_fu = fu;
+    n_lat = max 1 lat_n;
+    n_trace = trace;
+    n_branch = branch;
+    n_arch = arch;
+  }
+
+(* The functional unit a slot op occupies. An op carries its own class; a
+   COPY executes on its parent op's unit — the Scheduler Unit places a
+   split's copy by the split op's class ([find_slot ... c_op.fu] in
+   sched_unit.ml), so e.g. a split load's register-delivering copy
+   legitimately occupies a Fu_mem slot. The parent is always in the same
+   block ([c_from] is its uid); the kind-based fallback only covers a
+   hypothetical orphaned copy. *)
+let block_fu_resolver (b : block) =
+  let op_fu = Hashtbl.create 64 in
+  Array.iter
+    (fun li ->
+      li_iter
+        (fun _ op _ ->
+          match op with
+          | Op s -> Hashtbl.replace op_fu s.uid s.fu
+          | Copy _ -> ())
+        li)
+    b.lis;
+  fun op ->
+    match op with
+    | Op s -> s.fu
+    | Copy c -> (
+      match Hashtbl.find_opt op_fu c.c_from with
+      | Some fu -> fu
+      | None ->
+        if List.exists (fun (r, _) -> r.kind = K_mem) c.c_moves then
+          Instr.Fu_mem
+        else if List.exists (fun (r, _) -> r.kind = K_fp) c.c_moves then
+          Instr.Fu_fp
+        else Instr.Fu_int)
+
+(* The §3.10 events of a node: its own load, its own unrenamed store, or
+   the store a COPY commits — (is_store, order, addr, size), matching what
+   the engine logs into the alias log at runtime. *)
+let mem_events op =
+  match op with
+  | Op s when Instr.is_load s.instr ->
+    List.filter_map
+      (function
+        | Storage.Mem { addr; size } -> Some (false, s.order, addr, size)
+        | _ -> None)
+      s.reads
+  | Op s when Instr.is_store s.instr ->
+    List.filter_map
+      (function
+        | Storage.Mem { addr; size } -> Some (true, s.order, addr, size)
+        | _ -> None)
+      (slot_arch_writes op)
+  | Op _ -> []
+  | Copy c ->
+    List.filter_map
+      (fun (_, t) ->
+        match t with
+        | T_arch (Storage.Mem { addr; size }) ->
+          Some (true, c.c_order, addr, size)
+        | _ -> None)
+      c.c_moves
+
+let model_of_block (lat : Instr.latencies) (b : block) =
+  let fu_of = block_fu_resolver b in
+  let nodes = ref [] and orig = ref [] in
+  Array.iteri
+    (fun li_idx li ->
+      li_iter
+        (fun _ op _tag ->
+          nodes := node_of_slot lat ~fu:(fu_of op) op :: !nodes;
+          orig := li_idx :: !orig)
+        li)
+    b.lis;
+  let nodes = Array.of_list (List.rev !nodes) in
+  let orig = Array.of_list (List.rev !orig) in
+  let n = Array.length nodes in
+  let edges : (int * int, int) Hashtbl.t = Hashtbl.create (4 * n) in
+  let add_edge u v w =
+    if u <> v then
+      match Hashtbl.find_opt edges (u, v) with
+      | Some w' when w' >= w -> ()
+      | _ -> Hashtbl.replace edges (u, v) w
+  in
+  (* value flow through non-memory positions (architectural registers,
+     flags, the window pointer and renaming registers): the block's own
+     placement names, for every position, which writer each reader
+     observed — the model pins each reader between that writer and the
+     next one, and orders the writers themselves *)
+  let positions : (Storage.t, int list ref * int list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let entry p =
+    match Hashtbl.find_opt positions p with
+    | Some e -> e
+    | None ->
+      let e = (ref [], ref []) in
+      Hashtbl.add positions p e;
+      e
+  in
+  Array.iteri
+    (fun i nd ->
+      List.iter
+        (fun w ->
+          if not (Storage.is_mem w) then (
+            let ws, _ = entry w in
+            ws := i :: !ws))
+        (slot_arch_writes nd.n_op);
+      List.iter
+        (fun r ->
+          if not (Storage.is_mem r) then (
+            let _, rs = entry r in
+            rs := i :: !rs))
+        (slot_arch_reads nd.n_op))
+    nodes;
+  Hashtbl.iter
+    (fun _p (ws, rs) ->
+      let ws =
+        List.sort
+          (fun a b ->
+            compare (orig.(a), nodes.(a).n_trace) (orig.(b), nodes.(b).n_trace))
+          !ws
+      in
+      let rec waw = function
+        | a :: (b :: _ as tl) ->
+          add_edge a b 1;
+          waw tl
+        | _ -> ()
+      in
+      waw ws;
+      List.iter
+        (fun r ->
+          (* the writer this reader observed: the last one strictly above
+             it (reads happen at the start of a long instruction, writes
+             commit at the end) — and the next writer it must not sink
+             past (same cycle is fine, for the same reason) *)
+          let rec find prev = function
+            | [] -> (prev, None)
+            | w :: tl ->
+              if orig.(w) < orig.(r) then find (Some w) tl else (prev, Some w)
+          in
+          match find None ws with
+          | Some w, nxt ->
+            add_edge w r nodes.(w).n_lat;
+            (match nxt with Some w' -> add_edge r w' 0 | None -> ())
+          | None, Some w1 -> add_edge r w1 0 (* reads block-entry state *)
+          | None, None -> ())
+        !rs)
+    positions;
+  (* §3.10: overlapping memory events in order-field order, exactly the
+     runtime predicate of Dts_vliw.Aliaslog.violates *)
+  let evs =
+    Array.of_list
+      (List.concat
+         (List.init n (fun i ->
+              List.map (fun e -> (i, e)) (mem_events nodes.(i).n_op))))
+  in
+  Array.iter
+    (fun (na, (sa, oa, aa, za)) ->
+      Array.iter
+        (fun (nb, (sb, ob, ab, zb)) ->
+          if na <> nb && oa < ob && aa < ab + zb && ab < aa + za then
+            match (sa, sb) with
+            | true, _ -> add_edge na nb 1 (* store commits strictly first *)
+            | false, true -> add_edge na nb 0 (* load may share the store's li *)
+            | false, false -> ())
+        evs)
+    evs;
+  (* control: architectural effects never cross a conditional branch
+     (same cycle is legal — the rebuilt branch tags squash the younger op
+     on a mispredict); fully-renamed ops float freely, their committing
+     COPYs carry the architectural effect and the pin *)
+  Array.iteri
+    (fun bidx nb ->
+      if nb.n_branch then
+        Array.iteri
+          (fun i nd ->
+            if i <> bidx && nd.n_arch then
+              if nd.n_trace < nb.n_trace then add_edge i bidx 0
+              else add_edge bidx i 0)
+          nodes)
+    nodes;
+  let preds = Array.make n [] and succs = Array.make n [] in
+  Hashtbl.iter
+    (fun (u, v) w ->
+      preds.(v) <- (u, w) :: preds.(v);
+      succs.(u) <- (v, w) :: succs.(u))
+    edges;
+  {
+    m_nodes = nodes;
+    m_fcfs = Array.length b.lis;
+    m_orig = orig;
+    m_preds = Array.map Array.of_list preds;
+    m_succs = Array.map Array.of_list succs;
+    m_maxlat = Array.fold_left (fun a nd -> max a nd.n_lat) 1 nodes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Checking an assignment against the model                             *)
+(* ------------------------------------------------------------------ *)
+
+let assignment_ok g (m : model) assign =
+  let n = Array.length m.m_nodes in
+  Array.length assign = n
+  &&
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if assign.(v) < 0 then ok := false
+    else
+      Array.iter
+        (fun (u, w) -> if assign.(u) + w > assign.(v) then ok := false)
+        m.m_preds.(v)
+  done;
+  (if !ok && n > 0 then begin
+     let maxc = Array.fold_left max 0 assign + 1 in
+     let counts = Array.make_matrix maxc 4 0 in
+     let totals = Array.make maxc 0 in
+     Array.iteri
+       (fun v c ->
+         let cl = fu_index m.m_nodes.(v).n_fu in
+         counts.(c).(cl) <- counts.(c).(cl) + 1;
+         totals.(c) <- totals.(c) + 1)
+       assign;
+     for t = 0 to maxc - 1 do
+       if not (caps_ok g counts.(t) totals.(t)) then ok := false
+     done
+   end);
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Branch-and-bound search                                              *)
+(* ------------------------------------------------------------------ *)
+
+type solution = {
+  s_fcfs : int;  (** cycles of the block as the greedy scheduler built it *)
+  s_lower : int;  (** certified lower bound on the optimal cycle count *)
+  s_upper : int;  (** cycles of the best schedule found ([s_schedule]) *)
+  s_exact : bool;  (** [s_lower = s_upper]: the optimum is certified *)
+  s_nodes : int;  (** search nodes expanded *)
+  s_schedule : int array;  (** node -> cycle of the best schedule found *)
+}
+
+let default_node_budget = 20_000
+
+let schedule ?(node_budget = default_node_budget) g (m : model) =
+  let n = Array.length m.m_nodes in
+  if n = 0 then
+    {
+      s_fcfs = m.m_fcfs;
+      s_lower = m.m_fcfs;
+      s_upper = m.m_fcfs;
+      s_exact = true;
+      s_nodes = 0;
+      s_schedule = [||];
+    }
+  else begin
+    let cls = Array.map (fun nd -> fu_index nd.n_fu) m.m_nodes in
+    Array.iter
+      (fun cl ->
+        if g.g_ded.(cl) + g.g_uni = 0 then
+          invalid_arg
+            "Dts_opt.Opt.schedule: the geometry has no slot for an op class")
+      cls;
+    (* static longest-path bounds by relaxation to fixpoint: the graph has
+       zero-weight cycles (mutually same-cycle-constrained groups) but no
+       positive cycle, so n+1 passes converge *)
+    let est = Array.make n 0 and tail = Array.make n 0 in
+    let relax dir arr =
+      let changed = ref true and passes = ref 0 in
+      while !changed do
+        changed := false;
+        incr passes;
+        if !passes > n + 2 then
+          failwith "Dts_opt.Opt.schedule: positive constraint cycle";
+        for v = 0 to n - 1 do
+          Array.iter
+            (fun (u, w) ->
+              if arr.(u) + w > arr.(v) then begin
+                arr.(v) <- arr.(u) + w;
+                changed := true
+              end)
+            dir.(v)
+        done
+      done
+    in
+    relax m.m_preds est;
+    relax m.m_succs tail;
+    let width = g.g_width in
+    let base_lb =
+      let b = ref 0 in
+      for v = 0 to n - 1 do
+        b := max !b (est.(v) + tail.(v) + 1)
+      done;
+      b := max !b ((n + width - 1) / width);
+      let cnt = Array.make 4 0 in
+      Array.iter (fun cl -> cnt.(cl) <- cnt.(cl) + 1) cls;
+      for cl = 0 to 3 do
+        if cnt.(cl) > 0 then begin
+          let cap = min width (g.g_ded.(cl) + g.g_uni) in
+          b := max !b ((cnt.(cl) + cap - 1) / cap)
+        end
+      done;
+      !b
+    in
+    if base_lb >= m.m_fcfs then
+      (* the greedy schedule already meets the static lower bound *)
+      {
+        s_fcfs = m.m_fcfs;
+        s_lower = m.m_fcfs;
+        s_upper = m.m_fcfs;
+        s_exact = true;
+        s_nodes = 0;
+        s_schedule = Array.copy m.m_orig;
+      }
+    else begin
+      let maxlat = m.m_maxlat in
+      let cycle = Array.make n (-1) in
+      let nsched = ref 0 in
+      let best_len = ref m.m_fcfs in
+      let best = Array.copy m.m_orig in
+      let expanded = ref 0 in
+      let truncated = ref false in
+      let cut_min = ref max_int in
+      let memo : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+      let order = Array.init n Fun.id in
+      Array.sort
+        (fun a b ->
+          compare (m.m_nodes.(a).n_trace, a) (m.m_nodes.(b).n_trace, b))
+        order;
+      (* lower bound on any completion of the current state at cycle [c]:
+         scheduled critical paths, remaining critical paths tightened by
+         scheduled producers, and the resource bound on what is left *)
+      let state_bound c =
+        let b = ref 0 in
+        let rem = ref 0 in
+        let remc = [| 0; 0; 0; 0 |] in
+        for v = 0 to n - 1 do
+          if cycle.(v) >= 0 then begin
+            let x = cycle.(v) + tail.(v) + 1 in
+            if x > !b then b := x
+          end
+          else begin
+            incr rem;
+            remc.(cls.(v)) <- remc.(cls.(v)) + 1;
+            let e = ref (if est.(v) > c then est.(v) else c) in
+            Array.iter
+              (fun (u, w) ->
+                if cycle.(u) >= 0 && cycle.(u) + w > !e then e := cycle.(u) + w)
+              m.m_preds.(v);
+            let x = !e + tail.(v) + 1 in
+            if x > !b then b := x
+          end
+        done;
+        if !rem > 0 then begin
+          let x = c + ((!rem + width - 1) / width) in
+          if x > !b then b := x;
+          for cl = 0 to 3 do
+            if remc.(cl) > 0 then begin
+              let cap = min width (g.g_ded.(cl) + g.g_uni) in
+              let x = c + ((remc.(cl) + cap - 1) / cap) in
+              if x > !b then b := x
+            end
+          done
+        end;
+        !b
+      in
+      let prune_bound b = b + if !fault_weaken_pruning then 1 else 0 in
+      (* dominance key: scheduled ops with their ages clamped at the
+         latency horizon (older producers constrain nothing), unscheduled
+         ops as 255 — two states with equal keys at cycles c' <= c admit
+         exactly the same continuations, shifted *)
+      let key c =
+        let bts = Bytes.create n in
+        for i = 0 to n - 1 do
+          let v = cycle.(i) in
+          let byte =
+            if v < 0 then 255
+            else
+              let age = c - v in
+              if age >= maxlat then 254 else age
+          in
+          Bytes.unsafe_set bts i (Char.unsafe_chr byte)
+        done;
+        Bytes.unsafe_to_string bts
+      in
+      let rec go c =
+        if !nsched = n then begin
+          let len = state_bound c in
+          if len < !best_len then begin
+            best_len := len;
+            Array.blit cycle 0 best 0 n
+          end
+        end
+        else begin
+          let b = state_bound c in
+          if prune_bound b >= !best_len then ()
+          else if !truncated then begin
+            if b < !cut_min then cut_min := b
+          end
+          else begin
+            let k = key c in
+            match Hashtbl.find_opt memo k with
+            | Some c' when c' <= c -> ()
+            | _ ->
+              Hashtbl.replace memo k c;
+              incr expanded;
+              if !expanded > node_budget then begin
+                truncated := true;
+                if b < !cut_min then cut_min := b
+              end
+              else begin
+                (* eligible ops this cycle, in trace order: strict
+                   predecessors placed far enough above, zero-weight
+                   predecessors placed or themselves eligible (zero-weight
+                   edges point trace-forward, so one pass suffices) *)
+                let elig = Array.make n false in
+                let e_rev = ref [] in
+                Array.iter
+                  (fun v ->
+                    if cycle.(v) < 0 then begin
+                      let ok = ref true in
+                      Array.iter
+                        (fun (u, w) ->
+                          if w > 0 then begin
+                            if cycle.(u) < 0 || cycle.(u) + w > c then
+                              ok := false
+                          end
+                          else if cycle.(u) < 0 && not elig.(u) then ok := false)
+                        m.m_preds.(v);
+                      if !ok then begin
+                        elig.(v) <- true;
+                        e_rev := v :: !e_rev
+                      end
+                    end)
+                  order;
+                let es = Array.of_list (List.rev !e_rev) in
+                let ne = Array.length es in
+                if ne = 0 then go (c + 1) (* forced stall *)
+                else begin
+                  let pos = Array.make n (-1) in
+                  Array.iteri (fun i v -> pos.(v) <- i) es;
+                  let chosen = Array.make ne false in
+                  let used_ded = Array.make 4 0 in
+                  let used_uni = ref 0 in
+                  let can_add cl =
+                    used_ded.(cl) < g.g_ded.(cl) || !used_uni < g.g_uni
+                  in
+                  let preds_ok v =
+                    let ok = ref true in
+                    Array.iter
+                      (fun (u, w) ->
+                        if w = 0 && cycle.(u) < 0 && not chosen.(pos.(u)) then
+                          ok := false)
+                      m.m_preds.(v);
+                    !ok
+                  in
+                  (* enumerate only subsets maximal among the eligible ops
+                     under the slot-class capacities: some optimal schedule
+                     is cycle-wise maximal (moving an addable op up to this
+                     cycle never hurts), so non-maximal subsets are dead
+                     weight *)
+                  let rec choose i =
+                    if !truncated then begin
+                      if b < !cut_min then cut_min := b
+                    end
+                    else begin
+                      incr expanded;
+                      if !expanded > node_budget then begin
+                        truncated := true;
+                        if b < !cut_min then cut_min := b
+                      end
+                      else if i = ne then begin
+                        let maximal = ref true in
+                        for j = 0 to ne - 1 do
+                          if !maximal && not chosen.(j) then begin
+                            let v = es.(j) in
+                            if can_add cls.(v) && preds_ok v then
+                              maximal := false
+                          end
+                        done;
+                        if !maximal then go (c + 1)
+                      end
+                      else begin
+                        let v = es.(i) in
+                        let took = ref false in
+                        if can_add cls.(v) && preds_ok v then begin
+                          let cl = cls.(v) in
+                          let ded = used_ded.(cl) < g.g_ded.(cl) in
+                          if ded then used_ded.(cl) <- used_ded.(cl) + 1
+                          else incr used_uni;
+                          chosen.(i) <- true;
+                          cycle.(v) <- c;
+                          incr nsched;
+                          choose (i + 1);
+                          decr nsched;
+                          cycle.(v) <- -1;
+                          chosen.(i) <- false;
+                          if ded then used_ded.(cl) <- used_ded.(cl) - 1
+                          else decr used_uni;
+                          took := true
+                        end;
+                        if not !truncated then
+                          if not !took then choose (i + 1)
+                          else begin
+                            (* excluding v delays it to cycle c+1 at best *)
+                            let excl_lb = c + 1 + tail.(v) + 1 in
+                            if prune_bound excl_lb < !best_len then
+                              choose (i + 1)
+                          end
+                      end
+                    end
+                  in
+                  choose 0
+                end
+              end
+          end
+        end
+      in
+      go 0;
+      let lower =
+        if not !truncated then !best_len
+        else max base_lb (min !best_len !cut_min)
+      in
+      {
+        s_fcfs = m.m_fcfs;
+        s_lower = lower;
+        s_upper = !best_len;
+        s_exact = lower = !best_len;
+        s_nodes = !expanded;
+        s_schedule = Array.copy best;
+      }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive cross-check                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Minimal makespan by brute-force enumeration of every cycle assignment
+    (cycles 0..fcfs-1) — an independent implementation used to cross-check
+    the branch-and-bound on small blocks.
+    @raise Invalid_argument over 12 ops. *)
+let exhaustive g (m : model) =
+  let n = Array.length m.m_nodes in
+  if n = 0 then 0
+  else begin
+    if n > 12 then invalid_arg "Dts_opt.Opt.exhaustive: too many ops";
+    let maxc = m.m_fcfs in
+    let cls = Array.map (fun nd -> fu_index nd.n_fu) m.m_nodes in
+    let cycle = Array.make n (-1) in
+    let used_ded = Array.make_matrix maxc 4 0 in
+    let used_uni = Array.make maxc 0 in
+    let best = ref m.m_fcfs in
+    let rec assign v =
+      if v = n then begin
+        let mk = Array.fold_left (fun a c -> max a (c + 1)) 0 cycle in
+        if mk < !best then best := mk
+      end
+      else
+        for t = 0 to min (maxc - 1) (!best - 2) do
+          let cl = cls.(v) in
+          let ok =
+            ref (used_ded.(t).(cl) < g.g_ded.(cl) || used_uni.(t) < g.g_uni)
+          in
+          Array.iter
+            (fun (u, w) -> if cycle.(u) >= 0 && cycle.(u) + w > t then ok := false)
+            m.m_preds.(v);
+          Array.iter
+            (fun (x, w) -> if cycle.(x) >= 0 && t + w > cycle.(x) then ok := false)
+            m.m_succs.(v);
+          if !ok then begin
+            let ded = used_ded.(t).(cl) < g.g_ded.(cl) in
+            if ded then used_ded.(t).(cl) <- used_ded.(t).(cl) + 1
+            else used_uni.(t) <- used_uni.(t) + 1;
+            cycle.(v) <- t;
+            assign (v + 1);
+            cycle.(v) <- -1;
+            if ded then used_ded.(t).(cl) <- used_ded.(t).(cl) - 1
+            else used_uni.(t) <- used_uni.(t) - 1
+          end
+        done
+    in
+    assign 0;
+    !best
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rebuilding a block from a schedule                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A slot for [fu]: a free dedicated slot of that class first, a free
+   universal slot otherwise (universal is the only shared pool, so
+   dedicated-first is exact whenever the Hall condition holds). *)
+let pick_slot g li fu =
+  match g.g_classes with
+  | None -> (
+    match li_find_slot li fu with
+    | Some k -> k
+    | None -> invalid_arg "Dts_opt.Opt.rebuild: no free slot")
+  | Some classes ->
+    let rec scan pred k =
+      if k >= Array.length li.slots then None
+      else if li.slots.(k) = None && pred classes.(k) then Some k
+      else scan pred (k + 1)
+    in
+    (match scan (fun c -> c = Some fu) 0 with
+    | Some k -> k
+    | None -> (
+      match scan (fun c -> c = None) 0 with
+      | Some k -> k
+      | None -> invalid_arg "Dts_opt.Opt.rebuild: no free slot"))
+
+let store_like = function
+  | Op s -> Instr.is_store s.instr
+  | Copy c ->
+    List.exists
+      (fun (_, t) ->
+        match t with T_arch (Storage.Mem _) -> true | _ -> false)
+      c.c_moves
+
+(** Materialise [assign] (node -> cycle) as a block: the same slot ops in
+    new long instructions, branch tags recomputed as the number of
+    trace-earlier branches sharing the long instruction, §3.10 cross bits
+    recomputed, the geometry's slot classes respected. Shares the
+    (mutable) scheduled ops with [b] — the caller is expected to discard
+    the original. *)
+let rebuild g (b : block) (m : model) assign =
+  let n = Array.length m.m_nodes in
+  if n = 0 then b
+  else begin
+    let len = Array.fold_left max 0 assign + 1 in
+    let lis = Array.init len (fun _ -> li_create g.g_width) in
+    let by_cycle = Array.make len [] in
+    let order = Array.init n Fun.id in
+    (* trace-descending, so the per-cycle lists come out trace-ascending *)
+    Array.sort
+      (fun a b ->
+        compare (m.m_nodes.(b).n_trace, b) (m.m_nodes.(a).n_trace, a))
+      order;
+    Array.iter
+      (fun v -> by_cycle.(assign.(v)) <- v :: by_cycle.(assign.(v)))
+      order;
+    Array.iteri
+      (fun t vs ->
+        let li = lis.(t) in
+        let nbr = ref 0 in
+        List.iter
+          (fun v ->
+            let nd = m.m_nodes.(v) in
+            let k = pick_slot g li nd.n_fu in
+            li_fill li k (nd.n_op, !nbr);
+            if nd.n_branch then incr nbr)
+          vs;
+        li.n_branches <- !nbr)
+      by_cycle;
+    Array.iter
+      (fun li ->
+        let stores =
+          li_fold
+            (fun acc _ op _ -> if store_like op then op :: acc else acc)
+            [] li
+        in
+        li_iter
+          (fun _ op _ ->
+            match op with
+            | Op s when Instr.is_mem s.instr ->
+              s.cross <- List.exists (fun o -> o != op) stores
+            | _ -> ())
+          li)
+      lis;
+    let max_li_ops = Array.fold_left (fun a li -> max a (li_count li)) 0 lis in
+    { b with lis; nba_idx = len - 1; max_li_ops }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Independent legality check                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Check a block against every invariant the oracle's model encodes —
+    geometry classes, the dependence/latency/control constraints
+    (re-derived from the block itself), branch-tag consistency, and the
+    §3.10 rule replayed through the engine's own {!Dts_vliw.Aliaslog}.
+    Greedy-built blocks and oracle-rebuilt blocks must both pass. *)
+let check_block g (lat : Instr.latencies) (b : block) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let fu_of = block_fu_resolver b in
+  Array.iteri
+    (fun i li ->
+      if Array.length li.slots <> g.g_width then
+        err "li %d: width %d but geometry width %d" i (Array.length li.slots)
+          g.g_width)
+    b.lis;
+  (match g.g_classes with
+  | None -> ()
+  | Some classes ->
+    Array.iteri
+      (fun i li ->
+        li_iter
+          (fun k op _ ->
+            match classes.(k) with
+            | None -> ()
+            | Some c ->
+              if c <> fu_of op then
+                err "li %d slot %d: %s op in a dedicated slot of another class"
+                  i k
+                  (Instr.show_fu_class (fu_of op)))
+          li)
+      b.lis);
+  let m = model_of_block lat b in
+  if not (assignment_ok g m m.m_orig) then
+    err "schedule violates the dependence/latency/control/geometry model";
+  let trace op = match op with Op s -> s.uid | Copy c -> c.c_from in
+  let is_br = function
+    | Op s -> Instr.is_conditional_ctrl s.instr
+    | Copy _ -> false
+  in
+  Array.iteri
+    (fun i li ->
+      let ops = li_fold (fun acc _ op tag -> (op, tag) :: acc) [] li in
+      let nbr = List.length (List.filter (fun (o, _) -> is_br o) ops) in
+      if li.n_branches <> nbr then
+        err "li %d: n_branches %d but %d branches present" i li.n_branches nbr;
+      List.iter
+        (fun (op, tag) ->
+          let expect =
+            List.length
+              (List.filter
+                 (fun (o, _) -> is_br o && trace o < trace op)
+                 ops)
+          in
+          if tag <> expect then
+            err "li %d: tag %d on an op with %d trace-earlier branches" i tag
+              expect)
+        ops)
+    b.lis;
+  let log = Dts_vliw.Aliaslog.create () in
+  (try
+     Array.iteri
+       (fun li_idx li ->
+         li_iter
+           (fun _ op _ ->
+             List.iter
+               (fun (is_store, order, addr, size) ->
+                 Dts_vliw.Aliaslog.log log ~addr ~size ~order ~li:li_idx
+                   ~is_store ~cross:false)
+               (mem_events op))
+           li)
+       b.lis
+   with Dts_vliw.Aliaslog.Alias_violation ->
+     err "section-3.10 order violation (alias-log replay)");
+  match !errs with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))
+
+(* ------------------------------------------------------------------ *)
+(* Per-run gap summaries                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Aggregated FCFS-vs-optimal comparison over the blocks of one run. All
+    cycle counts are sums over the blocks. *)
+type gap_summary = {
+  gs_blocks : int;
+  gs_fcfs_lis : int;  (** long instructions as greedily built *)
+  gs_opt_lower : int;  (** certified lower bounds *)
+  gs_opt_upper : int;  (** best schedules found *)
+  gs_certified : int;  (** blocks whose optimum is certified exactly *)
+  gs_search_nodes : int;  (** total branch-and-bound nodes expanded *)
+}
+
+let empty_summary =
+  {
+    gs_blocks = 0;
+    gs_fcfs_lis = 0;
+    gs_opt_lower = 0;
+    gs_opt_upper = 0;
+    gs_certified = 0;
+    gs_search_nodes = 0;
+  }
+
+let summarize ?node_budget g (lat : Instr.latencies) blocks =
+  List.fold_left
+    (fun acc b ->
+      let s = schedule ?node_budget g (model_of_block lat b) in
+      {
+        gs_blocks = acc.gs_blocks + 1;
+        gs_fcfs_lis = acc.gs_fcfs_lis + s.s_fcfs;
+        gs_opt_lower = acc.gs_opt_lower + s.s_lower;
+        gs_opt_upper = acc.gs_opt_upper + s.s_upper;
+        gs_certified = (acc.gs_certified + if s.s_exact then 1 else 0);
+        gs_search_nodes = acc.gs_search_nodes + s.s_nodes;
+      })
+    empty_summary blocks
+
+let summarize_config ?node_budget (cfg : Dts_core.Config.t) blocks =
+  summarize ?node_budget (geometry_of_config cfg)
+    cfg.Dts_core.Config.sched.SU.latencies blocks
+
+(* ------------------------------------------------------------------ *)
+(* Machine wiring                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** A drop-in Scheduler Unit that also appends every finished block to the
+    returned list (in finish order, newest first): pass the function to
+    {!Dts_core.Machine.create}'s [?scheduler] and read the blocks after
+    the run. Behaviour-identical to the default scheduler. *)
+let capturing_scheduler (cfg : Dts_core.Config.t) =
+  let captured = ref [] in
+  let make () =
+    let u = SU.create cfg.Dts_core.Config.sched in
+    {
+      Dts_core.Machine.s_tick = (fun () -> ignore (SU.tick u));
+      s_insert = (fun r -> SU.insert u r);
+      s_finish =
+        (fun ~nba_addr ->
+          match SU.finish_block u ~nba_addr with
+          | Some b ->
+            captured := b :: !captured;
+            Some b
+          | None -> None);
+    }
+  in
+  (make, captured)
+
+(** A Scheduler Unit whose finished blocks are replaced by the oracle's
+    best schedule (rebuilt and re-checked) before installation — the
+    differential fuzzer's optimal-oracle backend. Runs the whole machine on
+    provably legal minimal(-ish) schedules; any modelling error surfaces as
+    a co-simulation mismatch or a failed {!check_block}. *)
+let rescheduling_scheduler ?(node_budget = 4_000) (cfg : Dts_core.Config.t) ()
+    =
+  let u = SU.create cfg.Dts_core.Config.sched in
+  let g = geometry_of_config cfg in
+  let lat = cfg.Dts_core.Config.sched.SU.latencies in
+  {
+    Dts_core.Machine.s_tick = (fun () -> ignore (SU.tick u));
+    s_insert = (fun r -> SU.insert u r);
+    s_finish =
+      (fun ~nba_addr ->
+        match SU.finish_block u ~nba_addr with
+        | None -> None
+        | Some b ->
+          let m = model_of_block lat b in
+          let s = schedule ~node_budget g m in
+          if s.s_fcfs < s.s_lower then
+            failwith
+              (Printf.sprintf
+                 "Dts_opt: greedy block of %d lis beats the certified lower \
+                  bound %d"
+                 s.s_fcfs s.s_lower);
+          let b' = rebuild g b m s.s_schedule in
+          (match check_block g lat b' with
+          | Ok () -> Some b'
+          | Error e ->
+            failwith ("Dts_opt: rebuilt block fails the invariant check: " ^ e)));
+  }

@@ -23,4 +23,5 @@ let () =
       ("fastpath", Test_fastpath.suite);
       ("fuzz", Test_fuzz.suite);
       ("job", Test_job.suite);
+      ("opt", Test_opt.suite);
     ]

@@ -199,6 +199,65 @@ let test_no_renaming_config () =
   check_bool "no split without renaming" true
     (List.for_all (fun (_, x) -> x <> Sched_unit.D_split) d)
 
+(* A conditional branch's read set is consulted through the forwarding
+   table at insertion, like any other op's: after a flags producer splits,
+   the branch's Flags source is substituted with the renaming register
+   ([prep_sop] forwards Flags alongside Int_reg/Fp_reg), recorded in
+   [subs], and the branch lands strictly below the renamed producer — not
+   merely below the original (now copy-holding) long instruction. *)
+let test_branch_flags_forwarded_after_split () =
+  let t = Sched_unit.create (cfg ()) in
+  (* two flags writers: the WAW forces the second into a new element, and
+     the tick splits it — its Flags output is renamed and forwarded *)
+  insert_ok t (ret ~addr:0x1000 (alu_rr ~cc:true 1 2 3));
+  insert_ok t (ret ~addr:0x1004 (alu_rr ~cc:true 4 5 6));
+  check_int "WAW made two elements" 2 (Sched_unit.length t);
+  let d = Sched_unit.tick t in
+  check_bool "the second flags writer split" true
+    (List.exists (fun (_, x) -> x = Sched_unit.D_split) d);
+  insert_ok t
+    (ret ~addr:0x1008 ~taken:true ~next:0x2000
+       (Dts_isa.Instr.Branch { cond = E; target = 0x2000 }));
+  let find pred =
+    let found = ref None in
+    List.iter
+      (fun i ->
+        li_iter
+          (fun _ op _ ->
+            match op with
+            | Op s when !found = None && pred s -> found := Some (i, s)
+            | _ -> ())
+          (Sched_unit.element t i).e_li)
+      (List.init (Sched_unit.length t) Fun.id);
+    !found
+  in
+  let renamed_li, renamed =
+    Option.get
+      (find (fun s ->
+           List.exists (fun (w, _) -> w = Dts_isa.Storage.Flags) s.redirect))
+  in
+  let branch_li, branch =
+    Option.get
+      (find (fun s -> Dts_isa.Instr.is_conditional_ctrl s.instr))
+  in
+  (* the branch reads the renaming register the split established *)
+  let sub =
+    List.assoc_opt Dts_isa.Storage.Flags branch.subs
+  in
+  check_bool "Flags forwarded into the branch's subs" true (sub <> None);
+  check_bool "branch reads the flag renaming register" true
+    (match sub with
+    | Some rr ->
+      List.mem (storage_of_rref rr) branch.reads
+      && List.mem_assoc Dts_isa.Storage.Flags renamed.redirect
+      && Option.get sub = List.assoc Dts_isa.Storage.Flags renamed.redirect
+    | None -> false);
+  check_bool
+    (Printf.sprintf "branch (li %d) strictly below the renamed producer (li %d)"
+       branch_li renamed_li)
+    true
+    (branch_li > renamed_li)
+
 (* ---- multicycle latencies ([14]) ---- *)
 
 let test_latency_distance_enforced () =
@@ -603,6 +662,8 @@ let suite =
     Alcotest.test_case "finish block" `Quick test_finish_block;
     Alcotest.test_case "full list" `Quick test_full_list_reports_full;
     Alcotest.test_case "no renaming config" `Quick test_no_renaming_config;
+    Alcotest.test_case "branch flags forwarded after split" `Quick
+      test_branch_flags_forwarded_after_split;
     Alcotest.test_case "latency distance at insert" `Quick
       test_latency_distance_enforced;
     Alcotest.test_case "latency blocks move-up" `Quick
